@@ -1,0 +1,53 @@
+// Mesh: the paper's finite-element workload, used here to demonstrate the
+// pipeline-width trade-off (the paper's central tuning knob): unlimited
+// width moves an order of magnitude more data between stages than W = 10,
+// and on the communication-heavy datasets the constrained pipeline is the
+// faster one (paper §5.3, Tables 2–4).
+//
+// Run with: go run ./examples/mesh [-scale 0.2] [-workers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/datasets"
+
+	ilp "repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "dataset scale (1.0 = the paper's 2840+/278-)")
+	workers := flag.Int("workers", 4, "pipeline workers")
+	flag.Parse()
+
+	n := func(x int) int { return int(float64(x) * *scale) }
+	ds := datasets.MeshSized(n(2840), n(278), 7)
+	fmt.Println(ds)
+
+	seq, err := ilp.LearnSequential(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqVirtual := float64(seq.Inferences) * ilp.DefaultCostModel.NsPerInference / 1e9
+	fmt.Printf("sequential baseline: %.2fs simulated single-CPU time\n\n", seqVirtual)
+
+	fmt.Printf("%-10s %10s %10s %12s %10s\n", "width", "time (s)", "speedup", "comm (MB)", "epochs")
+	for _, width := range []int{0, 50, 10, 1} {
+		met, err := ilp.LearnParallel(ds, *workers, width, ilp.ParallelOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d", width)
+		if width == 0 {
+			label = "nolimit"
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %12.3f %10d\n",
+			label,
+			met.VirtualTime.Seconds(),
+			seqVirtual/met.VirtualTime.Seconds(),
+			float64(met.CommBytes)/1e6,
+			met.Epochs)
+	}
+}

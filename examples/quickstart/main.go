@@ -1,0 +1,75 @@
+// Quickstart: learn Michalski's eastbound-trains concept with the public
+// API — first sequentially, then with the pipelined data-parallel
+// algorithm — and finally on a custom problem defined inline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ilp "repro"
+)
+
+func main() {
+	// ------------------------------------------------------------------
+	// 1. A bundled dataset: Michalski's trains.
+	// ------------------------------------------------------------------
+	trains, err := ilp.DatasetByName("trains", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(trains)
+
+	seq, err := ilp.LearnSequential(trains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsequential MDIE learned %d rule(s) in %d search(es):\n%s",
+		seq.RulesLearned, seq.Searches, ilp.TheoryString(seq.Theory))
+	fmt.Printf("training accuracy: %.0f%%\n", 100*ilp.Accuracy(trains, seq.Theory, trains.Pos, trains.Neg))
+
+	// ------------------------------------------------------------------
+	// 2. The same task on the pipelined data-parallel learner (p²-mdie)
+	//    with 3 simulated cluster workers and pipeline width 5.
+	// ------------------------------------------------------------------
+	par, err := ilp.LearnParallel(trains, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\np2-mdie (p=3, W=5) learned the theory in %d epoch(s), "+
+		"moving %.1f KB over %d messages:\n%s",
+		par.Epochs, float64(par.CommBytes)/1e3, par.CommMessages, ilp.TheoryString(par.Theory))
+
+	// ------------------------------------------------------------------
+	// 3. A custom problem: the classic "mother" relation.
+	// ------------------------------------------------------------------
+	family, err := ilp.Define("family",
+		`
+		parent(ann, bob). parent(ann, carol).
+		parent(tom, bob). parent(tom, carol).
+		parent(bob, dave). parent(carol, eve).
+		female(ann). female(carol). female(eve).
+		male(tom). male(bob). male(dave).
+		`,
+		`
+		modeh(1, mother(+person, +person)).
+		modeb(1, parent(+person, +person)).
+		modeb(1, female(+person)).
+		modeb(1, male(+person)).
+		`,
+		[]string{"mother(ann, bob)", "mother(ann, carol)", "mother(carol, eve)"},
+		[]string{"mother(tom, bob)", "mother(bob, dave)", "mother(eve, ann)"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	family.Search.MinPos = 2
+	family.Search.MinPrec = 0.99
+	res, err := ilp.LearnSequential(family)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustom problem %q learned:\n%s", family.Name, ilp.TheoryString(res.Theory))
+}

@@ -1,0 +1,97 @@
+package ilp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMinimizeTheoryFacade(t *testing.T) {
+	rules, err := ParseTheory(`
+		p(X) :- q(X).
+		p(X) :- q(X), r(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimizeTheory(rules)
+	if len(min) != 1 {
+		t.Fatalf("MinimizeTheory kept %d rules, want 1", len(min))
+	}
+}
+
+func TestSummarizeTheoryFacade(t *testing.T) {
+	rules, err := ParseTheory(`
+		p(X) :- q(X), r(X).
+		p(a).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := SummarizeTheory(rules)
+	if st.Rules != 1 || st.Facts != 1 || st.MaxBodyLen != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "rules: 1") {
+		t.Fatalf("String: %s", st)
+	}
+}
+
+func TestEvaluateTheoryFacade(t *testing.T) {
+	ds, err := DatasetByName("trains", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := ParseTheory("eastbound(T) :- has_car(T, C), car_len(C, short), closed(C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := EvaluateTheory(ds, rules, ds.Pos, ds.Neg)
+	if c.TP != 5 || c.TN != 5 || c.FP != 0 || c.FN != 0 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if c.F1() != 1.0 || c.Accuracy() != 1.0 {
+		t.Fatalf("metrics: %s", c)
+	}
+}
+
+func TestLoadSaveDatasetFacade(t *testing.T) {
+	ds, err := DatasetByName("trains", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := SaveDataset(ds)
+	back, err := LoadDataset("trains-copy", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pos) != len(ds.Pos) || len(back.Neg) != len(ds.Neg) {
+		t.Fatal("examples lost in round trip")
+	}
+	back.Search = ds.Search
+	back.Bottom = ds.Bottom
+	res, err := LearnSequential(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(back, res.Theory, back.Pos, back.Neg); acc != 1.0 {
+		t.Fatalf("reloaded accuracy = %v", acc)
+	}
+}
+
+func TestParallelTheoryMinimizes(t *testing.T) {
+	ds, err := DatasetByName("trains", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := LearnParallel(ds, 2, 0) // unlimited width: may emit overlaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimizeTheory(met.Theory)
+	if len(min) > len(met.Theory) {
+		t.Fatal("minimisation grew the theory")
+	}
+	if acc := Accuracy(ds, min, ds.Pos, ds.Neg); acc < Accuracy(ds, met.Theory, ds.Pos, ds.Neg) {
+		t.Fatal("minimisation lost accuracy")
+	}
+}

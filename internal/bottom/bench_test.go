@@ -1,0 +1,26 @@
+package bottom
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/solve"
+)
+
+func BenchmarkConstruct(b *testing.B) {
+	kb := solve.NewKB()
+	if err := kb.AddSource(molBK); err != nil {
+		b.Fatal(err)
+	}
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(molModes)
+	example := logic.MustParseTerm("active(m1)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Construct(m, ms, example, Options{VarDepth: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package bottom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/solve"
+)
+
+const molBK = `
+atm(m1, a1, carbon). atm(m1, a2, oxygen). atm(m1, a3, carbon).
+bondx(m1, a1, a2). bondx(m1, a2, a3).
+charge(a1, 0.2). charge(a2, -0.4). charge(a3, 0.1).
+`
+
+const molModes = `
+modeh(1, active(+mol)).
+modeb('*', atm(+mol, -atomid, #element)).
+modeb('*', bondx(+mol, -atomid, -atomid)).
+modeb(1, charge(+atomid, -chval)).
+`
+
+func buildMol(t *testing.T, opts Options) *Bottom {
+	t.Helper()
+	kb := solve.NewKB()
+	if err := kb.AddSource(molBK); err != nil {
+		t.Fatal(err)
+	}
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(molModes)
+	b, err := Construct(m, ms, logic.MustParseTerm("active(m1)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConstructHead(t *testing.T) {
+	b := buildMol(t, Options{})
+	if got := b.Head.String(); got != "active(A)" {
+		t.Fatalf("head = %q", got)
+	}
+	if len(b.HeadVars) != 1 || b.HeadVars[0] != 0 {
+		t.Fatalf("head vars: %v", b.HeadVars)
+	}
+}
+
+func TestConstructLiterals(t *testing.T) {
+	b := buildMol(t, Options{VarDepth: 2})
+	c := b.ToClause()
+	s := c.String()
+	// Must contain all three atm literals with # element constants inline.
+	for _, want := range []string{"atm(A, ", "carbon", "oxygen", "bondx(A, ", "charge("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bottom clause missing %q: %s", want, s)
+		}
+	}
+	// At depth 2 the charge literals (inputs produced at depth 1) appear.
+	nCharge := 0
+	for _, lit := range b.Lits {
+		if lit.Atom.Sym.Name() == "charge" {
+			nCharge++
+		}
+	}
+	if nCharge != 3 {
+		t.Errorf("charge literals = %d, want 3 (one per atom)\n%s", nCharge, s)
+	}
+}
+
+func TestVarDepthOneExcludesChainedLiterals(t *testing.T) {
+	b := buildMol(t, Options{VarDepth: 1})
+	for _, lit := range b.Lits {
+		if lit.Atom.Sym.Name() == "charge" {
+			t.Fatalf("charge literal requires depth-1 outputs, must not appear at VarDepth 1: %s", b.ToClause().String())
+		}
+	}
+}
+
+func TestVariableReuseAcrossLiterals(t *testing.T) {
+	b := buildMol(t, Options{VarDepth: 2})
+	// The atom a2 appears as output of atm and of bondx; both must map to
+	// the same variable (constants are variabilised consistently per type).
+	varOfA2 := int32(-1)
+	for i, lit := range b.Lits {
+		if lit.Atom.Sym.Name() != "atm" {
+			continue
+		}
+		// atm(A, X, oxygen) identifies a2.
+		if lit.Atom.Args[2].Sym.Name() == "oxygen" {
+			varOfA2 = b.Info[i].OutVars[0]
+		}
+	}
+	if varOfA2 < 0 {
+		t.Fatal("no oxygen atm literal found")
+	}
+	found := false
+	for _, lit := range b.Lits {
+		if lit.Atom.Sym.Name() == "bondx" && lit.Atom.Args[1].VarIndex() == int(varOfA2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bondx should reuse the variable of a2: %s", b.ToClause().String())
+	}
+}
+
+func TestRecallLimit(t *testing.T) {
+	kb := solve.NewKB()
+	src := "target(x)."
+	for i := 0; i < 10; i++ {
+		src += " feat(x, f" + string(rune('0'+i)) + ")."
+	}
+	if err := kb.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(`
+		modeh(1, target(+obj)).
+		modeb(3, feat(+obj, -fid)).
+	`)
+	b, err := Construct(m, ms, logic.MustParseTerm("target(x)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Lits) != 3 {
+		t.Fatalf("recall 3 produced %d literals", len(b.Lits))
+	}
+}
+
+func TestMaxLiteralsTruncates(t *testing.T) {
+	b := buildMol(t, Options{MaxLiterals: 2})
+	if !b.Truncated {
+		t.Fatal("expected truncation flag")
+	}
+	if len(b.Lits) != 2 {
+		t.Fatalf("got %d literals, want 2", len(b.Lits))
+	}
+}
+
+func TestInfoDiscipline(t *testing.T) {
+	b := buildMol(t, Options{VarDepth: 2})
+	bound := make(map[int32]bool)
+	for _, v := range b.HeadVars {
+		bound[v] = true
+	}
+	// Literals are generated so that a left-to-right pass keeps inputs bound.
+	for i, info := range b.Info {
+		for _, v := range info.InVars {
+			if !bound[v] {
+				t.Fatalf("literal %d (%s) uses unbound input var %d", i, b.Lits[i], v)
+			}
+		}
+		for _, v := range info.OutVars {
+			bound[v] = true
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	b := buildMol(t, Options{VarDepth: 2})
+	c := b.Materialize([]int32{0})
+	if len(c.Body) != 1 || !logic.EqualLiteral(c.Body[0], b.Lits[0]) {
+		t.Fatalf("Materialize: %s", c.String())
+	}
+	if !logic.Equal(c.Head, b.Head) {
+		t.Fatal("Materialize changed the head")
+	}
+}
+
+func TestBottomCoversOwnExample(t *testing.T) {
+	kb := solve.NewKB()
+	if err := kb.AddSource(molBK); err != nil {
+		t.Fatal(err)
+	}
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(molModes)
+	ex := logic.MustParseTerm("active(m1)")
+	b, err := Construct(m, ms, ex, Options{VarDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fundamental MDIE property: ⊥e covers e.
+	full := b.ToClause()
+	if !m.CoversExample(&full, ex) {
+		t.Fatalf("bottom clause does not cover its own example:\n%s", full.String())
+	}
+}
+
+func TestConstructErrors(t *testing.T) {
+	kb := solve.NewKB()
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(molModes)
+	if _, err := Construct(m, ms, logic.MustParseTerm("inactive(m1)"), Options{}); err == nil {
+		t.Fatal("wrong predicate accepted")
+	}
+	if _, err := Construct(m, ms, logic.MustParseTerm("active(X)"), Options{}); err == nil {
+		t.Fatal("non-ground example accepted")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	b1 := buildMol(t, Options{VarDepth: 2})
+	b2 := buildMol(t, Options{VarDepth: 2})
+	c1, c2 := b1.ToClause(), b2.ToClause()
+	if c1.String() != c2.String() {
+		t.Fatalf("nondeterministic bottom clause:\n%s\n%s", c1.String(), c2.String())
+	}
+}

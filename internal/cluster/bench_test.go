@@ -1,0 +1,46 @@
+package cluster
+
+import "testing"
+
+type benchPayload struct {
+	Indices [][]int32
+	Label   string
+}
+
+func BenchmarkSendReceiveRoundTrip(b *testing.B) {
+	nw := NewNetwork(2, CostModel{})
+	payload := benchPayload{Label: "stage"}
+	for i := 0; i < 10; i++ {
+		payload.Indices = append(payload.Indices, []int32{1, 5, 9, 12})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Node(0).Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		msg, ok := nw.Node(1).Receive()
+		if !ok {
+			b.Fatal("receive failed")
+		}
+		var back benchPayload
+		if err := msg.Decode(&back); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcast8(b *testing.B) {
+	nw := NewNetwork(9, CostModel{})
+	targets := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Node(0).Broadcast(targets, 1, benchPayload{Label: "bag"}); err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range targets {
+			if _, ok := nw.Node(t).Receive(); !ok {
+				b.Fatal("receive failed")
+			}
+		}
+	}
+}

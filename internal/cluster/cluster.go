@@ -1,0 +1,374 @@
+// Package cluster simulates a distributed-memory message-passing machine
+// (the paper's LAM/MPI Beowulf cluster) inside one process: one goroutine
+// per node, unbounded mailboxes, non-blocking send/broadcast and blocking
+// receive — exactly the communication model of the paper's §2.2.
+//
+// Two things make the simulation quantitative rather than just structural:
+//
+//   - every payload is gob-serialised, so per-message and per-link byte
+//     counts are real (Table 4 reproduces from these), and the receiver
+//     decodes its own deep copy, giving MPI-like value isolation;
+//
+//   - each node carries a virtual clock in the spirit of Lamport: Compute
+//     advances it by measured work (SLD inferences × a calibrated cost),
+//     and Receive advances it to the message arrival time, which is the
+//     sender's clock at send plus latency plus bytes/bandwidth. The maximum
+//     clock at termination is the simulated makespan of the run on a
+//     cluster with one CPU per node, independent of how many host cores
+//     actually ran the goroutines.
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// VTime is virtual time in nanoseconds since the start of the run.
+type VTime int64
+
+// Seconds converts a virtual time to seconds.
+func (t VTime) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts a virtual time to a time.Duration.
+func (t VTime) Duration() time.Duration { return time.Duration(t) }
+
+// CostModel sets the simulated hardware constants.
+type CostModel struct {
+	// Latency is the fixed per-message cost (interconnect + MPI stack).
+	Latency time.Duration
+	// BandwidthBps is the link bandwidth in bytes per second.
+	BandwidthBps float64
+	// NsPerInference converts one SLD inference into virtual nanoseconds.
+	NsPerInference float64
+}
+
+// DefaultCostModel approximates the paper's 2005-era Beowulf hardware:
+// 100 Mbit/s switched Ethernet (~12.5 MB/s, ~120 µs end-to-end latency for
+// LAM/MPI) and a Prolog engine doing roughly one resolution per
+// microsecond.
+var DefaultCostModel = CostModel{
+	Latency:        120 * time.Microsecond,
+	BandwidthBps:   12.5e6,
+	NsPerInference: 1000,
+}
+
+func (c CostModel) withDefaults() CostModel {
+	if c.Latency <= 0 {
+		c.Latency = DefaultCostModel.Latency
+	}
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = DefaultCostModel.BandwidthBps
+	}
+	if c.NsPerInference <= 0 {
+		c.NsPerInference = DefaultCostModel.NsPerInference
+	}
+	return c
+}
+
+// transferTime returns the virtual duration to move n payload bytes.
+func (c CostModel) transferTime(n int) VTime {
+	return VTime(c.Latency) + VTime(float64(n)/c.BandwidthBps*1e9)
+}
+
+// Message is one delivered communication.
+type Message struct {
+	From, To int
+	// Kind is an application-level tag used for dispatch.
+	Kind int
+	// Payload is the gob-encoded body.
+	Payload []byte
+	// SendTime is the sender's virtual clock when the send happened.
+	SendTime VTime
+	// Arrive is the virtual arrival time at the receiver.
+	Arrive VTime
+	// Seq is a global sequence number (diagnostics, deterministic traces).
+	Seq int64
+}
+
+// Decode unmarshals the payload into v (a pointer).
+func (m *Message) Decode(v any) error {
+	return gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(v)
+}
+
+// mailbox is an unbounded FIFO queue: sends never block (the paper's
+// non-blocking send/broadcast), receives block until a message is present.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) take() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// Network is a set of simulated nodes plus traffic accounting.
+type Network struct {
+	model CostModel
+	nodes []*Node
+	seq   atomic.Int64
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	perLink []atomic.Int64 // bytes, index = from*n + to
+	traceMu sync.Mutex
+	traceFn func(Event)
+}
+
+// NewNetwork creates n nodes (ids 0..n-1) sharing one cost model.
+func NewNetwork(n int, model CostModel) *Network {
+	nw := &Network{model: model.withDefaults(), perLink: make([]atomic.Int64, n*n)}
+	nw.nodes = make([]*Node, n)
+	for i := range nw.nodes {
+		nw.nodes[i] = &Node{id: i, nw: nw, mbox: newMailbox()}
+	}
+	return nw
+}
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return len(nw.nodes) }
+
+// Node returns node i. Each node must be driven by exactly one goroutine.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// Model returns the cost model in use.
+func (nw *Network) Model() CostModel { return nw.model }
+
+// Shutdown closes every mailbox, releasing any blocked receiver.
+func (nw *Network) Shutdown() {
+	for _, n := range nw.nodes {
+		n.mbox.close()
+	}
+}
+
+// Stats is a snapshot of network traffic.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Stats returns total traffic so far.
+func (nw *Network) Stats() Stats {
+	return Stats{Messages: nw.msgs.Load(), Bytes: nw.bytes.Load()}
+}
+
+// LinkBytes returns bytes sent from node a to node b.
+func (nw *Network) LinkBytes(a, b int) int64 {
+	return nw.perLink[a*len(nw.nodes)+b].Load()
+}
+
+// Makespan returns the maximum node clock; call it after all node
+// goroutines have finished to obtain the simulated run time.
+func (nw *Network) Makespan() VTime {
+	var max VTime
+	for _, n := range nw.nodes {
+		if c := n.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// SetTrace installs a hook that observes every send and receive.
+func (nw *Network) SetTrace(fn func(Event)) {
+	nw.traceMu.Lock()
+	nw.traceFn = fn
+	nw.traceMu.Unlock()
+}
+
+func (nw *Network) emit(ev Event) {
+	nw.traceMu.Lock()
+	fn := nw.traceFn
+	nw.traceMu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// EventType discriminates trace events.
+type EventType uint8
+
+const (
+	// EvSend is emitted when a message leaves a node.
+	EvSend EventType = iota
+	// EvReceive is emitted when a node consumes a message.
+	EvReceive
+	// EvCompute is emitted when a node advances its clock by local work.
+	EvCompute
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EvSend:
+		return "send"
+	case EvReceive:
+		return "recv"
+	case EvCompute:
+		return "work"
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	Type  EventType
+	Node  int   // acting node
+	Peer  int   // counterpart (send: to, receive: from), -1 for compute
+	Kind  int   // message kind, -1 for compute
+	Bytes int   // payload bytes, 0 for compute
+	Clock VTime // acting node's clock after the event
+	Seq   int64
+}
+
+func (e Event) String() string {
+	switch e.Type {
+	case EvSend:
+		return fmt.Sprintf("[%8.3fms] node %d send kind=%d to %d (%d B)", float64(e.Clock)/1e6, e.Node, e.Kind, e.Peer, e.Bytes)
+	case EvReceive:
+		return fmt.Sprintf("[%8.3fms] node %d recv kind=%d from %d (%d B)", float64(e.Clock)/1e6, e.Node, e.Kind, e.Peer, e.Bytes)
+	default:
+		return fmt.Sprintf("[%8.3fms] node %d compute", float64(e.Clock)/1e6, e.Node)
+	}
+}
+
+// Node is one simulated cluster node. All methods must be called from the
+// single goroutine that owns the node.
+type Node struct {
+	id    int
+	nw    *Network
+	mbox  *mailbox
+	clock atomic.Int64 // VTime; atomic so Makespan can read cross-goroutine
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Clock returns the node's current virtual time.
+func (n *Node) Clock() VTime { return VTime(n.clock.Load()) }
+
+func (n *Node) advanceTo(t VTime) {
+	if t > n.Clock() {
+		n.clock.Store(int64(t))
+	}
+}
+
+// Compute advances the node's clock by units of work (SLD inferences) under
+// the network cost model.
+func (n *Node) Compute(units int64) {
+	if units <= 0 {
+		return
+	}
+	d := VTime(float64(units) * n.nw.model.NsPerInference)
+	n.clock.Add(int64(d))
+	n.nw.emit(Event{Type: EvCompute, Node: n.id, Peer: -1, Kind: -1, Clock: n.Clock()})
+}
+
+// ComputeDuration advances the clock by a raw virtual duration.
+func (n *Node) ComputeDuration(d time.Duration) {
+	if d > 0 {
+		n.clock.Add(int64(d))
+	}
+}
+
+// Send gob-encodes v and delivers it to node `to` without blocking.
+// The sender is charged no compute time (sends are asynchronous); the
+// receiver cannot observe the message before its arrival time.
+func (n *Node) Send(to int, kind int, v any) error {
+	payload, err := encode(v)
+	if err != nil {
+		return fmt.Errorf("cluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
+	}
+	n.deliver(to, kind, payload)
+	return nil
+}
+
+// Broadcast sends v to every node in targets (gob-encoded once).
+func (n *Node) Broadcast(targets []int, kind int, v any) error {
+	payload, err := encode(v)
+	if err != nil {
+		return fmt.Errorf("cluster: broadcast from %d kind %d: %w", n.id, kind, err)
+	}
+	for _, to := range targets {
+		n.deliver(to, kind, payload)
+	}
+	return nil
+}
+
+func (n *Node) deliver(to int, kind int, payload []byte) {
+	nw := n.nw
+	seq := nw.seq.Add(1)
+	sendTime := n.Clock()
+	msg := Message{
+		From:     n.id,
+		To:       to,
+		Kind:     kind,
+		Payload:  payload,
+		SendTime: sendTime,
+		Arrive:   sendTime + nw.model.transferTime(len(payload)),
+		Seq:      seq,
+	}
+	nw.msgs.Add(1)
+	nw.bytes.Add(int64(len(payload)))
+	nw.perLink[n.id*len(nw.nodes)+to].Add(int64(len(payload)))
+	nw.emit(Event{Type: EvSend, Node: n.id, Peer: to, Kind: kind, Bytes: len(payload), Clock: sendTime, Seq: seq})
+	nw.nodes[to].mbox.put(msg)
+}
+
+// Receive blocks until a message is available, advances the node's clock to
+// the arrival time, and returns it. ok is false when the network was shut
+// down with no pending messages.
+func (n *Node) Receive() (Message, bool) {
+	msg, ok := n.mbox.take()
+	if !ok {
+		return Message{}, false
+	}
+	n.advanceTo(msg.Arrive)
+	n.nw.emit(Event{Type: EvReceive, Node: n.id, Peer: msg.From, Kind: msg.Kind, Bytes: len(msg.Payload), Clock: n.Clock(), Seq: msg.Seq})
+	return msg, true
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type ping struct {
+	N    int
+	Text string
+}
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	done := make(chan ping, 1)
+	go func() {
+		msg, ok := nw.Node(1).Receive()
+		if !ok {
+			t.Error("receive failed")
+			done <- ping{}
+			return
+		}
+		var p ping
+		if err := msg.Decode(&p); err != nil {
+			t.Error(err)
+		}
+		done <- p
+	}()
+	want := ping{N: 42, Text: "hello"}
+	if err := nw.Node(0).Send(1, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	// The receiver must get a deep copy: mutating the sender's value after
+	// Send must not affect what is delivered (MPI semantics).
+	nw := NewNetwork(2, CostModel{})
+	v := &ping{N: 1, Text: "original"}
+	if err := nw.Node(0).Send(1, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	v.Text = "mutated"
+	msg, _ := nw.Node(1).Receive()
+	var got ping
+	if err := msg.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != "original" {
+		t.Fatalf("payload not isolated: %+v", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	nw := NewNetwork(4, CostModel{})
+	if err := nw.Node(0).Broadcast([]int{1, 2, 3}, 5, ping{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		msg, ok := nw.Node(i).Receive()
+		if !ok || msg.Kind != 5 {
+			t.Fatalf("node %d: %+v ok=%v", i, msg, ok)
+		}
+		var p ping
+		if err := msg.Decode(&p); err != nil || p.N != 9 {
+			t.Fatalf("node %d payload: %+v err=%v", i, p, err)
+		}
+	}
+	if got := nw.Stats().Messages; got != 3 {
+		t.Fatalf("broadcast counted %d messages, want 3", got)
+	}
+}
+
+func TestFIFOOrderPerLink(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	for i := 0; i < 10; i++ {
+		if err := nw.Node(0).Send(1, i, ping{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		msg, ok := nw.Node(1).Receive()
+		if !ok || msg.Kind != i {
+			t.Fatalf("message %d out of order: kind=%d", i, msg.Kind)
+		}
+	}
+}
+
+func TestVirtualClockAdvancesOnCompute(t *testing.T) {
+	nw := NewNetwork(1, CostModel{NsPerInference: 1000})
+	n := nw.Node(0)
+	n.Compute(500)
+	if got := n.Clock(); got != VTime(500*1000) {
+		t.Fatalf("clock = %d, want 500000", got)
+	}
+	n.ComputeDuration(time.Millisecond)
+	if got := n.Clock(); got != VTime(500000+1e6) {
+		t.Fatalf("clock = %d after duration", got)
+	}
+}
+
+func TestVirtualClockAdvancesOnReceive(t *testing.T) {
+	model := CostModel{Latency: time.Millisecond, BandwidthBps: 1e6, NsPerInference: 1}
+	nw := NewNetwork(2, model)
+	sender := nw.Node(0)
+	sender.ComputeDuration(10 * time.Millisecond) // sender clock = 10ms
+	if err := sender.Send(1, 0, ping{Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := nw.Node(1).Receive()
+	// Arrival = 10ms + 1ms latency + bytes/1e6 seconds.
+	wantMin := VTime(11 * time.Millisecond)
+	if msg.Arrive < wantMin {
+		t.Fatalf("arrival %d < %d", msg.Arrive, wantMin)
+	}
+	if nw.Node(1).Clock() != msg.Arrive {
+		t.Fatalf("receiver clock %d != arrival %d", nw.Node(1).Clock(), msg.Arrive)
+	}
+	// Receiver ahead of arrival must NOT move backwards.
+	nw2 := NewNetwork(2, model)
+	nw2.Node(1).ComputeDuration(time.Second)
+	if err := nw2.Node(0).Send(1, 0, ping{}); err != nil {
+		t.Fatal(err)
+	}
+	before := nw2.Node(1).Clock()
+	nw2.Node(1).Receive()
+	if nw2.Node(1).Clock() != before {
+		t.Fatal("receiver clock moved backwards")
+	}
+}
+
+func TestTransferTimeScalesWithBytes(t *testing.T) {
+	model := CostModel{Latency: time.Millisecond, BandwidthBps: 1e6, NsPerInference: 1}.withDefaults()
+	small := model.transferTime(100)
+	big := model.transferTime(100000)
+	if big <= small {
+		t.Fatalf("transfer time not monotone in size: %d vs %d", small, big)
+	}
+	// 100 KB at 1 MB/s ≈ 100 ms (+1 ms latency).
+	want := VTime(101 * time.Millisecond)
+	if diff := big - want; diff < -VTime(time.Millisecond) || diff > VTime(time.Millisecond) {
+		t.Fatalf("transfer time %v, want ≈ %v", big, want)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	nw := NewNetwork(3, CostModel{})
+	if err := nw.Node(0).Send(1, 0, ping{Text: "0 to 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Node(0).Send(2, 0, ping{Text: "0 to 2, longer payload"}); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.Messages != 2 || st.Bytes <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if nw.LinkBytes(0, 1) <= 0 || nw.LinkBytes(0, 2) <= 0 {
+		t.Fatal("link bytes missing")
+	}
+	if nw.LinkBytes(0, 2) <= nw.LinkBytes(0, 1) {
+		t.Fatal("longer payload should move more bytes")
+	}
+	if nw.LinkBytes(1, 0) != 0 {
+		t.Fatal("phantom traffic on unused link")
+	}
+	if st.Bytes != nw.LinkBytes(0, 1)+nw.LinkBytes(0, 2) {
+		t.Fatal("total bytes != sum of links")
+	}
+}
+
+func TestReceiveBlocksUntilSend(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	received := make(chan struct{})
+	go func() {
+		nw.Node(1).Receive()
+		close(received)
+	}()
+	select {
+	case <-received:
+		t.Fatal("receive returned with no message")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := nw.Node(0).Send(1, 0, ping{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-received:
+	case <-time.After(time.Second):
+		t.Fatal("receive never unblocked")
+	}
+}
+
+func TestShutdownReleasesReceivers(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := nw.Node(1).Receive()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	nw.Shutdown()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Receive reported ok after shutdown")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shutdown did not release receiver")
+	}
+}
+
+func TestMakespanIsMaxClock(t *testing.T) {
+	nw := NewNetwork(3, CostModel{NsPerInference: 1})
+	nw.Node(0).ComputeDuration(5 * time.Millisecond)
+	nw.Node(1).ComputeDuration(9 * time.Millisecond)
+	nw.Node(2).ComputeDuration(2 * time.Millisecond)
+	if got := nw.Makespan(); got != VTime(9*time.Millisecond) {
+		t.Fatalf("makespan = %v", got)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	var mu sync.Mutex
+	var events []Event
+	nw.SetTrace(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	if err := nw.Node(0).Send(1, 3, ping{}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Node(1).Receive()
+	nw.Node(1).Compute(10)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 3 {
+		t.Fatalf("events: %v", events)
+	}
+	if events[0].Type != EvSend || events[1].Type != EvReceive || events[2].Type != EvCompute {
+		t.Fatalf("event sequence: %v", events)
+	}
+	if events[0].Kind != 3 || events[1].Peer != 0 {
+		t.Fatalf("event fields: %+v %+v", events[0], events[1])
+	}
+}
+
+func TestRingTokenStress(t *testing.T) {
+	const n, rounds = 8, 50
+	nw := NewNetwork(n, CostModel{})
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			node := nw.Node(id)
+			if id == 0 {
+				if err := node.Send(1, 0, ping{N: 0}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for {
+				msg, ok := node.Receive()
+				if !ok {
+					return
+				}
+				var p ping
+				if err := msg.Decode(&p); err != nil {
+					t.Error(err)
+					return
+				}
+				node.Compute(100)
+				if p.N >= rounds*n {
+					nw.Shutdown()
+					return
+				}
+				if err := node.Send((id+1)%n, 0, ping{N: p.N + 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := nw.Stats()
+	if st.Messages < rounds*n {
+		t.Fatalf("messages = %d, want ≥ %d", st.Messages, rounds*n)
+	}
+	if nw.Makespan() <= 0 {
+		t.Fatal("makespan not positive")
+	}
+}

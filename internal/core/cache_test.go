@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// newCacheWorker builds an isolated worker (no running cluster protocol)
+// for unit-testing the coverage cache.
+func newCacheWorker(t *testing.T) *worker {
+	t.Helper()
+	kb, pos, neg, ms := makeTask(t)
+	nw := cluster.NewNetwork(2, cluster.CostModel{})
+	ex := search.NewExamples(pos[:12], neg[:10])
+	return newWorker(1, 1, nw.Node(1), kb, ex, ms, Config{Workers: 1}.withDefaults())
+}
+
+func TestRuleCoverageCacheCorrect(t *testing.T) {
+	w := newCacheWorker(t)
+	rule := logic.MustParseClause("active(M) :- atm(M, A, oxygen).")
+	fresh := w.ruleCoverage(&rule)
+	// Direct evaluation must agree.
+	m := solve.NewMachine(w.m.KB(), solve.Budget{})
+	ev := search.NewEvaluator(m, w.ex)
+	pos, neg := ev.CoverageFull(&rule)
+	if fresh.pos.Count() != pos.Count() || fresh.neg != neg.Count() {
+		t.Fatalf("cached entry (%d/%d) != direct evaluation (%d/%d)",
+			fresh.pos.Count(), fresh.neg, pos.Count(), neg.Count())
+	}
+}
+
+func TestRuleCoverageCacheHitsAreFree(t *testing.T) {
+	w := newCacheWorker(t)
+	rule := logic.MustParseClause("active(M) :- atm(M, A, oxygen).")
+	w.ruleCoverage(&rule)
+	before := w.m.TotalInferences()
+	clockBefore := w.node.Clock()
+	again := w.ruleCoverage(&rule)
+	if w.m.TotalInferences() != before {
+		t.Fatal("cache hit performed inference work")
+	}
+	if w.node.Clock() != clockBefore {
+		t.Fatal("cache hit advanced the virtual clock")
+	}
+	if again.pos.Count() == 0 {
+		t.Fatal("cached coverage lost")
+	}
+}
+
+func TestRuleCoverageCacheKeyedByAlphaEquivalence(t *testing.T) {
+	w := newCacheWorker(t)
+	a := logic.MustParseClause("active(M) :- atm(M, A, oxygen).")
+	b := logic.MustParseClause("active(X) :- atm(X, Y, oxygen).")
+	w.ruleCoverage(&a)
+	before := w.m.TotalInferences()
+	w.ruleCoverage(&b)
+	if w.m.TotalInferences() != before {
+		t.Fatal("alpha-variant rule missed the cache")
+	}
+}
+
+func TestEvaluateBagUsesAliveMask(t *testing.T) {
+	w := newCacheWorker(t)
+	rule := logic.MustParseClause("active(M) :- atm(M, A, oxygen).")
+	e := w.ruleCoverage(&rule)
+	full := e.pos.Count()
+	if full == 0 {
+		t.Skip("rule covers nothing in this partition")
+	}
+	// Retract everything the rule covers; recounting against alive must
+	// now yield zero while the cached intrinsic coverage is unchanged.
+	w.ex.RetractPos(e.pos)
+	e2 := w.ruleCoverage(&rule)
+	if e2.pos.Count() != full {
+		t.Fatal("cached intrinsic coverage changed after retraction")
+	}
+	alive := e2.pos.Clone()
+	alive.AndWith(w.ex.PosAlive)
+	if alive.Count() != 0 {
+		t.Fatal("alive-masked count should be zero after retraction")
+	}
+}

@@ -1,0 +1,135 @@
+// Package core implements p²-mdie, the paper's pipelined data-parallel
+// covering algorithm (Figures 5–7): examples are partitioned evenly over p
+// workers; every epoch p rule searches start simultaneously, each pipelined
+// through all p workers so that a rule is refined incrementally against
+// every data partition; the master then evaluates the collected rules bag
+// globally and consumes it MDIE-style.
+package core
+
+import (
+	"time"
+
+	"repro/internal/bottom"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// Config parameterises a parallel run.
+type Config struct {
+	// Workers is p, the number of pipeline workers (the master is an
+	// additional coordination-only node, as in the paper's master/worker
+	// model). Must be ≥ 1.
+	Workers int
+	// Width is W, the pipeline width: the maximum number of good rules
+	// passed between stages and to the master. ≤0 means unlimited
+	// ("nolimit" in the paper's tables).
+	Width int
+	// Seed drives the random even partitioning of the examples (Fig. 5
+	// step 2).
+	Seed int64
+	// Search configures each stage's rule search.
+	Search search.Settings
+	// Bottom configures saturation.
+	Bottom bottom.Options
+	// Budget bounds individual proofs.
+	Budget solve.Budget
+	// Cost is the simulated cluster cost model.
+	Cost cluster.CostModel
+	// MaxEpochs stops a runaway run. ≤0 means 500.
+	MaxEpochs int
+	// AddLearnedToBK asserts accepted rules into each worker's background
+	// (Fig. 6 mark_covered's "B = B ∪ {R}"). Off by default: with the
+	// bundled language biases the target predicate never appears in rule
+	// bodies, so asserting is semantically inert but costs memory.
+	AddLearnedToBK bool
+	// RepartitionEachEpoch re-balances the uncovered positives across
+	// workers before every epoch after the first — the design alternative
+	// the paper declined for its communication cost (§4.1). Implemented
+	// for the repartitioning ablation: expect balanced partitions but a
+	// large jump in exchanged bytes.
+	RepartitionEachEpoch bool
+	// Trace, when set, observes every simulated cluster event.
+	Trace func(cluster.Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 500
+	}
+	c.Search = c.Search.WithDefaults()
+	// The stage search emits at most Width rules when constrained.
+	c.Search.W = c.Width
+	return c
+}
+
+// Metrics summarises a parallel run; the fields marked (Table n) feed the
+// paper's evaluation tables.
+type Metrics struct {
+	// Theory is the learned rule set in acceptance order.
+	Theory []logic.Clause
+	// Epochs is the number of master epochs (Table 5).
+	Epochs int
+	// VirtualTime is the simulated cluster makespan (Tables 2 and 3).
+	VirtualTime time.Duration
+	// WallTime is the real elapsed time of the simulation.
+	WallTime time.Duration
+	// CommBytes is the total payload volume exchanged (Table 4).
+	CommBytes int64
+	// CommMessages is the total number of messages.
+	CommMessages int64
+	// RulesLearned counts searched rules accepted into the theory.
+	RulesLearned int
+	// GroundFactsAdopted counts fallback adoptions of bare examples.
+	GroundFactsAdopted int
+	// GeneratedRules totals rules evaluated across all searches.
+	GeneratedRules int64
+	// TotalInferences totals SLD work across all workers.
+	TotalInferences int64
+	// Workers and Width echo the configuration.
+	Workers, Width int
+}
+
+// partition splits indices 0..n-1 into p groups by seeded shuffle plus
+// round-robin deal, the "randomly and evenly partitions" of Fig. 5.
+func partition(n, p int, rng *rngState) [][]int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.shuffle(idx)
+	out := make([][]int, p)
+	for i, v := range idx {
+		out[i%p] = append(out[i%p], v)
+	}
+	return out
+}
+
+// rngState is a tiny deterministic generator (xorshift64*), avoiding a
+// dependency on math/rand state sharing across goroutines.
+type rngState struct{ s uint64 }
+
+func newRng(seed int64) *rngState {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rngState{s: s}
+}
+
+func (r *rngState) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *rngState) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rngState) shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// bagEntry is one rule under consideration by the master, with its
+// aggregated (global) coverage.
+type bagEntry struct {
+	rule logic.Clause
+	key  string
+	pos  int // aggregate positive cover over all partitions
+	neg  int // aggregate negative cover
+}
+
+// master drives the epochs of Fig. 5.
+type master struct {
+	node    *cluster.Node
+	p       int
+	cfg     Config
+	targets []int // worker node ids 1..p
+
+	theory    []logic.Clause
+	metrics   *Metrics
+	remaining int
+}
+
+// collect receives exactly n messages, all required to be of the given
+// kind; the protocol phases guarantee no interleaving of other kinds.
+func (ma *master) collect(kind, n int) ([]cluster.Message, error) {
+	out := make([]cluster.Message, 0, n)
+	for len(out) < n {
+		msg, ok := ma.node.Receive()
+		if !ok {
+			return nil, fmt.Errorf("core: master: network shut down waiting for kind %d", kind)
+		}
+		if msg.Kind != kind {
+			return nil, fmt.Errorf("core: master: expected kind %d, got %d from node %d", kind, msg.Kind, msg.From)
+		}
+		out = append(out, msg)
+	}
+	return out, nil
+}
+
+// gatherBag collects the p pipeline results and assembles the deduplicated
+// rules bag in deterministic (origin, position) order.
+func (ma *master) gatherBag() ([]bagEntry, error) {
+	msgs, err := ma.collect(kindRules, ma.p)
+	if err != nil {
+		return nil, err
+	}
+	byOrigin := make([][]logic.Clause, ma.p+1)
+	for _, msg := range msgs {
+		var rm rulesMsg
+		if err := msg.Decode(&rm); err != nil {
+			return nil, err
+		}
+		if rm.Origin < 1 || rm.Origin > ma.p {
+			return nil, fmt.Errorf("core: master: bad pipeline origin %d", rm.Origin)
+		}
+		byOrigin[rm.Origin] = rm.Rules
+	}
+	seen := make(map[string]bool)
+	var bag []bagEntry
+	for origin := 1; origin <= ma.p; origin++ {
+		for _, r := range byOrigin[origin] {
+			key := r.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			bag = append(bag, bagEntry{rule: r, key: key})
+		}
+	}
+	return bag, nil
+}
+
+// evaluateBag broadcasts the bag for local evaluation and aggregates the
+// returned counts into the entries (Fig. 5 steps 10–11 and 18–19).
+func (ma *master) evaluateBag(bag []bagEntry) error {
+	rules := make([]logic.Clause, len(bag))
+	for i := range bag {
+		rules[i] = bag[i].rule
+	}
+	if err := ma.node.Broadcast(ma.targets, kindEvaluate, evaluateMsg{Rules: rules}); err != nil {
+		return err
+	}
+	msgs, err := ma.collect(kindEvalResult, ma.p)
+	if err != nil {
+		return err
+	}
+	for i := range bag {
+		bag[i].pos, bag[i].neg = 0, 0
+	}
+	for _, msg := range msgs {
+		var er evalResultMsg
+		if err := msg.Decode(&er); err != nil {
+			return err
+		}
+		if len(er.Pos) != len(bag) || len(er.Neg) != len(bag) {
+			return fmt.Errorf("core: master: evaluation result size mismatch from worker %d", er.Worker)
+		}
+		for i := range bag {
+			bag[i].pos += int(er.Pos[i])
+			bag[i].neg += int(er.Neg[i])
+		}
+	}
+	return nil
+}
+
+// filterGood drops rules that are not globally acceptable (notGood of
+// Fig. 5 step 20, also applied before the first pick as a progress
+// guarantee — an unacceptable first pick could cover zero positives and
+// stall the covering loop; see DESIGN.md §5).
+func (ma *master) filterGood(bag []bagEntry) []bagEntry {
+	out := bag[:0]
+	for _, e := range bag {
+		if e.pos > 0 && ma.cfg.Search.IsGood(e.pos, e.neg) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pickBest removes and returns the best entry by global score (Fig. 5
+// step 13; the paper orders the bag by aggregate coverage).
+func (ma *master) pickBest(bag []bagEntry) (bagEntry, []bagEntry) {
+	sort.SliceStable(bag, func(i, j int) bool {
+		a, b := bag[i], bag[j]
+		sa := ma.cfg.Search.Score(a.pos, a.neg, len(a.rule.Body))
+		sb := ma.cfg.Search.Score(b.pos, b.neg, len(b.rule.Body))
+		if sa != sb {
+			return sa > sb
+		}
+		if a.pos != b.pos {
+			return a.pos > b.pos
+		}
+		if len(a.rule.Body) != len(b.rule.Body) {
+			return len(a.rule.Body) < len(b.rule.Body)
+		}
+		return a.key < b.key
+	})
+	return bag[0], bag[1:]
+}
+
+// consumeBag implements the sequential consumption loop of Fig. 5 steps
+// 12–22: accept the globally best rule, retract its positives everywhere,
+// re-evaluate and prune the bag, repeat. It returns how many rules were
+// accepted, so the caller can fall back when the whole bag proved globally
+// unacceptable.
+func (ma *master) consumeBag(bag []bagEntry) (int, error) {
+	if err := ma.evaluateBag(bag); err != nil {
+		return 0, err
+	}
+	bag = ma.filterGood(bag)
+	accepted := 0
+	for len(bag) > 0 {
+		var best bagEntry
+		best, bag = ma.pickBest(bag)
+		ma.theory = append(ma.theory, best.rule)
+		ma.metrics.RulesLearned++
+		accepted++
+		ma.remaining -= best.pos
+		if err := ma.node.Broadcast(ma.targets, kindMarkCovered, markCoveredMsg{Rule: best.rule}); err != nil {
+			return accepted, err
+		}
+		if len(bag) == 0 {
+			break
+		}
+		if err := ma.evaluateBag(bag); err != nil {
+			return accepted, err
+		}
+		bag = ma.filterGood(bag)
+	}
+	return accepted, nil
+}
+
+// adoptFallback retires one uncovered positive per worker when an epoch
+// yields no acceptable rule, guaranteeing progress.
+func (ma *master) adoptFallback() error {
+	if err := ma.node.Broadcast(ma.targets, kindAdopt, adoptMsg{}); err != nil {
+		return err
+	}
+	msgs, err := ma.collect(kindAdopted, ma.p)
+	if err != nil {
+		return err
+	}
+	// Sort by worker for deterministic theory order.
+	var adopted []adoptedMsg
+	for _, msg := range msgs {
+		var am adoptedMsg
+		if err := msg.Decode(&am); err != nil {
+			return err
+		}
+		if am.Ok {
+			adopted = append(adopted, am)
+		}
+	}
+	sort.Slice(adopted, func(i, j int) bool { return adopted[i].Worker < adopted[j].Worker })
+	for _, am := range adopted {
+		ma.theory = append(ma.theory, logic.Fact(am.Example))
+		ma.metrics.GroundFactsAdopted++
+		ma.remaining--
+	}
+	if len(adopted) == 0 {
+		// Defensive: nothing left anywhere despite remaining > 0.
+		ma.remaining = 0
+	}
+	return nil
+}
+
+// repartition collects every worker's uncovered positives and deals them
+// back out evenly (the §4.1 alternative, used only when configured). The
+// examples make two network trips, which is exactly the communication cost
+// the paper avoided.
+func (ma *master) repartition() error {
+	if err := ma.node.Broadcast(ma.targets, kindGather, gatherMsg{}); err != nil {
+		return err
+	}
+	msgs, err := ma.collect(kindGathered, ma.p)
+	if err != nil {
+		return err
+	}
+	byWorker := make([][]logic.Term, ma.p+1)
+	for _, msg := range msgs {
+		var gm gatheredMsg
+		if err := msg.Decode(&gm); err != nil {
+			return err
+		}
+		if gm.Worker < 1 || gm.Worker > ma.p {
+			return fmt.Errorf("core: master: bad gather origin %d", gm.Worker)
+		}
+		byWorker[gm.Worker] = gm.Pos
+	}
+	var all []logic.Term
+	for k := 1; k <= ma.p; k++ {
+		all = append(all, byWorker[k]...)
+	}
+	parts := make([][]logic.Term, ma.p)
+	for i, e := range all {
+		parts[i%ma.p] = append(parts[i%ma.p], e)
+	}
+	for k := 1; k <= ma.p; k++ {
+		if err := ma.node.Send(k, kindRepartition, repartitionMsg{Pos: parts[k-1]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes the epochs until every positive is covered (Fig. 5).
+func (ma *master) run() error {
+	if err := ma.node.Broadcast(ma.targets, kindLoad, loadMsg{}); err != nil {
+		return err
+	}
+	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
+		if ma.cfg.RepartitionEachEpoch && ma.metrics.Epochs > 0 {
+			if err := ma.repartition(); err != nil {
+				return err
+			}
+		}
+		ma.metrics.Epochs++
+		for _, k := range ma.targets {
+			if err := ma.node.Send(k, kindStartPipeline, startMsg{Width: ma.cfg.Width}); err != nil {
+				return err
+			}
+		}
+		bag, err := ma.gatherBag()
+		if err != nil {
+			return err
+		}
+		accepted := 0
+		if len(bag) > 0 {
+			if accepted, err = ma.consumeBag(bag); err != nil {
+				return err
+			}
+		}
+		// Progress guarantee: an epoch whose bag was empty — or globally
+		// all-unacceptable — retires one uncovered positive per worker.
+		if accepted == 0 && ma.remaining > 0 {
+			if err := ma.adoptFallback(); err != nil {
+				return err
+			}
+		}
+	}
+	return ma.node.Broadcast(ma.targets, kindStop, stopMsg{})
+}
+
+// Learn runs p²-mdie over the background kb and the labelled examples under
+// the mode set ms. It returns the learned theory plus run metrics; the
+// simulated cluster makespan in Metrics.VirtualTime is the paper-comparable
+// execution time.
+func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	p := cfg.Workers
+	if p < 1 {
+		return nil, fmt.Errorf("core: Workers must be ≥ 1, got %d", p)
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("core: no positive examples")
+	}
+
+	// Fig. 5 step 2: random even partition of E+ and E−.
+	rng := newRng(cfg.Seed)
+	posParts := partition(len(pos), p, rng)
+	negParts := partition(len(neg), p, rng)
+
+	nw := cluster.NewNetwork(p+1, cfg.Cost)
+	if cfg.Trace != nil {
+		nw.SetTrace(cfg.Trace)
+	}
+
+	workers := make([]*worker, p)
+	for k := 1; k <= p; k++ {
+		wpos := make([]logic.Term, 0, len(posParts[k-1]))
+		for _, i := range posParts[k-1] {
+			wpos = append(wpos, pos[i])
+		}
+		wneg := make([]logic.Term, 0, len(negParts[k-1]))
+		for _, i := range negParts[k-1] {
+			wneg = append(wneg, neg[i])
+		}
+		workers[k-1] = newWorker(k, p, nw.Node(k), kb, search.NewExamples(wpos, wneg), ms, cfg)
+	}
+
+	metrics := &Metrics{Workers: p, Width: cfg.Width}
+	ma := &master{
+		node:      nw.Node(0),
+		p:         p,
+		cfg:       cfg,
+		metrics:   metrics,
+		remaining: len(pos),
+	}
+	for k := 1; k <= p; k++ {
+		ma.targets = append(ma.targets, k)
+	}
+
+	start := time.Now()
+	errCh := make(chan error, p+1)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for _, w := range workers {
+		go func(w *worker) {
+			defer wg.Done()
+			if err := w.run(); err != nil {
+				errCh <- err
+				nw.Shutdown() // release anyone blocked, including the master
+			}
+		}(w)
+	}
+	masterErr := ma.run()
+	if masterErr != nil {
+		nw.Shutdown()
+	}
+	wg.Wait()
+	close(errCh)
+	// A worker failure shuts the network down and surfaces at the master as
+	// a shutdown error; report the root cause in preference.
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if masterErr != nil {
+		return nil, masterErr
+	}
+
+	metrics.Theory = ma.theory
+	metrics.WallTime = time.Since(start)
+	metrics.VirtualTime = nw.Makespan().Duration()
+	st := nw.Stats()
+	metrics.CommBytes = st.Bytes
+	metrics.CommMessages = st.Messages
+	for _, w := range workers {
+		metrics.TotalInferences += w.m.TotalInferences()
+		metrics.GeneratedRules += w.generated
+	}
+	return metrics, nil
+}

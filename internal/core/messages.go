@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/bottom"
+	"repro/internal/logic"
+)
+
+// Message kinds of the p²-mdie protocol. Master is node 0; workers are
+// nodes 1..p. All payloads are gob-encoded by the cluster substrate, so
+// message sizes in the traffic accounting reflect real serialised content.
+const (
+	// kindLoad (master→workers) tells a worker to load its partition
+	// (Fig. 5 step 3 / Fig. 6 load_examples). The example data itself is
+	// not in the message: the paper assumes a shared filesystem, which the
+	// simulation models by handing partitions to workers at construction.
+	kindLoad = iota
+	// kindStartPipeline (master→worker k) starts pipeline k (Fig. 5 step 7).
+	kindStartPipeline
+	// kindStage (worker→worker) hands a pipeline on to its next stage:
+	// the travelling bottom clause plus the best W rules found so far
+	// (Fig. 7 step 17).
+	kindStage
+	// kindRules (worker→master) delivers a completed pipeline's rules
+	// (Fig. 7 step 13).
+	kindRules
+	// kindEvaluate (master→workers) requests local evaluation of the rules
+	// bag (Fig. 5 steps 10 and 18 / Fig. 6 evaluate_rules).
+	kindEvaluate
+	// kindEvalResult (worker→master) returns local coverage counts.
+	kindEvalResult
+	// kindMarkCovered (master→workers) retracts the positives covered by
+	// an accepted rule (Fig. 5 step 16 / Fig. 6 mark_covered).
+	kindMarkCovered
+	// kindAdopt (master→workers) is the progress fallback when an epoch
+	// produces no acceptable rule: each worker adopts its first uncovered
+	// positive verbatim.
+	kindAdopt
+	// kindAdopted (worker→master) returns the adopted example, if any.
+	kindAdopted
+	// kindStop (master→workers) ends the run.
+	kindStop
+	// kindGather (master→workers) requests the worker's uncovered
+	// positives, the first half of the optional per-epoch repartitioning
+	// (the alternative the paper declined in §4.1 for its communication
+	// cost; implemented here as an ablation).
+	kindGather
+	// kindGathered (worker→master) returns the uncovered positives.
+	kindGathered
+	// kindRepartition (master→worker) installs a fresh positive partition.
+	kindRepartition
+)
+
+// loadMsg signals partition loading; Round distinguishes reloads.
+type loadMsg struct {
+	Round int
+}
+
+// startMsg starts a pipeline at its owning worker.
+type startMsg struct {
+	Width int
+}
+
+// wireRule is one rule travelling between pipeline stages: a subset of the
+// travelling bottom clause's literals. Sending index sets rather than full
+// clauses keeps stage messages small — the serialised size still grows
+// linearly with the number of rules, which is what the paper's Table 4
+// measures against the width limit.
+type wireRule struct {
+	Indices []int32
+}
+
+// stageMsg is the pipeline hand-off: the bottom clause built at stage 1
+// travels with the search frontier (Fig. 7's send of ⊥e and Good).
+type stageMsg struct {
+	Origin int // worker that started this pipeline
+	Step   int // stage number about to run (1-based)
+	Bottom bottom.Bottom
+	Seeds  []wireRule
+}
+
+// rulesMsg delivers a finished pipeline's good rules to the master,
+// materialised so the master can rebroadcast them for global evaluation.
+type rulesMsg struct {
+	Origin int
+	Rules  []logic.Clause
+}
+
+// evaluateMsg asks workers to score every bag rule on local alive examples.
+type evaluateMsg struct {
+	Rules []logic.Clause
+}
+
+// evalResultMsg returns per-rule local coverage.
+type evalResultMsg struct {
+	Worker int
+	Pos    []int32
+	Neg    []int32
+}
+
+// markCoveredMsg retracts local positives covered by Rule.
+type markCoveredMsg struct {
+	Rule logic.Clause
+}
+
+// adoptMsg asks each worker to retire one uncovered positive.
+type adoptMsg struct{}
+
+// adoptedMsg reports the adopted example (Ok=false when the worker had no
+// alive positives).
+type adoptedMsg struct {
+	Worker  int
+	Ok      bool
+	Example logic.Term
+}
+
+// stopMsg terminates workers; workers reply nothing.
+type stopMsg struct{}
+
+// gatherMsg requests the worker's alive positives.
+type gatherMsg struct{}
+
+// gatheredMsg carries a worker's alive positives to the master.
+type gatheredMsg struct {
+	Worker int
+	Pos    []logic.Term
+}
+
+// repartitionMsg replaces the worker's positive partition (negatives never
+// move: they are never retracted, so their initial split stays balanced).
+type repartitionMsg struct {
+	Pos []logic.Term
+}

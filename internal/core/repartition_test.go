@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRepartitionStillCoversAll(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(4, 10)
+	cfg.RepartitionEachEpoch = true
+	met, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+}
+
+func TestRepartitionCostsCommunication(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	base, err := Learn(kb, pos, neg, ms, testConfig(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(4, 10)
+	cfg.RepartitionEachEpoch = true
+	repart, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repartitioning only pays off in message volume when several epochs
+	// run; with a single epoch nothing is exchanged. In all cases it must
+	// never reduce traffic.
+	if repart.CommBytes < base.CommBytes {
+		t.Fatalf("repartitioning decreased traffic: %d < %d", repart.CommBytes, base.CommBytes)
+	}
+	if repart.Epochs > 1 && repart.CommMessages <= base.CommMessages {
+		t.Fatalf("multi-epoch repartition should add messages: %d vs %d", repart.CommMessages, base.CommMessages)
+	}
+}
+
+func TestRepartitionDeterministic(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(3, 5)
+	cfg.RepartitionEachEpoch = true
+	m1, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Theory) != len(m2.Theory) || m1.CommBytes != m2.CommBytes || m1.Epochs != m2.Epochs {
+		t.Fatalf("nondeterministic repartition run: %+v vs %+v", m1, m2)
+	}
+	for i := range m1.Theory {
+		if m1.Theory[i].String() != m2.Theory[i].String() {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bottom"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// worker is one pipeline node (Figures 6 and 7). It owns a partition of the
+// examples, an SLD machine over the (shared) background knowledge and an
+// event loop dispatching protocol messages.
+type worker struct {
+	id   int // 1-based worker id; node id on the cluster
+	p    int // number of workers
+	node *cluster.Node
+	cfg  Config
+	ms   *mode.Set
+
+	m  *solve.Machine
+	ex *search.Examples
+	ev *search.Evaluator
+
+	generated int64 // rules evaluated by this worker's searches
+
+	// covCache memoises intrinsic rule coverage over the local partition
+	// (coverage over a fixed example set never changes; only the alive
+	// mask does). It makes the repeated rules-bag evaluations of Fig. 5's
+	// consumption loop nearly free after the first pass.
+	covCache map[string]covEntry
+}
+
+// covEntry is a memoised local evaluation of one rule.
+type covEntry struct {
+	pos search.Bitset // over all local positives, retracted or not
+	neg int           // negatives never retract, so a count suffices
+}
+
+func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) *worker {
+	machineKB := kb
+	if cfg.AddLearnedToBK {
+		machineKB = kb.Clone()
+	}
+	m := solve.NewMachine(machineKB, cfg.Budget)
+	return &worker{
+		id:       id,
+		p:        p,
+		node:     node,
+		cfg:      cfg,
+		ms:       ms,
+		m:        m,
+		ex:       ex,
+		ev:       search.NewEvaluator(m, ex),
+		covCache: make(map[string]covEntry),
+	}
+}
+
+// ruleCoverage returns the memoised intrinsic coverage of rule on this
+// worker's partition, computing and charging it on first sight.
+func (w *worker) ruleCoverage(rule *logic.Clause) covEntry {
+	key := rule.Key()
+	if e, ok := w.covCache[key]; ok {
+		return e
+	}
+	before := w.m.TotalInferences()
+	pos, neg := w.ev.CoverageFull(rule)
+	w.chargeWork(before)
+	e := covEntry{pos: pos, neg: neg.Count()}
+	w.covCache[key] = e
+	return e
+}
+
+// nextWorker computes the successor on the ring (Fig. 7 next_worker()):
+// worker ids are 1..p on the cluster, so the ring wraps p → 1.
+func (w *worker) nextWorker() int {
+	if w.id == w.p {
+		return 1
+	}
+	return w.id + 1
+}
+
+// chargeWork advances the node's virtual clock by the SLD work done since
+// the last charge.
+func (w *worker) chargeWork(before int64) {
+	w.node.Compute(w.m.TotalInferences() - before)
+}
+
+// run is the worker event loop; it exits on kindStop or network shutdown.
+func (w *worker) run() error {
+	for {
+		msg, ok := w.node.Receive()
+		if !ok {
+			return nil
+		}
+		switch msg.Kind {
+		case kindLoad:
+			var lm loadMsg
+			if err := msg.Decode(&lm); err != nil {
+				return err
+			}
+			// Data is on the shared filesystem (partition handed at
+			// construction); loading charges a nominal unit per example.
+			w.node.Compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
+		case kindStartPipeline:
+			var sm startMsg
+			if err := msg.Decode(&sm); err != nil {
+				return err
+			}
+			if err := w.startPipeline(); err != nil {
+				return err
+			}
+		case kindStage:
+			var st stageMsg
+			if err := msg.Decode(&st); err != nil {
+				return err
+			}
+			if err := w.runStage(&st); err != nil {
+				return err
+			}
+		case kindEvaluate:
+			var em evaluateMsg
+			if err := msg.Decode(&em); err != nil {
+				return err
+			}
+			if err := w.evaluateBag(&em); err != nil {
+				return err
+			}
+		case kindMarkCovered:
+			var mm markCoveredMsg
+			if err := msg.Decode(&mm); err != nil {
+				return err
+			}
+			w.markCovered(&mm)
+		case kindAdopt:
+			if err := w.adoptOne(); err != nil {
+				return err
+			}
+		case kindGather:
+			if err := w.gatherAlive(); err != nil {
+				return err
+			}
+		case kindRepartition:
+			var rm repartitionMsg
+			if err := msg.Decode(&rm); err != nil {
+				return err
+			}
+			w.installPartition(rm.Pos)
+		case kindStop:
+			return nil
+		default:
+			return fmt.Errorf("core: worker %d got unknown message kind %d", w.id, msg.Kind)
+		}
+	}
+}
+
+// startPipeline runs stage 1 of this worker's pipeline (Fig. 6
+// start_pipeline): select a local uncovered example, saturate it, search,
+// and hand the frontier to the next stage.
+func (w *worker) startPipeline() error {
+	seedIdx := w.ex.FirstAlivePos()
+	if seedIdx < 0 {
+		// Nothing left locally: deliver an empty pipeline result.
+		return w.node.Send(0, kindRules, rulesMsg{Origin: w.id})
+	}
+	before := w.m.TotalInferences()
+	bot, err := bottom.Construct(w.m, w.ms, w.ex.Pos[seedIdx], w.cfg.Bottom)
+	if err != nil {
+		return fmt.Errorf("core: worker %d saturation: %w", w.id, err)
+	}
+	res := search.LearnRule(w.ev, bot, nil, w.cfg.Search)
+	w.generated += int64(res.Generated)
+	w.chargeWork(before)
+	return w.forward(&stageMsg{Origin: w.id, Step: 1, Bottom: *bot}, res)
+}
+
+// runStage continues a pipeline that arrived from the previous worker
+// (Fig. 7 learn_rule' at Step > 1).
+func (w *worker) runStage(st *stageMsg) error {
+	if len(st.Seeds) == 0 {
+		// Nothing survived the previous stages; pass the empty frontier on
+		// so the pipeline still completes at the master.
+		return w.forwardEmpty(st)
+	}
+	seeds := make([][]int32, len(st.Seeds))
+	for i, s := range st.Seeds {
+		seeds[i] = s.Indices
+	}
+	before := w.m.TotalInferences()
+	res := search.LearnRule(w.ev, &st.Bottom, seeds, w.cfg.Search)
+	w.generated += int64(res.Generated)
+	w.chargeWork(before)
+	return w.forward(st, res)
+}
+
+// forward routes a stage's results: to the next worker while stages remain,
+// to the master once the pipeline has visited all p partitions.
+func (w *worker) forward(st *stageMsg, res *search.Result) error {
+	if st.Step >= w.p {
+		rules := make([]logic.Clause, 0, len(res.Good))
+		for _, g := range res.Good {
+			rules = append(rules, g.Materialize(&st.Bottom).Canonical())
+		}
+		return w.node.Send(0, kindRules, rulesMsg{Origin: st.Origin, Rules: rules})
+	}
+	seeds := make([]wireRule, 0, len(res.Good))
+	for _, g := range res.Good {
+		seeds = append(seeds, wireRule{Indices: g.Indices})
+	}
+	next := stageMsg{Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom, Seeds: seeds}
+	return w.node.Send(w.nextWorker(), kindStage, next)
+}
+
+func (w *worker) forwardEmpty(st *stageMsg) error {
+	if st.Step >= w.p {
+		return w.node.Send(0, kindRules, rulesMsg{Origin: st.Origin})
+	}
+	next := stageMsg{Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom}
+	return w.node.Send(w.nextWorker(), kindStage, next)
+}
+
+// evaluateBag scores every bag rule on the local alive examples and reports
+// the counts (Fig. 6 evaluate_rules). Coverage is memoised per rule, so
+// the re-evaluations of the consumption loop only recount bitset
+// intersections with the current alive mask.
+func (w *worker) evaluateBag(em *evaluateMsg) error {
+	out := evalResultMsg{
+		Worker: w.id,
+		Pos:    make([]int32, len(em.Rules)),
+		Neg:    make([]int32, len(em.Rules)),
+	}
+	for i := range em.Rules {
+		e := w.ruleCoverage(&em.Rules[i])
+		alivePos := e.pos.Clone()
+		alivePos.AndWith(w.ex.PosAlive)
+		out.Pos[i] = int32(alivePos.Count())
+		out.Neg[i] = int32(e.neg)
+	}
+	return w.node.Send(0, kindEvalResult, out)
+}
+
+// markCovered retracts the local positives covered by the accepted rule
+// (Fig. 6 mark_covered), optionally asserting it into the background.
+func (w *worker) markCovered(mm *markCoveredMsg) {
+	e := w.ruleCoverage(&mm.Rule)
+	w.ex.RetractPos(e.pos)
+	if w.cfg.AddLearnedToBK {
+		w.m.KB().Add(mm.Rule)
+	}
+}
+
+// gatherAlive ships the worker's uncovered positives to the master for
+// repartitioning.
+func (w *worker) gatherAlive() error {
+	out := gatheredMsg{Worker: w.id}
+	w.ex.PosAlive.ForEach(func(i int) bool {
+		out.Pos = append(out.Pos, w.ex.Pos[i])
+		return true
+	})
+	return w.node.Send(0, kindGathered, out)
+}
+
+// installPartition replaces the positive example set. The coverage cache
+// keys rules, but its bitsets index the old positives, so it must be
+// rebuilt from scratch.
+func (w *worker) installPartition(pos []logic.Term) {
+	w.ex = search.NewExamples(pos, w.ex.Neg)
+	w.ev = search.NewEvaluator(w.m, w.ex)
+	w.covCache = make(map[string]covEntry)
+	w.node.Compute(int64(len(pos)))
+}
+
+// adoptOne retires the first uncovered local positive as a ground fact
+// (progress fallback; see DESIGN.md §5).
+func (w *worker) adoptOne() error {
+	idx := w.ex.FirstAlivePos()
+	if idx < 0 {
+		return w.node.Send(0, kindAdopted, adoptedMsg{Worker: w.id})
+	}
+	single := search.NewBitset(len(w.ex.Pos))
+	single.Set(idx)
+	w.ex.RetractPos(single)
+	w.node.Compute(1)
+	return w.node.Send(0, kindAdopted, adoptedMsg{Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
+}

@@ -1,0 +1,122 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// This file implements the textual dataset interchange format: a single
+// Prolog-subset document carrying mode declarations, background knowledge
+// and labelled examples. cmd/ilpgen writes it; ParseText reads it back, so
+// users can persist, edit and reload learning tasks.
+//
+//	modeh(1, active(+drug)).
+//	modeb('*', atm(+drug, -atomid, #element)).
+//	atm(d1, d1_a0, c, 22, -0.11).
+//	pos(active(d1)).
+//	neg(active(d9)).
+
+var (
+	symModeh = logic.Intern("modeh")
+	symModeb = logic.Intern("modeb")
+	symPos   = logic.Intern("pos")
+	symNeg   = logic.Intern("neg")
+)
+
+// ParseText reads a dataset from its textual form. Clauses are classified
+// by shape: modeh/modeb facts become the language bias, pos/1 and neg/1
+// facts become examples, everything else is background knowledge. The
+// returned dataset carries default search settings; callers tune them.
+func ParseText(name, src string) (*Dataset, error) {
+	clauses, err := logic.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: parse text: %w", err)
+	}
+	kb := solve.NewKB()
+	var modeClauses []logic.Clause
+	var pos, neg []logic.Term
+	for _, c := range clauses {
+		if c.IsFact() {
+			switch {
+			case c.Head.Sym == symModeh && len(c.Head.Args) == 2,
+				c.Head.Sym == symModeb && len(c.Head.Args) == 2:
+				modeClauses = append(modeClauses, c)
+				continue
+			case c.Head.Sym == symPos && len(c.Head.Args) == 1:
+				e := c.Head.Args[0]
+				if !e.IsGround() || !e.IsCallable() {
+					return nil, fmt.Errorf("datasets: positive example %s must be a ground atom", e)
+				}
+				pos = append(pos, e)
+				continue
+			case c.Head.Sym == symNeg && len(c.Head.Args) == 1:
+				e := c.Head.Args[0]
+				if !e.IsGround() || !e.IsCallable() {
+					return nil, fmt.Errorf("datasets: negative example %s must be a ground atom", e)
+				}
+				neg = append(neg, e)
+				continue
+			}
+		}
+		kb.Add(c)
+	}
+	ms, err := mode.FromClauses(modeClauses)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("datasets: no pos/1 examples in text")
+	}
+	return &Dataset{
+		Name:   name,
+		KB:     kb,
+		Pos:    pos,
+		Neg:    neg,
+		Modes:  ms,
+		Search: search.Settings{}.WithDefaults(),
+	}, nil
+}
+
+// FormatText renders the dataset in the interchange format; the output
+// parses back with ParseText (mode declarations, background, examples; the
+// hidden concept and provenance ride along as comments).
+func FormatText(ds *Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% dataset: %s\n", ds.Name)
+	fmt.Fprintf(&b, "%% |E+| = %d, |E-| = %d, noise = %.2f\n", len(ds.Pos), len(ds.Neg), ds.Noise)
+	b.WriteString("%\n% mode declarations\n")
+	recallStr := func(r int) string {
+		if r <= 0 {
+			return "'*'"
+		}
+		return fmt.Sprintf("%d", r)
+	}
+	fmt.Fprintf(&b, "modeh(%s, %s).\n", recallStr(ds.Modes.Head.Recall), ds.Modes.Head)
+	for _, d := range ds.Modes.Body {
+		fmt.Fprintf(&b, "modeb(%s, %s).\n", recallStr(d.Recall), d)
+	}
+	if len(ds.TrueConcept) > 0 {
+		b.WriteString("%\n% hidden target concept (generator ground truth)\n")
+		for _, c := range ds.TrueConcept {
+			fmt.Fprintf(&b, "%% %s.\n", c.String())
+		}
+	}
+	b.WriteString("%\n% background knowledge\n")
+	for _, c := range ds.KB.AllClauses() {
+		fmt.Fprintf(&b, "%s.\n", c.String())
+	}
+	b.WriteString("%\n% positive examples\n")
+	for _, e := range ds.Pos {
+		fmt.Fprintf(&b, "pos(%s).\n", e)
+	}
+	b.WriteString("% negative examples\n")
+	for _, e := range ds.Neg {
+		fmt.Fprintf(&b, "neg(%s).\n", e)
+	}
+	return b.String()
+}

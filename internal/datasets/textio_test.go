@@ -1,0 +1,108 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/covering"
+	"repro/internal/search"
+)
+
+func TestTextRoundTripTrains(t *testing.T) {
+	orig := Trains()
+	text := FormatText(orig)
+	back, err := ParseText("trains", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pos) != len(orig.Pos) || len(back.Neg) != len(orig.Neg) {
+		t.Fatalf("examples lost: %d/%d vs %d/%d", len(back.Pos), len(back.Neg), len(orig.Pos), len(orig.Neg))
+	}
+	if back.KB.Size() != orig.KB.Size() {
+		t.Fatalf("KB size changed: %d vs %d", back.KB.Size(), orig.KB.Size())
+	}
+	if len(back.Modes.Body) != len(orig.Modes.Body) {
+		t.Fatalf("modes lost: %d vs %d", len(back.Modes.Body), len(orig.Modes.Body))
+	}
+	// The reloaded dataset must be learnable to the same theory.
+	back.Search = orig.Search
+	back.Bottom = orig.Bottom
+	back.Budget = orig.Budget
+	ex := search.NewExamples(back.Pos, back.Neg)
+	res, err := covering.Learn(back.KB, ex, back.Modes, covering.Config{
+		Search: back.Search, Bottom: back.Bottom, Budget: back.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := covering.Accuracy(back.KB, res.Theory, back.Pos, back.Neg, back.Budget); acc != 1.0 {
+		t.Fatalf("reloaded trains accuracy = %v", acc)
+	}
+}
+
+func TestTextRoundTripSynthetic(t *testing.T) {
+	for _, orig := range []*Dataset{
+		CarcinogenesisSized(12, 10, 3),
+		MeshSized(16, 8, 3),
+		PyrimidinesSized(12, 10, 3),
+	} {
+		text := FormatText(orig)
+		back, err := ParseText(orig.Name, text)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if len(back.Pos) != len(orig.Pos) || len(back.Neg) != len(orig.Neg) {
+			t.Fatalf("%s: examples lost", orig.Name)
+		}
+		if back.KB.Size() != orig.KB.Size() {
+			t.Fatalf("%s: KB %d vs %d", orig.Name, back.KB.Size(), orig.KB.Size())
+		}
+		// Examples survive in order.
+		for i := range orig.Pos {
+			if back.Pos[i].String() != orig.Pos[i].String() {
+				t.Fatalf("%s: pos %d: %s vs %s", orig.Name, i, back.Pos[i], orig.Pos[i])
+			}
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"syntax", "p(a"},
+		{"no modes", "p(a). pos(t(a))."},
+		{"no positives", "modeh(1, t(+x)). modeb(1, p(+x)). p(a)."},
+		{"nonground pos", "modeh(1, t(+x)). modeb(1, p(+x)). p(a). pos(t(X))."},
+		{"nonground neg", "modeh(1, t(+x)). modeb(1, p(+x)). p(a). pos(t(a)). neg(t(Y))."},
+	}
+	for _, c := range cases {
+		if _, err := ParseText("x", c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseTextClassifiesClauses(t *testing.T) {
+	src := `
+		modeh(1, t(+x)).
+		modeb(1, q(+x)).
+		q(a). q(b).
+		helper(X) :- q(X).
+		pos(t(a)).
+		neg(t(c)).
+	`
+	ds, err := ParseText("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.KB.Size() != 3 { // q(a), q(b), helper rule
+		t.Fatalf("KB size = %d, want 3", ds.KB.Size())
+	}
+	if len(ds.Pos) != 1 || len(ds.Neg) != 1 {
+		t.Fatalf("examples: %d/%d", len(ds.Pos), len(ds.Neg))
+	}
+	if !strings.Contains(FormatText(ds), "helper(A) :- q(A).") {
+		t.Fatal("BK rule lost in formatting")
+	}
+}

@@ -1,0 +1,88 @@
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/bottom"
+	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// TrainsSized generates n random trains labelled by Michalski's classic
+// east/west regularity (a train is eastbound iff it carries a short closed
+// car), split roughly evenly between classes. This is the generator-style
+// trains workload used by Matsui et al. — the related-work system the
+// paper discusses in §6 — and makes the toy task scalable for parallel
+// experiments. Noise-free: the labels follow the rule exactly.
+func TrainsSized(n int, seed int64) *Dataset {
+	base := Trains() // reuse the closed/1, open_car/1 background rules and modes
+	kb := solve.NewKB()
+	if err := kb.AddSource(`
+		closed(C) :- roof(C, flat).
+		closed(C) :- roof(C, peaked).
+		closed(C) :- roof(C, jagged).
+		open_car(C) :- roof(C, none).
+	`); err != nil {
+		panic(err)
+	}
+
+	r := newRng(seed ^ 0x7841195)
+	lens := []string{"short", "long"}
+	roofs := []string{"none", "flat", "peaked", "jagged"}
+	shapes := []string{"rectangle", "u_shaped", "bucket"}
+	loads := []string{"circle", "triangle", "rectangle", "hexagon"}
+
+	nPos := n / 2
+	nNeg := n - nPos
+	gen := func() (logic.Term, bool, func()) {
+		id := r.intn(1 << 30)
+		name := fmt.Sprintf("t%d", id)
+		nCars := 1 + r.intn(4)
+		var facts []string
+		east := false
+		for c := 1; c <= nCars; c++ {
+			carName := fmt.Sprintf("%s_c%d", name, c)
+			length := lens[r.intn(2)]
+			roof := roofs[r.intn(4)]
+			if length == "short" && roof != "none" {
+				east = true
+			}
+			facts = append(facts,
+				fmt.Sprintf("has_car(%s, %s)", name, carName),
+				fmt.Sprintf("car_len(%s, %s)", carName, length),
+				fmt.Sprintf("roof(%s, %s)", carName, roof),
+				fmt.Sprintf("car_shape(%s, %s)", carName, shapes[r.intn(3)]),
+				fmt.Sprintf("wheels(%s, %d)", carName, 2+r.intn(2)),
+				fmt.Sprintf("load(%s, %s, %d)", carName, loads[r.intn(4)], r.intn(4)),
+			)
+		}
+		example := logic.MustParseTerm(fmt.Sprintf("eastbound(%s)", name))
+		commit := func() {
+			if err := sortedFacts(kb, facts); err != nil {
+				panic(err)
+			}
+		}
+		return example, east, commit
+	}
+
+	pos, neg := fill(r, nPos, nNeg, 0, gen)
+	return &Dataset{
+		Name:  "trains-gen",
+		KB:    kb,
+		Pos:   pos,
+		Neg:   neg,
+		Noise: 0,
+		Modes: base.Modes,
+		Search: search.Settings{
+			MaxClauseLen: 3,
+			NodesLimit:   500,
+			MinPos:       2,
+			MinPrec:      0.99,
+			Heuristic:    search.HeurCoverage,
+		},
+		Bottom:      bottom.Options{VarDepth: 2, MaxLiterals: 80, MaxRecall: 10},
+		Budget:      solve.Budget{MaxDepth: 16, MaxInferences: 1 << 14},
+		TrueConcept: base.TrueConcept,
+	}
+}

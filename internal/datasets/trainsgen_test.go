@@ -1,0 +1,71 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/covering"
+	"repro/internal/search"
+)
+
+func TestTrainsSizedCounts(t *testing.T) {
+	ds := TrainsSized(40, 3)
+	if len(ds.Pos) != 20 || len(ds.Neg) != 20 {
+		t.Fatalf("counts: %d/%d", len(ds.Pos), len(ds.Neg))
+	}
+	if ds.KB.Size() == 0 {
+		t.Fatal("empty KB")
+	}
+}
+
+func TestTrainsSizedLabelsFollowRule(t *testing.T) {
+	ds := TrainsSized(30, 5)
+	// The generator is noise-free, so the classic theory classifies
+	// perfectly — this pins generator and engine to the same semantics.
+	if acc := covering.Accuracy(ds.KB, ds.TrueConcept, ds.Pos, ds.Neg, ds.Budget); acc != 1.0 {
+		t.Fatalf("intended theory accuracy = %v", acc)
+	}
+}
+
+func TestTrainsSizedLearnable(t *testing.T) {
+	ds := TrainsSized(24, 7)
+	ex := search.NewExamples(ds.Pos, ds.Neg)
+	res, err := covering.Learn(ds.KB, ex, ds.Modes, covering.Config{
+		Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := covering.Accuracy(ds.KB, res.Theory, ds.Pos, ds.Neg, ds.Budget); acc < 0.99 {
+		t.Fatalf("learned accuracy = %v", acc)
+	}
+}
+
+func TestTrainsSizedDeterministic(t *testing.T) {
+	a := TrainsSized(20, 9)
+	b := TrainsSized(20, 9)
+	if a.KB.Size() != b.KB.Size() || len(a.Pos) != len(b.Pos) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Pos {
+		if a.Pos[i].String() != b.Pos[i].String() {
+			t.Fatal("positives differ")
+		}
+	}
+}
+
+func TestPyrimidinesNoisyZeroNoiseSeparable(t *testing.T) {
+	ds := PyrimidinesNoisy(40, 36, 0, 11)
+	if acc := covering.Accuracy(ds.KB, ds.TrueConcept, ds.Pos, ds.Neg, ds.Budget); acc != 1.0 {
+		t.Fatalf("noise-free concept accuracy = %v", acc)
+	}
+}
+
+func TestPyrimidinesNoisyMoreNoiseHarder(t *testing.T) {
+	clean := PyrimidinesNoisy(80, 72, 0.02, 11)
+	noisy := PyrimidinesNoisy(80, 72, 0.35, 11)
+	accClean := covering.Accuracy(clean.KB, clean.TrueConcept, clean.Pos, clean.Neg, clean.Budget)
+	accNoisy := covering.Accuracy(noisy.KB, noisy.TrueConcept, noisy.Pos, noisy.Neg, noisy.Budget)
+	if accClean <= accNoisy {
+		t.Fatalf("noise did not hurt: %.3f vs %.3f", accClean, accNoisy)
+	}
+}

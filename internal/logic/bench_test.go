@@ -1,0 +1,60 @@
+package logic
+
+import "testing"
+
+func BenchmarkUnifyDeepTerms(b *testing.B) {
+	x := MustParseTerm("f(g(X, h(Y)), k(Z, Z), bond(m1, A, B, 7))")
+	y := MustParseTerm("f(g(a, h(b)), k(c, C), bond(M, a1, a2, T))").OffsetVars(10)
+	bs := NewBindings(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := bs.Mark()
+		if !bs.Unify(x, y) {
+			b.Fatal("unify failed")
+		}
+		bs.Undo(mark)
+	}
+}
+
+func BenchmarkUnifyFailFast(b *testing.B) {
+	x := MustParseTerm("bond(m1, a1, a2, 7)")
+	y := MustParseTerm("bond(m2, X, Y, T)")
+	bs := NewBindings(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := bs.Mark()
+		if bs.Unify(x, y) {
+			b.Fatal("unify should fail")
+		}
+		bs.Undo(mark)
+	}
+}
+
+func BenchmarkSubsumes(b *testing.B) {
+	c := MustParseClause("active(M) :- bond(M, A, B, 7), atm(M, B, cl, T, C).")
+	d := MustParseClause("active(m1) :- bond(m1, a1, a2, 7), atm(m1, a2, cl, 22, -0.2), atm(m1, a1, c, 10, 0.1), bond(m1, a2, a3, 1).")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Subsumes(&c, &d) {
+			b.Fatal("should subsume")
+		}
+	}
+}
+
+func BenchmarkParseClause(b *testing.B) {
+	src := "active(D) :- atm(D, A, n, T, C), lteq_chg(C, -0.4), bond(D, A, B, 7)."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseClause(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClauseCanonical(b *testing.B) {
+	c := MustParseClause("p(X, Y) :- q(Y, Z), r(Z, X), q(X, W), s(W).")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Canonical()
+	}
+}

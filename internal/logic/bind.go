@@ -1,0 +1,190 @@
+package logic
+
+// Bindings is a mutable variable-binding store with a trail, supporting
+// constant-time backtracking to an earlier mark. It is the only mutable
+// structure involved in unification and deduction; one Bindings per
+// goroutine makes concurrent proving over shared programs safe.
+type Bindings struct {
+	slots []Term
+	trail []int32
+}
+
+// NewBindings returns a store with capacity for n variables; it grows on
+// demand when terms with higher variable indices are bound.
+func NewBindings(n int) *Bindings {
+	return &Bindings{slots: make([]Term, n)}
+}
+
+func (bs *Bindings) grow(n int) {
+	if n <= len(bs.slots) {
+		return
+	}
+	ns := make([]Term, n+n/2+8)
+	copy(ns, bs.slots)
+	bs.slots = ns
+}
+
+// Reset unbinds every variable and clears the trail, keeping capacity.
+func (bs *Bindings) Reset() {
+	for i := range bs.slots {
+		bs.slots[i] = Term{}
+	}
+	bs.trail = bs.trail[:0]
+}
+
+// Mark returns a token for the current trail position.
+func (bs *Bindings) Mark() int { return len(bs.trail) }
+
+// Undo unbinds every variable bound since mark.
+func (bs *Bindings) Undo(mark int) {
+	for i := len(bs.trail) - 1; i >= mark; i-- {
+		bs.slots[bs.trail[i]] = Term{}
+	}
+	bs.trail = bs.trail[:mark]
+}
+
+// Bind records v ↦ t. The caller must ensure v is unbound.
+func (bs *Bindings) Bind(v int, t Term) {
+	bs.grow(v + 1)
+	bs.slots[v] = t
+	bs.trail = append(bs.trail, int32(v))
+}
+
+// Walk shallow-dereferences t: while t is a bound variable, follow the chain.
+func (bs *Bindings) Walk(t Term) Term {
+	for t.Kind == Var {
+		i := int(t.Sym)
+		if i >= len(bs.slots) || bs.slots[i].Kind == Invalid {
+			return t
+		}
+		t = bs.slots[i]
+	}
+	return t
+}
+
+// Resolve deep-dereferences t, substituting all bound variables recursively.
+// The result shares structure with t where no substitution applies.
+func (bs *Bindings) Resolve(t Term) Term {
+	t = bs.Walk(t)
+	if t.Kind != Compound {
+		return t
+	}
+	var args []Term
+	for i := range t.Args {
+		r := bs.Resolve(t.Args[i])
+		if args == nil {
+			if Equal(r, t.Args[i]) {
+				continue
+			}
+			args = make([]Term, len(t.Args))
+			copy(args, t.Args[:i])
+		}
+		args[i] = r
+	}
+	if args == nil {
+		return t
+	}
+	return Term{Kind: Compound, Sym: t.Sym, Args: args}
+}
+
+// Unify attempts to unify x and y under the current bindings, extending them
+// on success. On failure the store may hold partial bindings; callers should
+// Mark before and Undo on failure (the solver does this at each choice
+// point). No occur check is performed (standard for ILP workloads).
+func (bs *Bindings) Unify(x, y Term) bool {
+	x = bs.Walk(x)
+	y = bs.Walk(y)
+	if x.Kind == Var {
+		if y.Kind == Var && x.Sym == y.Sym {
+			return true
+		}
+		bs.Bind(int(x.Sym), y)
+		return true
+	}
+	if y.Kind == Var {
+		bs.Bind(int(y.Sym), x)
+		return true
+	}
+	if x.IsNumber() && y.IsNumber() {
+		return x.Num == y.Num
+	}
+	if x.Kind != y.Kind {
+		return false
+	}
+	switch x.Kind {
+	case Atom:
+		return x.Sym == y.Sym
+	case Compound:
+		if x.Sym != y.Sym || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !bs.Unify(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// occurs reports whether variable v occurs in t under the current bindings.
+func (bs *Bindings) occurs(v int, t Term) bool {
+	t = bs.Walk(t)
+	switch t.Kind {
+	case Var:
+		return int(t.Sym) == v
+	case Compound:
+		for i := range t.Args {
+			if bs.occurs(v, t.Args[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnifyOC is Unify with the occur check enabled: binding a variable to a term
+// containing itself fails instead of creating a cyclic term.
+func (bs *Bindings) UnifyOC(x, y Term) bool {
+	x = bs.Walk(x)
+	y = bs.Walk(y)
+	if x.Kind == Var {
+		if y.Kind == Var && x.Sym == y.Sym {
+			return true
+		}
+		if bs.occurs(int(x.Sym), y) {
+			return false
+		}
+		bs.Bind(int(x.Sym), y)
+		return true
+	}
+	if y.Kind == Var {
+		if bs.occurs(int(y.Sym), x) {
+			return false
+		}
+		bs.Bind(int(y.Sym), x)
+		return true
+	}
+	if x.IsNumber() && y.IsNumber() {
+		return x.Num == y.Num
+	}
+	if x.Kind != y.Kind {
+		return false
+	}
+	switch x.Kind {
+	case Atom:
+		return x.Sym == y.Sym
+	case Compound:
+		if x.Sym != y.Sym || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !bs.UnifyOC(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnifyBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a", "a", true},
+		{"a", "b", false},
+		{"X", "a", true},
+		{"a", "X", true},
+		{"X", "Y", true},
+		{"f(X, b)", "f(a, Y)", true},
+		{"f(X, X)", "f(a, b)", false},
+		{"f(X, X)", "f(a, a)", true},
+		{"f(a)", "g(a)", false},
+		{"f(a)", "f(a, b)", false},
+		{"3", "3", true},
+		{"3", "4", false},
+		{"3", "3.0", true}, // numeric unification crosses Int/Float
+		{"f(g(X), X)", "f(g(h(Y)), h(a))", true},
+	}
+	for _, c := range cases {
+		// Parse both sides in one clause scope so shared names share vars
+		// only within each side; use separate scopes and offset the second.
+		ta := MustParseTerm(c.a)
+		tb := MustParseTerm(c.b).OffsetVars(ta.MaxVar() + 1)
+		bs := NewBindings(16)
+		if got := bs.Unify(ta, tb); got != c.want {
+			t.Errorf("Unify(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnifyBindingVisible(t *testing.T) {
+	bs := NewBindings(4)
+	x := V(0)
+	if !bs.Unify(x, A("hello")) {
+		t.Fatal("Unify failed")
+	}
+	if got := bs.Resolve(x); !Equal(got, A("hello")) {
+		t.Fatalf("Resolve = %s", got)
+	}
+}
+
+func TestMarkUndo(t *testing.T) {
+	bs := NewBindings(8)
+	if !bs.Unify(V(0), A("a")) {
+		t.Fatal("bind 0")
+	}
+	mark := bs.Mark()
+	if !bs.Unify(V(1), A("b")) || !bs.Unify(V(2), V(1)) {
+		t.Fatal("bind 1,2")
+	}
+	bs.Undo(mark)
+	if got := bs.Walk(V(1)); got.Kind != Var {
+		t.Fatalf("V(1) still bound to %s after Undo", got)
+	}
+	if got := bs.Walk(V(2)); got.Kind != Var {
+		t.Fatalf("V(2) still bound to %s after Undo", got)
+	}
+	if got := bs.Resolve(V(0)); !Equal(got, A("a")) {
+		t.Fatalf("V(0) lost its pre-mark binding: %s", got)
+	}
+}
+
+func TestWalkChain(t *testing.T) {
+	bs := NewBindings(8)
+	bs.Bind(0, V(1))
+	bs.Bind(1, V(2))
+	bs.Bind(2, A("end"))
+	if got := bs.Walk(V(0)); !Equal(got, A("end")) {
+		t.Fatalf("Walk chain = %s, want end", got)
+	}
+}
+
+func TestResolveDeep(t *testing.T) {
+	bs := NewBindings(8)
+	bs.Bind(0, Comp("g", V(1)))
+	bs.Bind(1, A("inner"))
+	got := bs.Resolve(Comp("f", V(0), A("k")))
+	want := Comp("f", Comp("g", A("inner")), A("k"))
+	if !Equal(got, want) {
+		t.Fatalf("Resolve = %s, want %s", got, want)
+	}
+}
+
+func TestResolveSharesWhenUnbound(t *testing.T) {
+	bs := NewBindings(4)
+	tm := Comp("f", V(0), A("k"))
+	got := bs.Resolve(tm)
+	if !Equal(got, tm) {
+		t.Fatalf("Resolve changed an unbound term: %s", got)
+	}
+}
+
+func TestOccurCheck(t *testing.T) {
+	bs := NewBindings(4)
+	// X = f(X) must fail under UnifyOC.
+	if bs.UnifyOC(V(0), Comp("f", V(0))) {
+		t.Fatal("UnifyOC allowed cyclic binding")
+	}
+	bs.Reset()
+	if !bs.UnifyOC(V(0), Comp("f", V(1))) {
+		t.Fatal("UnifyOC rejected a sound binding")
+	}
+}
+
+func TestBindingsGrow(t *testing.T) {
+	bs := NewBindings(1)
+	bs.Bind(100, A("far"))
+	if got := bs.Resolve(V(100)); !Equal(got, A("far")) {
+		t.Fatalf("binding beyond initial capacity lost: %s", got)
+	}
+}
+
+// numEquiv is Equal except that Int and Float constants with the same value
+// compare equal, matching the solver's numeric unification.
+func numEquiv(a, b Term) bool {
+	if a.IsNumber() && b.IsNumber() {
+		return a.Num == b.Num
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == Compound {
+		if a.Sym != b.Sym || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !numEquiv(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return Equal(a, b)
+}
+
+// Property: if Unify(a, b) succeeds then Resolve(a) and Resolve(b) are equal
+// (up to numeric Int/Float equivalence) — a genuine common instance exists.
+func TestQuickUnifySoundness(t *testing.T) {
+	f := func(qa, qb quickTerm) bool {
+		a := qa.T
+		b := qb.T.OffsetVars(a.MaxVar() + 1)
+		bs := NewBindings(32)
+		if !bs.Unify(a, b) {
+			return true // nothing to check
+		}
+		return numEquiv(bs.Resolve(a), bs.Resolve(b))
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unify is symmetric in success/failure.
+func TestQuickUnifySymmetric(t *testing.T) {
+	f := func(qa, qb quickTerm) bool {
+		a := qa.T
+		b := qb.T.OffsetVars(a.MaxVar() + 1)
+		bs1 := NewBindings(32)
+		bs2 := NewBindings(32)
+		return bs1.Unify(a, b) == bs2.Unify(b, a)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Undo restores unbound state for everything bound after the mark.
+func TestQuickUndoRestores(t *testing.T) {
+	f := func(qa, qb quickTerm) bool {
+		a := qa.T
+		b := qb.T.OffsetVars(a.MaxVar() + 1)
+		bs := NewBindings(32)
+		mark := bs.Mark()
+		bs.Unify(a, b)
+		bs.Undo(mark)
+		set := make(map[int]bool)
+		a.CollectVars(set)
+		b.CollectVars(set)
+		for v := range set {
+			if got := bs.Walk(V(v)); got.Kind != Var || got.VarIndex() != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

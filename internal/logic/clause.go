@@ -1,0 +1,138 @@
+package logic
+
+import "strings"
+
+// Literal is a (possibly negated) callable term appearing in a clause body.
+// Negation is negation-as-failure.
+type Literal struct {
+	Neg  bool
+	Atom Term
+}
+
+// Lit wraps a positive literal around an atom or compound term.
+func Lit(t Term) Literal { return Literal{Atom: t} }
+
+// NegLit wraps a negated literal around an atom or compound term.
+func NegLit(t Term) Literal { return Literal{Neg: true, Atom: t} }
+
+// String renders the literal in Prolog syntax.
+func (l Literal) String() string {
+	if l.Neg {
+		return "\\+" + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// EqualLiteral reports structural equality of two literals.
+func EqualLiteral(a, b Literal) bool { return a.Neg == b.Neg && Equal(a.Atom, b.Atom) }
+
+// Clause is a definite clause Head :- Body. A fact has an empty body.
+type Clause struct {
+	Head Term
+	Body []Literal
+}
+
+// Fact wraps a head-only clause.
+func Fact(head Term) Clause { return Clause{Head: head} }
+
+// Rule builds a clause from a head and body atoms (all positive).
+func Rule(head Term, body ...Term) Clause {
+	c := Clause{Head: head}
+	for _, t := range body {
+		c.Body = append(c.Body, Lit(t))
+	}
+	return c
+}
+
+// IsFact reports whether the clause has no body.
+func (c *Clause) IsFact() bool { return len(c.Body) == 0 }
+
+// NumVars returns one more than the largest variable index in the clause
+// (i.e. the size a Bindings store needs for it), or 0 if ground.
+func (c *Clause) NumVars() int {
+	m := c.Head.MaxVar()
+	for i := range c.Body {
+		if v := c.Body[i].Atom.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m + 1
+}
+
+// OffsetVars returns a copy of the clause with all variable indices shifted
+// by k (used to rename a program clause apart before resolution).
+func (c *Clause) OffsetVars(k int) Clause {
+	out := Clause{Head: c.Head.OffsetVars(k)}
+	if len(c.Body) > 0 {
+		out.Body = make([]Literal, len(c.Body))
+		for i := range c.Body {
+			out.Body[i] = Literal{Neg: c.Body[i].Neg, Atom: c.Body[i].Atom.OffsetVars(k)}
+		}
+	}
+	return out
+}
+
+// Canonical returns a copy with variables renumbered 0,1,2,... in order of
+// first occurrence (head first, then body left to right). Two clauses that
+// are equal up to variable renaming have Equal canonical forms.
+func (c Clause) Canonical() Clause {
+	ren := make(map[int]int)
+	next := 0
+	out := Clause{Head: c.Head.RenameVars(ren, &next)}
+	if len(c.Body) > 0 {
+		out.Body = make([]Literal, len(c.Body))
+		for i := range c.Body {
+			out.Body[i] = Literal{Neg: c.Body[i].Neg, Atom: c.Body[i].Atom.RenameVars(ren, &next)}
+		}
+	}
+	return out
+}
+
+// Key returns a string identifying the clause up to variable renaming.
+func (c Clause) Key() string {
+	canon := c.Canonical()
+	return canon.String()
+}
+
+// EqualClause reports structural equality (not up to renaming; use Key or
+// Canonical for alpha-equivalence).
+func EqualClause(a, b *Clause) bool {
+	if !Equal(a.Head, b.Head) || len(a.Body) != len(b.Body) {
+		return false
+	}
+	for i := range a.Body {
+		if !EqualLiteral(a.Body[i], b.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Length returns the number of literals in the clause including the head.
+func (c *Clause) Length() int { return 1 + len(c.Body) }
+
+// String renders the clause in Prolog syntax, without the trailing period.
+func (c Clause) String() string {
+	var b strings.Builder
+	b.WriteString(c.Head.String())
+	if len(c.Body) > 0 {
+		b.WriteString(" :- ")
+		for i := range c.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Body[i].String())
+		}
+	}
+	return b.String()
+}
+
+// Vars returns the set of variable indices used in the clause.
+func (c *Clause) Vars() map[int]bool {
+	set := make(map[int]bool)
+	c.Head.CollectVars(set)
+	for i := range c.Body {
+		c.Body[i].Atom.CollectVars(set)
+	}
+	return set
+}

@@ -1,0 +1,99 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClauseBasics(t *testing.T) {
+	c := MustParseClause("path(X, Y) :- edge(X, Z), path(Z, Y).")
+	if c.IsFact() {
+		t.Fatal("rule reported as fact")
+	}
+	if got := c.Length(); got != 3 {
+		t.Fatalf("Length = %d, want 3", got)
+	}
+	if got := c.NumVars(); got != 3 {
+		t.Fatalf("NumVars = %d, want 3", got)
+	}
+	f := MustParseClause("edge(a, b).")
+	if !f.IsFact() || f.NumVars() != 0 {
+		t.Fatalf("fact parse: %+v", f)
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := MustParseClause("p(X) :- q(X, a), \\+r(X), X >= 3.")
+	want := "p(A) :- q(A, a), \\+r(A), A >= 3"
+	if got := c.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestClauseOffsetVars(t *testing.T) {
+	c := MustParseClause("p(X) :- q(X, Y).")
+	d := c.OffsetVars(5)
+	if d.Head.Args[0].VarIndex() != 5 {
+		t.Fatalf("head var not shifted: %s", d.String())
+	}
+	if d.Body[0].Atom.Args[1].VarIndex() != 6 {
+		t.Fatalf("body var not shifted: %s", d.String())
+	}
+	// Original untouched.
+	if c.Head.Args[0].VarIndex() != 0 {
+		t.Fatal("OffsetVars mutated the receiver")
+	}
+}
+
+func TestClauseCanonicalAlphaEquivalence(t *testing.T) {
+	a := MustParseClause("p(X, Y) :- q(Y, X).")
+	b := MustParseClause("p(U, W) :- q(W, U).")
+	c := MustParseClause("p(U, W) :- q(U, W).")
+	if a.Key() != b.Key() {
+		t.Fatalf("alpha-equivalent clauses got different keys: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == c.Key() {
+		t.Fatalf("different clauses share a key: %q", a.Key())
+	}
+}
+
+func TestEqualClause(t *testing.T) {
+	a := MustParseClause("p(X) :- q(X).")
+	b := MustParseClause("p(X) :- q(X).")
+	c := MustParseClause("p(X) :- r(X).")
+	if !EqualClause(&a, &b) {
+		t.Fatal("identical clauses not equal")
+	}
+	if EqualClause(&a, &c) {
+		t.Fatal("different clauses equal")
+	}
+}
+
+func TestClauseVars(t *testing.T) {
+	c := MustParseClause("p(X, Y) :- q(Y, Z).")
+	vars := c.Vars()
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v, want 3 entries", vars)
+	}
+}
+
+func TestRuleHelper(t *testing.T) {
+	r := Rule(Comp("p", V(0)), Comp("q", V(0)), Comp("r", V(0)))
+	if len(r.Body) != 2 || r.Body[0].Neg {
+		t.Fatalf("Rule helper: %+v", r)
+	}
+}
+
+// Property: Canonical is idempotent.
+func TestQuickCanonicalIdempotent(t *testing.T) {
+	f := func(qa, qb quickTerm) bool {
+		head := Comp("h", qa.T)
+		c := Clause{Head: head, Body: []Literal{Lit(Comp("b", qb.T))}}
+		once := c.Canonical()
+		twice := once.Canonical()
+		return EqualClause(&once, &twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFact(t *testing.T) {
+	c := MustParseClause("edge(a, b).")
+	if !c.IsFact() || c.Head.Pred().String() != "edge/2" {
+		t.Fatalf("parse fact: %+v", c)
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	c := MustParseClause("path(X,Y) :- edge(X,Z), path(Z,Y).")
+	if len(c.Body) != 2 {
+		t.Fatalf("body length %d", len(c.Body))
+	}
+	// X in head and body share an index.
+	if c.Head.Args[0].VarIndex() != c.Body[0].Atom.Args[0].VarIndex() {
+		t.Fatal("shared variable name got distinct indices")
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	c := MustParseClause("vals(3, -4, 2.5, -0.125, 1e3).")
+	args := c.Head.Args
+	if args[0].Kind != Int || args[0].Num != 3 {
+		t.Errorf("arg0: %+v", args[0])
+	}
+	if args[1].Kind != Int || args[1].Num != -4 {
+		t.Errorf("arg1: %+v", args[1])
+	}
+	if args[2].Kind != Float || args[2].Num != 2.5 {
+		t.Errorf("arg2: %+v", args[2])
+	}
+	if args[3].Kind != Float || args[3].Num != -0.125 {
+		t.Errorf("arg3: %+v", args[3])
+	}
+	if args[4].Kind != Float || args[4].Num != 1000 {
+		t.Errorf("arg4: %+v", args[4])
+	}
+}
+
+func TestParseNegationAndComparison(t *testing.T) {
+	c := MustParseClause("good(X) :- \\+bad(X), X >= 10, X \\= 13.")
+	if !c.Body[0].Neg {
+		t.Fatal("\\+ not parsed as negation")
+	}
+	if c.Body[1].Atom.Sym.Name() != ">=" {
+		t.Fatalf("comparison functor: %s", c.Body[1].Atom.Sym.Name())
+	}
+	if c.Body[2].Atom.Sym.Name() != "\\=" {
+		t.Fatalf("inequality functor: %s", c.Body[2].Atom.Sym.Name())
+	}
+}
+
+func TestParseModeMarkers(t *testing.T) {
+	tm := MustParseTerm("bond(+mol, -atomid, #bondtype)")
+	if tm.Args[0].Sym.Name() != "+" || tm.Args[0].Args[0].Sym.Name() != "mol" {
+		t.Fatalf("mode marker: %+v", tm.Args[0])
+	}
+	if tm.Args[2].Sym.Name() != "#" {
+		t.Fatalf("hash marker: %+v", tm.Args[2])
+	}
+}
+
+func TestParseQuotedAtom(t *testing.T) {
+	tm := MustParseTerm("'hello world'")
+	if tm.Kind != Atom || tm.Sym.Name() != "hello world" {
+		t.Fatalf("quoted atom: %+v", tm)
+	}
+	esc := MustParseTerm(`'it\'s'`)
+	if esc.Sym.Name() != "it's" {
+		t.Fatalf("escaped quote: %q", esc.Sym.Name())
+	}
+}
+
+func TestParseAnonymousVarsAreFresh(t *testing.T) {
+	c := MustParseClause("p(_, _).")
+	if c.Head.Args[0].VarIndex() == c.Head.Args[1].VarIndex() {
+		t.Fatal("two _ occurrences shared an index")
+	}
+}
+
+func TestParseProgramWithComments(t *testing.T) {
+	src := `
+% background knowledge
+edge(a, b).
+edge(b, c). % trailing comment
+path(X, Y) :- edge(X, Y).
+`
+	cs, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("parsed %d clauses, want 3", len(cs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p(a",        // unclosed paren
+		"p(a) q(b).", // missing operator
+		"p(a)",       // missing period
+		":- q(a).",   // missing head
+		"p('unterminated).",
+		"X.", // variable head is not callable
+	}
+	for _, s := range bad {
+		if _, err := ParseClause(s); err == nil {
+			t.Errorf("ParseClause(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseClauseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"p(A) :- q(A, b), \\+r(A), A =< 3",
+		"edge(n1, n2)",
+		"active(A) :- atm(A, B, c, 22, C), C >= 0.5",
+	}
+	for _, s := range srcs {
+		c := MustParseClause(s + ".")
+		back := MustParseClause(c.String() + ".")
+		if !EqualClause(&c, &back) {
+			t.Errorf("round trip changed clause:\n in: %s\nout: %s", s, back.String())
+		}
+	}
+}
+
+func TestParseProgramErrorPropagates(t *testing.T) {
+	if _, err := ParseProgram("good(a). bad(."); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParseProgram("p(a). q(b)"); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("expected 'expected' error, got %v", err)
+	}
+}

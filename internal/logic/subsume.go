@@ -1,0 +1,92 @@
+package logic
+
+import "strconv"
+
+// freezeTerm replaces every variable in t with a distinguished fresh constant
+// ("skolemisation"), so one-way matching can be implemented with ordinary
+// unification: the frozen side contributes no bindable variables.
+func freezeTerm(t Term) Term {
+	switch t.Kind {
+	case Var:
+		return A("$fv" + strconv.Itoa(int(t.Sym)))
+	case Compound:
+		args := make([]Term, len(t.Args))
+		for i := range t.Args {
+			args[i] = freezeTerm(t.Args[i])
+		}
+		return Term{Kind: Compound, Sym: t.Sym, Args: args}
+	}
+	return t
+}
+
+// freezeClause freezes every literal of c.
+func freezeClause(c *Clause) Clause {
+	out := Clause{Head: freezeTerm(c.Head)}
+	if len(c.Body) > 0 {
+		out.Body = make([]Literal, len(c.Body))
+		for i := range c.Body {
+			out.Body[i] = Literal{Neg: c.Body[i].Neg, Atom: freezeTerm(c.Body[i].Atom)}
+		}
+	}
+	return out
+}
+
+// Subsumes reports whether clause c θ-subsumes clause d: there exists a
+// substitution θ such that every literal of cθ appears in d (heads matching
+// heads, body literals matching body literals of the same sign). This is
+// Plotkin's generality order restricted to rule-shaped clauses, the ordering
+// the ILP search space is structured by.
+func Subsumes(c, d *Clause) bool {
+	fd := freezeClause(d)
+	bs := NewBindings(c.NumVars())
+	if !bs.Unify(c.Head, fd.Head) {
+		return false
+	}
+	return matchBody(c.Body, fd.Body, bs)
+}
+
+// matchBody tries to map each remaining literal of cs onto some literal of
+// ds under bs, with backtracking. ds literals may be reused (set semantics).
+func matchBody(cs []Literal, ds []Literal, bs *Bindings) bool {
+	if len(cs) == 0 {
+		return true
+	}
+	lit := cs[0]
+	for i := range ds {
+		if ds[i].Neg != lit.Neg {
+			continue
+		}
+		mark := bs.Mark()
+		if bs.Unify(lit.Atom, ds[i].Atom) && matchBody(cs[1:], ds, bs) {
+			return true
+		}
+		bs.Undo(mark)
+	}
+	return false
+}
+
+// SubsumesEqually reports whether c and d subsume each other
+// (syntactic variants modulo θ-subsumption equivalence).
+func SubsumesEqually(c, d *Clause) bool { return Subsumes(c, d) && Subsumes(d, c) }
+
+// ProperlySubsumes reports whether c subsumes d but not vice versa
+// (c is strictly more general than d).
+func ProperlySubsumes(c, d *Clause) bool { return Subsumes(c, d) && !Subsumes(d, c) }
+
+// ReducesTo removes body literals of c that are redundant under
+// θ-subsumption: literal L is dropped when c still subsumes c\{L}
+// (Plotkin reduction, greedy variant). The head is kept. The result is
+// subsume-equivalent to the input: it trivially subsumes c as a subset,
+// and the drop condition guarantees the converse.
+func ReducesTo(c *Clause) Clause {
+	cur := Clause{Head: c.Head, Body: append([]Literal(nil), c.Body...)}
+	for i := 0; i < len(cur.Body); {
+		cand := Clause{Head: cur.Head, Body: append(append([]Literal(nil), cur.Body[:i]...), cur.Body[i+1:]...)}
+		if Subsumes(c, &cand) {
+			cur = cand
+			continue
+		}
+		i++
+	}
+	return cur
+}

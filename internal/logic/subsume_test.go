@@ -1,0 +1,121 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustC(s string) Clause { return MustParseClause(s) }
+
+func TestSubsumesBasics(t *testing.T) {
+	cases := []struct {
+		c, d string
+		want bool
+	}{
+		// A clause subsumes itself.
+		{"p(X) :- q(X).", "p(X) :- q(X).", true},
+		// More general head variable subsumes a constant instance.
+		{"p(X) :- q(X).", "p(a) :- q(a).", true},
+		{"p(a) :- q(a).", "p(X) :- q(X).", false},
+		// Subset of body literals subsumes a superset.
+		{"p(X) :- q(X).", "p(X) :- q(X), r(X).", true},
+		{"p(X) :- q(X), r(X).", "p(X) :- q(X).", false},
+		// Different predicate: no.
+		{"p(X) :- q(X).", "p(X) :- r(X).", false},
+		// Variable chaining must be consistent.
+		{"p(X) :- q(X, Y), q(Y, X).", "p(a) :- q(a, b), q(b, a).", true},
+		{"p(X) :- q(X, Y), q(Y, X).", "p(a) :- q(a, b), q(b, c).", false},
+		// Two c-literals may map onto one d-literal (set semantics).
+		{"p(X) :- q(X, Y), q(X, Z).", "p(a) :- q(a, b).", true},
+		// Sign must match.
+		{"p(X) :- \\+q(X).", "p(X) :- q(X).", false},
+		{"p(X) :- \\+q(X).", "p(X) :- \\+q(X).", true},
+		// Head mismatch.
+		{"p(X) :- q(X).", "s(X) :- q(X).", false},
+	}
+	for _, cse := range cases {
+		c, d := mustC(cse.c), mustC(cse.d)
+		if got := Subsumes(&c, &d); got != cse.want {
+			t.Errorf("Subsumes(%q, %q) = %v, want %v", cse.c, cse.d, got, cse.want)
+		}
+	}
+}
+
+func TestSubsumesIsNotSymmetric(t *testing.T) {
+	c := mustC("p(X) :- q(X).")
+	d := mustC("p(X) :- q(X), r(X).")
+	if !ProperlySubsumes(&c, &d) {
+		t.Fatal("c should properly subsume d")
+	}
+	if ProperlySubsumes(&d, &c) {
+		t.Fatal("d should not properly subsume c")
+	}
+}
+
+func TestSubsumesEqually(t *testing.T) {
+	a := mustC("p(X) :- q(X, Y).")
+	b := mustC("p(U) :- q(U, V), q(U, W).")
+	if !SubsumesEqually(&a, &b) {
+		t.Fatal("a and b are subsume-equivalent (extra literal is redundant)")
+	}
+}
+
+func TestReducesTo(t *testing.T) {
+	c := mustC("p(X) :- q(X, Y), q(X, Z).")
+	r := ReducesTo(&c)
+	if len(r.Body) != 1 {
+		t.Fatalf("ReducesTo left %d literals, want 1: %s", len(r.Body), r.String())
+	}
+	if !SubsumesEqually(&c, &r) {
+		t.Fatal("reduction changed clause meaning")
+	}
+	// Irreducible clause stays put.
+	irr := mustC("p(X) :- q(X, Y), r(Y).")
+	got := ReducesTo(&irr)
+	if len(got.Body) != 2 {
+		t.Fatalf("irreducible clause was reduced: %s", got.String())
+	}
+}
+
+// Property: every clause subsumes itself (reflexivity).
+func TestQuickSubsumesReflexive(t *testing.T) {
+	f := func(qa, qb quickTerm) bool {
+		c := Clause{Head: Comp("h", qa.T), Body: []Literal{Lit(Comp("b", qb.T))}}
+		return Subsumes(&c, &c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dropping a body literal yields a clause that subsumes the
+// original (generalisation direction of the refinement lattice).
+func TestQuickDropLiteralGeneralises(t *testing.T) {
+	f := func(qa, qb, qc quickTerm) bool {
+		full := Clause{Head: Comp("h", qa.T), Body: []Literal{
+			Lit(Comp("b1", qb.T)), Lit(Comp("b2", qc.T)),
+		}}
+		dropped := Clause{Head: full.Head, Body: full.Body[:1]}
+		return Subsumes(&dropped, &full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: applying a grounding substitution yields a clause the original
+// subsumes (instantiation direction).
+func TestQuickInstanceIsSubsumed(t *testing.T) {
+	f := func(qa quickTerm) bool {
+		c := Clause{Head: Comp("h", qa.T), Body: []Literal{Lit(Comp("b", qa.T))}}
+		bs := NewBindings(c.NumVars())
+		for v := range c.Vars() {
+			bs.Bind(v, A("gconst"))
+		}
+		inst := Clause{Head: bs.Resolve(c.Head), Body: []Literal{Lit(bs.Resolve(c.Body[0].Atom))}}
+		return Subsumes(&c, &inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package mode implements mode declarations, the language bias used by
+// MDIE systems (Progol, Aleph, April) to direct bottom-clause construction
+// and refinement.
+//
+// A mode declaration constrains how a predicate may appear in a learned
+// rule: modeh describes the head, modeb the body literals. Each argument
+// place is marked +type (input: must be an already-bound variable of that
+// type), -type (output: binds a variable of that type) or #type (a ground
+// constant). Recall bounds how many alternative solutions of a body literal
+// saturation may keep ('*' = all).
+package mode
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// PlaceKind classifies one argument place of a mode template.
+type PlaceKind uint8
+
+const (
+	// In marks a +type place: consumes an existing variable.
+	In PlaceKind = iota
+	// Out marks a -type place: produces a variable.
+	Out
+	// ConstPlace marks a #type place: a ground constant.
+	ConstPlace
+)
+
+func (k PlaceKind) String() string {
+	switch k {
+	case In:
+		return "+"
+	case Out:
+		return "-"
+	case ConstPlace:
+		return "#"
+	}
+	return "?"
+}
+
+// Place is one argument position of a mode template.
+type Place struct {
+	Kind PlaceKind
+	Type logic.Symbol
+}
+
+// Decl is a single mode declaration.
+type Decl struct {
+	// Recall bounds the number of solutions kept per instantiation during
+	// saturation; 0 or negative means unbounded ('*').
+	Recall int
+	// Pred is the declared predicate.
+	Pred logic.PredKey
+	// Places describes each argument position.
+	Places []Place
+}
+
+// String renders the declaration template, e.g. "bond(+mol, -atom, #kind)".
+func (d Decl) String() string {
+	var b strings.Builder
+	b.WriteString(d.Pred.Sym.Name())
+	b.WriteByte('(')
+	for i, p := range d.Places {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Kind.String())
+		b.WriteString(p.Type.Name())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// parseTemplate decomposes a mode template term like bond(+mol, -atom, #k).
+func parseTemplate(t logic.Term) (logic.PredKey, []Place, error) {
+	if !t.IsCallable() {
+		return logic.PredKey{}, nil, fmt.Errorf("mode: template %s is not callable", t)
+	}
+	places := make([]Place, len(t.Args))
+	for i, a := range t.Args {
+		if a.Kind != logic.Compound || len(a.Args) != 1 || a.Args[0].Kind != logic.Atom {
+			return logic.PredKey{}, nil, fmt.Errorf("mode: argument %d of template %s must be +type, -type or #type", i+1, t)
+		}
+		var kind PlaceKind
+		switch a.Sym.Name() {
+		case "+":
+			kind = In
+		case "-":
+			kind = Out
+		case "#":
+			kind = ConstPlace
+		default:
+			return logic.PredKey{}, nil, fmt.Errorf("mode: bad marker %q in template %s", a.Sym.Name(), t)
+		}
+		places[i] = Place{Kind: kind, Type: a.Args[0].Sym}
+	}
+	return t.Pred(), places, nil
+}
+
+func parseRecall(t logic.Term) (int, error) {
+	switch {
+	case t.Kind == logic.Int:
+		r := int(t.Num)
+		if r < 1 {
+			return 0, fmt.Errorf("mode: recall must be positive or '*', got %d", r)
+		}
+		return r, nil
+	case t.Kind == logic.Atom && t.Sym.Name() == "*":
+		return 0, nil
+	}
+	return 0, fmt.Errorf("mode: bad recall %s", t)
+}
+
+// Set is the complete language bias for one learning task: exactly one head
+// mode and any number of body modes, in declaration order.
+type Set struct {
+	Head Decl
+	Body []Decl
+}
+
+// FromClauses extracts modeh/modeb declarations from parsed clauses;
+// non-mode clauses are ignored, so it can run over a whole dataset file.
+func FromClauses(cs []logic.Clause) (*Set, error) {
+	var set Set
+	haveHead := false
+	for _, c := range cs {
+		if !c.IsFact() || c.Head.Kind != logic.Compound || len(c.Head.Args) != 2 {
+			continue
+		}
+		name := c.Head.Sym.Name()
+		if name != "modeh" && name != "modeb" {
+			continue
+		}
+		recall, err := parseRecall(c.Head.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		pred, places, err := parseTemplate(c.Head.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		d := Decl{Recall: recall, Pred: pred, Places: places}
+		if name == "modeh" {
+			if haveHead {
+				return nil, fmt.Errorf("mode: multiple modeh declarations")
+			}
+			set.Head = d
+			haveHead = true
+			continue
+		}
+		set.Body = append(set.Body, d)
+	}
+	if !haveHead {
+		return nil, fmt.Errorf("mode: no modeh declaration found")
+	}
+	if len(set.Body) == 0 {
+		return nil, fmt.Errorf("mode: no modeb declarations found")
+	}
+	return &set, nil
+}
+
+// ParseSet parses src as a program and extracts the mode declarations.
+func ParseSet(src string) (*Set, error) {
+	cs, err := logic.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromClauses(cs)
+}
+
+// MustParseSet is ParseSet, panicking on error.
+func MustParseSet(src string) *Set {
+	s, err := ParseSet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BodyFor returns the body declarations for the given predicate, in
+// declaration order (a predicate may have several modes).
+func (s *Set) BodyFor(key logic.PredKey) []Decl {
+	var out []Decl
+	for _, d := range s.Body {
+		if d.Pred == key {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Types returns every type symbol mentioned by the declarations, in first-
+// mention order.
+func (s *Set) Types() []logic.Symbol {
+	seen := make(map[logic.Symbol]bool)
+	var out []logic.Symbol
+	add := func(d Decl) {
+		for _, p := range d.Places {
+			if !seen[p.Type] {
+				seen[p.Type] = true
+				out = append(out, p.Type)
+			}
+		}
+	}
+	add(s.Head)
+	for _, d := range s.Body {
+		add(d)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package mode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+const sampleModes = `
+modeh(1, active(+drug)).
+modeb(2, bond(+drug, -atomid, -atomid, #bondtype)).
+modeb('*', atm(+drug, -atomid, #element)).
+modeb(1, charge(+atomid, -chval)).
+`
+
+func TestParseSet(t *testing.T) {
+	s := MustParseSet(sampleModes)
+	if s.Head.Pred.String() != "active/1" {
+		t.Fatalf("head pred: %s", s.Head.Pred)
+	}
+	if s.Head.Recall != 1 {
+		t.Fatalf("head recall: %d", s.Head.Recall)
+	}
+	if len(s.Body) != 3 {
+		t.Fatalf("body decls: %d", len(s.Body))
+	}
+	if s.Body[0].Recall != 2 {
+		t.Fatalf("bond recall: %d", s.Body[0].Recall)
+	}
+	if s.Body[1].Recall != 0 {
+		t.Fatalf("'*' recall should parse as 0 (unbounded), got %d", s.Body[1].Recall)
+	}
+}
+
+func TestPlaces(t *testing.T) {
+	s := MustParseSet(sampleModes)
+	bond := s.Body[0]
+	wantKinds := []PlaceKind{In, Out, Out, ConstPlace}
+	wantTypes := []string{"drug", "atomid", "atomid", "bondtype"}
+	for i, p := range bond.Places {
+		if p.Kind != wantKinds[i] {
+			t.Errorf("place %d kind = %v, want %v", i, p.Kind, wantKinds[i])
+		}
+		if p.Type.Name() != wantTypes[i] {
+			t.Errorf("place %d type = %s, want %s", i, p.Type.Name(), wantTypes[i])
+		}
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	s := MustParseSet(sampleModes)
+	if got := s.Body[0].String(); got != "bond(+drug, -atomid, -atomid, #bondtype)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestModeLinesMixedWithProgram(t *testing.T) {
+	src := `
+% a dataset file with everything in it
+active(d1).
+modeh(1, active(+drug)).
+atm(d1, a1, c).
+modeb('*', atm(+drug, -atomid, #element)).
+`
+	s, err := ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Body) != 1 {
+		t.Fatalf("body decls: %d", len(s.Body))
+	}
+}
+
+func TestBodyFor(t *testing.T) {
+	src := `
+modeh(1, p(+t)).
+modeb(1, q(+t, -u)).
+modeb(3, q(+t, #u)).
+modeb(1, r(+u)).
+`
+	s := MustParseSet(src)
+	q := s.BodyFor(logic.PredKey{Sym: logic.Intern("q"), Arity: 2})
+	if len(q) != 2 {
+		t.Fatalf("BodyFor q/2: %d", len(q))
+	}
+	if q[0].Recall != 1 || q[1].Recall != 3 {
+		t.Fatal("BodyFor lost declaration order")
+	}
+	if got := s.BodyFor(logic.PredKey{Sym: logic.Intern("zz"), Arity: 1}); got != nil {
+		t.Fatal("BodyFor unknown predicate should be nil")
+	}
+}
+
+func TestTypes(t *testing.T) {
+	s := MustParseSet(sampleModes)
+	types := s.Types()
+	names := make([]string, len(types))
+	for i, ty := range types {
+		names[i] = ty.Name()
+	}
+	want := "drug atomid bondtype element chval"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("Types = %q, want %q", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`modeb(1, q(+t)).`, // no modeh
+		`modeh(1, p(+t)).`, // no modeb
+		`modeh(1, p(+t)). modeh(1, q(+t)). modeb(1, r(+t)).`, // two heads
+		`modeh(0, p(+t)). modeb(1, q(+t)).`,                  // zero recall
+		`modeh(1, p(t)). modeb(1, q(+t)).`,                   // missing marker
+		`modeh(1, p(+t)). modeb(1, q(+t(x))).`,               // non-atom type
+	}
+	for _, src := range bad {
+		if _, err := ParseSet(src); err == nil {
+			t.Errorf("ParseSet(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package parcov implements the related-work baseline the paper compares
+// against in §6: data-parallel *coverage testing* (Graham et al. 2003;
+// Konstantopoulos 2003). The master runs the ordinary sequential MDIE
+// covering loop — saturation, search, bag-keeping all serial — and only the
+// coverage test of each candidate rule is farmed out: every worker scores
+// the rule on its local partition and the master sums the counts.
+//
+// The point of the baseline is granularity: one message round-trip per
+// candidate rule is fine-grained parallelism, so serial search overhead and
+// per-message latency bound the achievable speedup (Amdahl), whereas
+// p²-mdie parallelises the searches themselves and cuts the epoch count.
+// The ablation benchmark contrasts the two on the same simulated cluster.
+package parcov
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bottom"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// Config parameterises a parallel-coverage run.
+type Config struct {
+	// Workers is the number of coverage-testing workers.
+	Workers int
+	// Seed drives the example partitioning.
+	Seed int64
+	// Search, Bottom, Budget configure the (serial) learner.
+	Search search.Settings
+	Bottom bottom.Options
+	Budget solve.Budget
+	// Cost is the simulated cluster cost model.
+	Cost cluster.CostModel
+	// MaxRules bounds the covering loop. ≤0 means 1000.
+	MaxRules int
+}
+
+// Metrics summarises a run.
+type Metrics struct {
+	Theory             []logic.Clause
+	VirtualTime        time.Duration
+	WallTime           time.Duration
+	CommBytes          int64
+	CommMessages       int64
+	Searches           int
+	GeneratedRules     int
+	RulesLearned       int
+	GroundFactsAdopted int
+	TotalInferences    int64
+	Workers            int
+}
+
+// Protocol kinds.
+const (
+	kindEval = iota
+	kindEvalResult
+	kindRetractRule
+	kindRetractOne
+	kindStop
+)
+
+// evalMsg carries one rule plus optional per-worker candidate masks (local
+// index space) so workers keep the incremental-evaluation shortcut the
+// sequential learner enjoys: only examples the parent rule covered are
+// re-tested. Nil masks mean "test everything".
+type evalMsg struct {
+	Rule    logic.Clause
+	PosCand []uint64
+	NegCand []uint64
+	HasCand bool
+}
+
+type evalResultMsg struct {
+	Worker int
+	Pos    []uint64 // bitset words over the worker's local positives (alive only)
+	Neg    []uint64
+}
+
+type retractRuleMsg struct{ Rule logic.Clause }
+
+type retractOneMsg struct{ Example logic.Term }
+
+type stopMsg struct{}
+
+// pcWorker owns one example partition and answers coverage queries.
+type pcWorker struct {
+	id   int
+	node *cluster.Node
+	m    *solve.Machine
+	ex   *search.Examples
+	ev   *search.Evaluator
+}
+
+func (w *pcWorker) run() error {
+	for {
+		msg, ok := w.node.Receive()
+		if !ok {
+			return nil
+		}
+		switch msg.Kind {
+		case kindEval:
+			var em evalMsg
+			if err := msg.Decode(&em); err != nil {
+				return err
+			}
+			before := w.m.TotalInferences()
+			var posCand, negCand search.Bitset
+			if em.HasCand {
+				posCand = search.Bitset(em.PosCand)
+				negCand = search.Bitset(em.NegCand)
+			}
+			pos, neg := w.ev.Coverage(&em.Rule, posCand, negCand)
+			w.node.Compute(w.m.TotalInferences() - before)
+			if err := w.node.Send(0, kindEvalResult, evalResultMsg{Worker: w.id, Pos: pos, Neg: neg}); err != nil {
+				return err
+			}
+		case kindRetractRule:
+			var rm retractRuleMsg
+			if err := msg.Decode(&rm); err != nil {
+				return err
+			}
+			before := w.m.TotalInferences()
+			covered, _ := w.ev.Coverage(&rm.Rule, nil, nil)
+			w.ex.RetractPos(covered)
+			w.node.Compute(w.m.TotalInferences() - before)
+		case kindRetractOne:
+			var rm retractOneMsg
+			if err := msg.Decode(&rm); err != nil {
+				return err
+			}
+			for i := range w.ex.Pos {
+				if logic.Equal(w.ex.Pos[i], rm.Example) {
+					single := search.NewBitset(len(w.ex.Pos))
+					single.Set(i)
+					w.ex.RetractPos(single)
+					break
+				}
+			}
+			w.node.Compute(1)
+		case kindStop:
+			return nil
+		default:
+			return fmt.Errorf("parcov: worker %d: unknown kind %d", w.id, msg.Kind)
+		}
+	}
+}
+
+// distCoverer satisfies search.Coverer by broadcasting each rule to the
+// workers and stitching their local bitsets into the global index space.
+type distCoverer struct {
+	node    *cluster.Node
+	p       int
+	targets []int
+	posMap  [][]int // worker (0-based) → local index → global index
+	negMap  [][]int
+	nPos    int
+	nNeg    int
+	err     error
+}
+
+var _ search.Coverer = (*distCoverer)(nil)
+
+func (d *distCoverer) PosLen() int { return d.nPos }
+func (d *distCoverer) NegLen() int { return d.nNeg }
+
+func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitset) (search.Bitset, search.Bitset) {
+	pos := search.NewBitset(d.nPos)
+	neg := search.NewBitset(d.nNeg)
+	if d.err != nil {
+		return pos, neg
+	}
+	for k := 0; k < d.p; k++ {
+		em := evalMsg{Rule: *rule}
+		if posCand != nil && negCand != nil {
+			em.HasCand = true
+			em.PosCand = localize(posCand, d.posMap[k])
+			em.NegCand = localize(negCand, d.negMap[k])
+		}
+		if err := d.node.Send(d.targets[k], kindEval, em); err != nil {
+			d.err = err
+			return pos, neg
+		}
+	}
+	for k := 0; k < d.p; k++ {
+		msg, ok := d.node.Receive()
+		if !ok || msg.Kind != kindEvalResult {
+			d.err = fmt.Errorf("parcov: master: bad evaluation reply (ok=%v kind=%d)", ok, msg.Kind)
+			return pos, neg
+		}
+		var er evalResultMsg
+		if err := msg.Decode(&er); err != nil {
+			d.err = err
+			return pos, neg
+		}
+		w := er.Worker - 1
+		scatter(search.Bitset(er.Pos), d.posMap[w], pos)
+		scatter(search.Bitset(er.Neg), d.negMap[w], neg)
+	}
+	if posCand != nil {
+		pos.AndWith(posCand)
+	}
+	if negCand != nil {
+		neg.AndWith(negCand)
+	}
+	return pos, neg
+}
+
+// scatter maps local bitset positions through idxMap into the global set.
+func scatter(local search.Bitset, idxMap []int, global search.Bitset) {
+	local.ForEach(func(i int) bool {
+		if i < len(idxMap) {
+			global.Set(idxMap[i])
+		}
+		return true
+	})
+}
+
+// localize projects a global mask into one worker's local index space.
+func localize(global search.Bitset, idxMap []int) []uint64 {
+	local := search.NewBitset(len(idxMap))
+	for li, gi := range idxMap {
+		if global.Get(gi) {
+			local.Set(li)
+		}
+	}
+	return local
+}
+
+// Learn runs the parallel-coverage-testing covering algorithm.
+func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metrics, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("parcov: Workers must be ≥ 1, got %d", cfg.Workers)
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("parcov: no positive examples")
+	}
+	if cfg.MaxRules <= 0 {
+		cfg.MaxRules = 1000
+	}
+	p := cfg.Workers
+	nw := cluster.NewNetwork(p+1, cfg.Cost)
+
+	// Partition examples (same seeded scheme as p²-mdie).
+	posParts := dealOut(len(pos), p, cfg.Seed)
+	negParts := dealOut(len(neg), p, cfg.Seed+1)
+	workers := make([]*pcWorker, p)
+	posMap := make([][]int, p)
+	negMap := make([][]int, p)
+	for k := 0; k < p; k++ {
+		var wpos, wneg []logic.Term
+		for _, gi := range posParts[k] {
+			posMap[k] = append(posMap[k], gi)
+			wpos = append(wpos, pos[gi])
+		}
+		for _, gi := range negParts[k] {
+			negMap[k] = append(negMap[k], gi)
+			wneg = append(wneg, neg[gi])
+		}
+		m := solve.NewMachine(kb, cfg.Budget)
+		ex := search.NewExamples(wpos, wneg)
+		workers[k] = &pcWorker{id: k + 1, node: nw.Node(k + 1), m: m, ex: ex, ev: search.NewEvaluator(m, ex)}
+	}
+
+	masterNode := nw.Node(0)
+	targets := make([]int, p)
+	for i := range targets {
+		targets[i] = i + 1
+	}
+	dc := &distCoverer{node: masterNode, p: p, targets: targets, posMap: posMap, negMap: negMap, nPos: len(pos), nNeg: len(neg)}
+
+	met := &Metrics{Workers: p}
+	start := time.Now()
+	errCh := make(chan error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for _, w := range workers {
+		go func(w *pcWorker) {
+			defer wg.Done()
+			if err := w.run(); err != nil {
+				errCh <- err
+				nw.Shutdown()
+			}
+		}(w)
+	}
+
+	masterErr := runMaster(masterNode, kb, pos, ms, cfg, dc, met)
+	if masterErr == nil {
+		masterErr = masterNode.Broadcast(targets, kindStop, stopMsg{})
+	}
+	if masterErr != nil {
+		nw.Shutdown()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	if dc.err != nil {
+		return nil, dc.err
+	}
+
+	met.WallTime = time.Since(start)
+	met.VirtualTime = nw.Makespan().Duration()
+	st := nw.Stats()
+	met.CommBytes = st.Bytes
+	met.CommMessages = st.Messages
+	for _, w := range workers {
+		met.TotalInferences += w.m.TotalInferences()
+	}
+	return met, nil
+}
+
+// runMaster is the serial covering loop with distributed coverage tests.
+func runMaster(node *cluster.Node, kb *solve.KB, pos []logic.Term, ms *mode.Set, cfg Config, dc *distCoverer, met *Metrics) error {
+	m := solve.NewMachine(kb, cfg.Budget) // master machine: saturation only
+	alive := search.FullBitset(len(pos))
+	targets := dc.targets
+
+	for !alive.Empty() && len(met.Theory) < cfg.MaxRules {
+		if dc.err != nil {
+			return dc.err
+		}
+		seed := -1
+		alive.ForEach(func(i int) bool { seed = i; return false })
+		before := m.TotalInferences()
+		bot, err := bottom.Construct(m, ms, pos[seed], cfg.Bottom)
+		node.Compute(m.TotalInferences() - before)
+		if err != nil {
+			return err
+		}
+		sr := search.LearnRule(dc, bot, nil, cfg.Search)
+		met.Searches++
+		met.GeneratedRules += sr.Generated
+		best := sr.Best()
+		if best == nil || best.PosCover().Empty() {
+			alive.Clear(seed)
+			met.Theory = append(met.Theory, logic.Fact(pos[seed]))
+			met.GroundFactsAdopted++
+			if err := node.Broadcast(targets, kindRetractOne, retractOneMsg{Example: pos[seed]}); err != nil {
+				return err
+			}
+			continue
+		}
+		clause := best.Materialize(bot).Canonical()
+		met.Theory = append(met.Theory, clause)
+		met.RulesLearned++
+		alive.AndNotWith(best.PosCover())
+		if err := node.Broadcast(targets, kindRetractRule, retractRuleMsg{Rule: clause}); err != nil {
+			return err
+		}
+	}
+	met.TotalInferences += m.TotalInferences()
+	return nil
+}
+
+// dealOut splits 0..n-1 into p seeded-shuffled round-robin groups.
+func dealOut(n, p int, seed int64) [][]int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 0x2545F4914F6CDD1D
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([][]int, p)
+	for i, v := range idx {
+		out[i%p] = append(out[i%p], v)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package parcov
+
+import (
+	"testing"
+
+	"repro/internal/covering"
+	"repro/internal/datasets"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+func smallTask(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds := datasets.PyrimidinesSized(48, 40, 9)
+	// Keep unit tests quick: every generated rule costs a message round in
+	// this baseline, so cap the per-search effort well below the dataset's
+	// recommended benchmark setting.
+	ds.Search.NodesLimit = 60
+	ds.Search.MaxClauseLen = 2
+	ds.Bottom.MaxLiterals = 40
+	return ds
+}
+
+func TestLearnMatchesSequentialTheory(t *testing.T) {
+	ds := smallTask(t)
+	// Sequential baseline.
+	ex := search.NewExamples(ds.Pos, ds.Neg)
+	seq, err := covering.Learn(ds.KB, ex, ds.Modes, covering.Config{
+		Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel-coverage run: same search, distributed evaluation. The
+	// search is semantically identical, so the theory must be identical.
+	par, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, Config{
+		Workers: 3, Seed: 5,
+		Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Theory) != len(par.Theory) {
+		t.Fatalf("theory sizes differ: seq %d vs par %d", len(seq.Theory), len(par.Theory))
+	}
+	for i := range seq.Theory {
+		if seq.Theory[i].String() != par.Theory[i].String() {
+			t.Fatalf("rule %d differs:\nseq: %s\npar: %s", i, seq.Theory[i], par.Theory[i])
+		}
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	ds := smallTask(t)
+	met, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, Config{
+		Workers: 4, Seed: 5,
+		Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.CommMessages == 0 || met.CommBytes == 0 {
+		t.Fatalf("communication not recorded: %+v", met)
+	}
+	if met.VirtualTime <= 0 || met.WallTime <= 0 {
+		t.Fatalf("times not recorded: %+v", met)
+	}
+	if met.Searches == 0 || met.GeneratedRules == 0 {
+		t.Fatalf("search stats not recorded: %+v", met)
+	}
+	// The defining property of the baseline: at least one message
+	// round-trip per generated rule (2 messages per worker per rule).
+	if met.CommMessages < int64(met.GeneratedRules) {
+		t.Fatalf("suspiciously few messages (%d) for %d generated rules", met.CommMessages, met.GeneratedRules)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds := smallTask(t)
+	cfg := Config{Workers: 2, Seed: 5, Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget}
+	m1, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Theory) != len(m2.Theory) || m1.CommBytes != m2.CommBytes {
+		t.Fatalf("nondeterministic run: %d/%d rules, %d/%d bytes",
+			len(m1.Theory), len(m2.Theory), m1.CommBytes, m2.CommBytes)
+	}
+}
+
+func TestFallbackRetractsEverywhere(t *testing.T) {
+	kb := solve.NewKB()
+	kb.AddFact(logic.MustParseTerm("f(p1, a)"))
+	kb.AddFact(logic.MustParseTerm("f(p2, a)"))
+	kb.AddFact(logic.MustParseTerm("f(n1, a)"))
+	pos := []logic.Term{logic.MustParseTerm("t(p1)"), logic.MustParseTerm("t(p2)")}
+	neg := []logic.Term{logic.MustParseTerm("t(n1)")}
+	ms := mode.MustParseSet(`
+		modeh(1, t(+x)).
+		modeb(1, f(+x, #v)).
+	`)
+	met, err := Learn(kb, pos, neg, ms, Config{
+		Workers: 2, Seed: 1,
+		Search: search.Settings{MinPrec: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.GroundFactsAdopted != 2 {
+		t.Fatalf("GroundFactsAdopted = %d, want 2", met.GroundFactsAdopted)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := smallTask(t)
+	if _, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, Config{Workers: 0}); err == nil {
+		t.Fatal("Workers=0 accepted")
+	}
+	if _, err := Learn(ds.KB, nil, ds.Neg, ds.Modes, Config{Workers: 2}); err == nil {
+		t.Fatal("empty positives accepted")
+	}
+}
+
+// (modes helper removed: tests use mode.MustParseSet directly)
+
+func TestMoreWorkersSameTheory(t *testing.T) {
+	ds := smallTask(t)
+	var prev []logic.Clause
+	for _, p := range []int{1, 2, 5} {
+		met, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, Config{
+			Workers: p, Seed: 3, Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if prev != nil {
+			if len(met.Theory) != len(prev) {
+				t.Fatalf("p=%d: theory size changed: %d vs %d", p, len(met.Theory), len(prev))
+			}
+			for i := range prev {
+				if met.Theory[i].String() != prev[i].String() {
+					t.Fatalf("p=%d: rule %d changed", p, i)
+				}
+			}
+		}
+		prev = met.Theory
+	}
+}

@@ -1,0 +1,71 @@
+package search
+
+import (
+	"testing"
+)
+
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	return newFixture(b)
+}
+
+func BenchmarkCoverageSmallRule(b *testing.B) {
+	fx := benchFixture(b)
+	rule := fx.bot.Materialize([]int32{0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, _ := fx.ev.Coverage(&rule, nil, nil)
+		if pos.Empty() {
+			b.Fatal("no coverage")
+		}
+	}
+}
+
+func BenchmarkLearnRuleFullSearch(b *testing.B) {
+	fx := benchFixture(b)
+	st := Settings{MaxClauseLen: 3, MinPrec: 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := LearnRule(fx.ev, fx.bot, nil, st)
+		if res.Best() == nil {
+			b.Fatal("no rule found")
+		}
+	}
+}
+
+func BenchmarkLearnRuleSeeded(b *testing.B) {
+	fx := benchFixture(b)
+	st := Settings{MaxClauseLen: 3, MinPrec: 0.9, W: 5}
+	first := LearnRule(fx.ev, fx.bot, nil, st)
+	var seeds [][]int32
+	for _, g := range first.Good {
+		seeds = append(seeds, g.Indices)
+	}
+	if len(seeds) == 0 {
+		b.Fatal("no seeds")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LearnRule(fx.ev, fx.bot, seeds, st)
+	}
+}
+
+func BenchmarkBitsetOps(b *testing.B) {
+	x := FullBitset(4096)
+	y := NewBitset(4096)
+	for i := 0; i < 4096; i += 3 {
+		y.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.AndWith(y)
+		if c.Count() == 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package search
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector used to track example coverage.
+// Coverage sets are the workhorse of rule evaluation: a refinement's
+// coverage is a subset of its parent's, so children only re-test examples
+// their parent covered.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// FullBitset returns a bitset with bits [0, n) all set.
+func FullBitset(n int) Bitset {
+	b := NewBitset(n)
+	for i := 0; i < n/64; i++ {
+		b[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 {
+		b[n/64] = (uint64(1) << r) - 1
+	}
+	return b
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// AndWith intersects b with o in place (lengths must match).
+func (b Bitset) AndWith(o Bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// AndNotWith removes o's bits from b in place (lengths must match).
+func (b Bitset) AndNotWith(o Bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// OrWith unions o into b in place (lengths must match).
+func (b Bitset) OrWith(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Empty reports whether no bit is set.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn with the index of every set bit, in increasing order,
+// stopping early if fn returns false.
+func (b Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

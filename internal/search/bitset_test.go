@@ -1,0 +1,176 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if !b.Empty() {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("unexpected bit set")
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestFullBitset(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		b := FullBitset(n)
+		if got := b.Count(); got != n {
+			t.Fatalf("FullBitset(%d).Count() = %d", n, got)
+		}
+		if n > 0 && !b.Get(n-1) {
+			t.Fatalf("FullBitset(%d) missing last bit", n)
+		}
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	a.Set(99)
+	b.Set(50)
+	b.Set(2)
+
+	and := a.Clone()
+	and.AndWith(b)
+	if and.Count() != 1 || !and.Get(50) {
+		t.Fatalf("AndWith: %v", and)
+	}
+
+	diff := a.Clone()
+	diff.AndNotWith(b)
+	if diff.Count() != 2 || diff.Get(50) {
+		t.Fatalf("AndNotWith: %v", diff)
+	}
+
+	or := a.Clone()
+	or.OrWith(b)
+	if or.Count() != 4 {
+		t.Fatalf("OrWith: %v", or)
+	}
+}
+
+func TestBitsetForEachOrderAndStop(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v", got)
+		}
+	}
+	count := 0
+	b.ForEach(func(int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestQuickBitsetCountMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := NewBitset(n)
+		ref := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			k := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				b.Set(k)
+				ref[k] = true
+			} else {
+				b.Clear(k)
+				delete(ref, k)
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		b.ForEach(func(i int) bool {
+			if !ref[i] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExamplesRetraction(t *testing.T) {
+	fx := newFixture(t)
+	ex := fx.ex
+	if ex.NumPos() != 4 || ex.NumNeg() != 4 || ex.NumPosAlive() != 4 {
+		t.Fatalf("fixture counts: %s", ex)
+	}
+	covered := NewBitset(4)
+	covered.Set(0)
+	covered.Set(2)
+	if got := ex.RetractPos(covered); got != 2 {
+		t.Fatalf("RetractPos = %d, want 2", got)
+	}
+	if ex.NumPosAlive() != 2 {
+		t.Fatalf("alive = %d, want 2", ex.NumPosAlive())
+	}
+	// Retracting again is a no-op.
+	if got := ex.RetractPos(covered); got != 0 {
+		t.Fatalf("second RetractPos = %d, want 0", got)
+	}
+	if got := ex.FirstAlivePos(); got != 1 {
+		t.Fatalf("FirstAlivePos = %d, want 1", got)
+	}
+	if got := ex.AlivePosIndices(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("AlivePosIndices = %v", got)
+	}
+}
+
+func TestExamplesClone(t *testing.T) {
+	fx := newFixture(t)
+	clone := fx.ex.Clone()
+	covered := NewBitset(4)
+	covered.Set(0)
+	clone.RetractPos(covered)
+	if fx.ex.NumPosAlive() != 4 {
+		t.Fatal("clone retraction leaked to original")
+	}
+	if clone.NumPosAlive() != 3 {
+		t.Fatal("clone retraction lost")
+	}
+}

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+// Coverer abstracts rule-coverage computation so the search can run against
+// a local evaluator (this package's Evaluator) or a distributed one (the
+// parallel-coverage baseline farms tests out to cluster workers).
+type Coverer interface {
+	// Coverage returns bitsets over the positive and negative example
+	// index spaces; non-nil candidate masks restrict which examples are
+	// (re-)tested.
+	Coverage(rule *logic.Clause, posCand, negCand Bitset) (pos, neg Bitset)
+	// PosLen and NegLen return the sizes of the index spaces.
+	PosLen() int
+	NegLen() int
+}
+
+// Evaluator computes rule coverage over an example store using an SLD
+// machine. Coverage of a refinement is computed only over the examples its
+// parent covered (candidate masks), the standard MDIE evaluation shortcut:
+// specialisation can only shrink coverage.
+type Evaluator struct {
+	M  *solve.Machine
+	Ex *Examples
+}
+
+var _ Coverer = (*Evaluator)(nil)
+
+// PosLen returns the positive example count.
+func (ev *Evaluator) PosLen() int { return len(ev.Ex.Pos) }
+
+// NegLen returns the negative example count.
+func (ev *Evaluator) NegLen() int { return len(ev.Ex.Neg) }
+
+// NewEvaluator pairs a machine with an example store.
+func NewEvaluator(m *solve.Machine, ex *Examples) *Evaluator {
+	return &Evaluator{M: m, Ex: ex}
+}
+
+// Coverage returns bitsets of the alive positives and of the negatives that
+// rule covers. Non-nil candidate masks restrict which examples are tested
+// (bits outside the mask come back clear).
+func (ev *Evaluator) Coverage(rule *logic.Clause, posCand, negCand Bitset) (pos, neg Bitset) {
+	pos = NewBitset(len(ev.Ex.Pos))
+	neg = NewBitset(len(ev.Ex.Neg))
+	testPos := ev.Ex.PosAlive
+	if posCand != nil {
+		testPos = posCand.Clone()
+		testPos.AndWith(ev.Ex.PosAlive)
+	}
+	testPos.ForEach(func(i int) bool {
+		if ev.M.CoversExample(rule, ev.Ex.Pos[i]) {
+			pos.Set(i)
+		}
+		return true
+	})
+	if negCand != nil {
+		negCand.ForEach(func(i int) bool {
+			if ev.M.CoversExample(rule, ev.Ex.Neg[i]) {
+				neg.Set(i)
+			}
+			return true
+		})
+		return pos, neg
+	}
+	for i := range ev.Ex.Neg {
+		if ev.M.CoversExample(rule, ev.Ex.Neg[i]) {
+			neg.Set(i)
+		}
+	}
+	return pos, neg
+}
+
+// CoverageCounts evaluates rule over all alive positives and all negatives
+// and returns the counts (used for rules-bag evaluation, Fig. 6
+// evaluate_rules).
+func (ev *Evaluator) CoverageCounts(rule *logic.Clause) (pos, neg int) {
+	p, n := ev.Coverage(rule, nil, nil)
+	return p.Count(), n.Count()
+}
+
+// CoverageFull evaluates rule over every positive — retracted or not — and
+// every negative. Coverage over a fixed example set is intrinsic to the
+// rule, so callers can memoise the result and derive alive counts by
+// masking with the current alive set (the standard coverage-caching
+// optimisation of MDIE engines; the p²-mdie workers use it to make
+// repeated rules-bag evaluations cheap).
+func (ev *Evaluator) CoverageFull(rule *logic.Clause) (pos, neg Bitset) {
+	pos = NewBitset(len(ev.Ex.Pos))
+	neg = NewBitset(len(ev.Ex.Neg))
+	for i := range ev.Ex.Pos {
+		if ev.M.CoversExample(rule, ev.Ex.Pos[i]) {
+			pos.Set(i)
+		}
+	}
+	for i := range ev.Ex.Neg {
+		if ev.M.CoversExample(rule, ev.Ex.Neg[i]) {
+			neg.Set(i)
+		}
+	}
+	return pos, neg
+}
+
+// TheoryCovers reports whether any rule of the theory covers the ground
+// example atom (used for prediction on test data).
+func TheoryCovers(m *solve.Machine, theory []logic.Clause, example logic.Term) bool {
+	for i := range theory {
+		if m.CoversExample(&theory[i], example) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Examples holds the training examples visible to one learner (the whole set
+// for the sequential algorithm, one partition for a pipeline worker).
+// Positive examples are retracted by the covering loop via an alive mask so
+// indices stay stable throughout a run; negatives are never retracted.
+type Examples struct {
+	Pos []logic.Term
+	Neg []logic.Term
+	// PosAlive marks positives not yet covered by the learned theory.
+	PosAlive Bitset
+}
+
+// NewExamples builds an example store with all positives alive.
+func NewExamples(pos, neg []logic.Term) *Examples {
+	return &Examples{Pos: pos, Neg: neg, PosAlive: FullBitset(len(pos))}
+}
+
+// NumPos returns the total number of positive examples.
+func (e *Examples) NumPos() int { return len(e.Pos) }
+
+// NumNeg returns the total number of negative examples.
+func (e *Examples) NumNeg() int { return len(e.Neg) }
+
+// NumPosAlive returns the number of not-yet-covered positives.
+func (e *Examples) NumPosAlive() int { return e.PosAlive.Count() }
+
+// RetractPos marks the positives in covered as explained (removed from the
+// remaining training set) and reports how many were newly retracted.
+func (e *Examples) RetractPos(covered Bitset) int {
+	before := e.PosAlive.Count()
+	e.PosAlive.AndNotWith(covered)
+	return before - e.PosAlive.Count()
+}
+
+// FirstAlivePos returns the index of the first alive positive, or -1.
+func (e *Examples) FirstAlivePos() int {
+	idx := -1
+	e.PosAlive.ForEach(func(i int) bool {
+		idx = i
+		return false
+	})
+	return idx
+}
+
+// AlivePosIndices returns the indices of alive positives in order.
+func (e *Examples) AlivePosIndices() []int {
+	var out []int
+	e.PosAlive.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy (terms are immutable and shared).
+func (e *Examples) Clone() *Examples {
+	return &Examples{
+		Pos:      append([]logic.Term(nil), e.Pos...),
+		Neg:      append([]logic.Term(nil), e.Neg...),
+		PosAlive: e.PosAlive.Clone(),
+	}
+}
+
+func (e *Examples) String() string {
+	return fmt.Sprintf("examples{pos: %d (%d alive), neg: %d}", e.NumPos(), e.NumPosAlive(), e.NumNeg())
+}

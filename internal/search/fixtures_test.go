@@ -1,0 +1,71 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bottom"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/solve"
+)
+
+// The shared fixture is a tiny molecular task: a molecule is active iff it
+// contains a bond to an oxygen atom. Molecules m1..m4 are positive,
+// m5..m8 negative.
+const fixtureBK = `
+atm(m1, a11, carbon). atm(m1, a12, oxygen).
+bondx(m1, a11, a12).
+atm(m2, a21, nitrogen). atm(m2, a22, oxygen). atm(m2, a23, carbon).
+bondx(m2, a21, a22). bondx(m2, a21, a23).
+atm(m3, a31, carbon). atm(m3, a32, oxygen).
+bondx(m3, a31, a32).
+atm(m4, a41, sulfur). atm(m4, a42, oxygen). atm(m4, a43, carbon).
+bondx(m4, a43, a42).
+atm(m5, a51, carbon). atm(m5, a52, carbon).
+bondx(m5, a51, a52).
+atm(m6, a61, nitrogen). atm(m6, a62, carbon).
+bondx(m6, a61, a62).
+atm(m7, a71, sulfur). atm(m7, a72, carbon).
+bondx(m7, a71, a72).
+atm(m8, a81, carbon). atm(m8, a82, nitrogen).
+bondx(m8, a81, a82).
+`
+
+const fixtureModes = `
+modeh(1, active(+mol)).
+modeb('*', atm(+mol, -atomid, #element)).
+modeb('*', bondx(+mol, -atomid, -atomid)).
+`
+
+type fixture struct {
+	kb  *solve.KB
+	m   *solve.Machine
+	ms  *mode.Set
+	ex  *Examples
+	ev  *Evaluator
+	bot *bottom.Bottom
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	kb := solve.NewKB()
+	if err := kb.AddSource(fixtureBK); err != nil {
+		t.Fatal(err)
+	}
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	var pos, neg []logic.Term
+	for i := 1; i <= 4; i++ {
+		pos = append(pos, logic.MustParseTerm(fmt.Sprintf("active(m%d)", i)))
+	}
+	for i := 5; i <= 8; i++ {
+		neg = append(neg, logic.MustParseTerm(fmt.Sprintf("active(m%d)", i)))
+	}
+	ex := NewExamples(pos, neg)
+	ms := mode.MustParseSet(fixtureModes)
+	bot, err := bottom.Construct(m, ms, pos[0], bottom.Options{VarDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{kb: kb, m: m, ms: ms, ex: ex, ev: NewEvaluator(m, ex), bot: bot}
+}

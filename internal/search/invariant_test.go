@@ -1,0 +1,111 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// These tests pin the semantic bridge the whole search rests on: the
+// θ-subsumption generality order must agree with example coverage — if C
+// subsumes D then every example D covers, C covers too (anti-monotonicity
+// of coverage along the refinement lattice).
+
+// randomRuleFrom picks a random subset of the fixture bottom clause.
+func randomRuleFrom(fx *fixture, rng *rand.Rand) logic.Clause {
+	var ix []int32
+	for j := range fx.bot.Lits {
+		if rng.Intn(3) == 0 {
+			ix = append(ix, int32(j))
+		}
+	}
+	return fx.bot.Materialize(ix)
+}
+
+func TestSubsumptionImpliesCoverageContainment(t *testing.T) {
+	fx := newFixture(t)
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		c := randomRuleFrom(fx, rng)
+		d := randomRuleFrom(fx, rng)
+		if !logic.Subsumes(&c, &d) {
+			continue
+		}
+		checked++
+		cPos, cNeg := fx.ev.Coverage(&c, nil, nil)
+		dPos, dNeg := fx.ev.Coverage(&d, nil, nil)
+		// d's coverage must be a subset of c's.
+		onlyD := dPos.Clone()
+		onlyD.AndNotWith(cPos)
+		if !onlyD.Empty() {
+			t.Fatalf("subsumption violated on positives:\nC: %s\nD: %s", c.String(), d.String())
+		}
+		onlyDN := dNeg.Clone()
+		onlyDN.AndNotWith(cNeg)
+		if !onlyDN.Empty() {
+			t.Fatalf("subsumption violated on negatives:\nC: %s\nD: %s", c.String(), d.String())
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d subsumption pairs checked; fixture too sparse", checked)
+	}
+}
+
+// Reduction must not change coverage: ReducesTo yields a subsume-equivalent
+// clause, so the covered example sets must be identical.
+func TestReductionPreservesCoverage(t *testing.T) {
+	fx := newFixture(t)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		c := randomRuleFrom(fx, rng)
+		r := logic.ReducesTo(&c)
+		cPos, cNeg := fx.ev.Coverage(&c, nil, nil)
+		rPos, rNeg := fx.ev.Coverage(&r, nil, nil)
+		if cPos.Count() != rPos.Count() || cNeg.Count() != rNeg.Count() {
+			t.Fatalf("reduction changed coverage:\noriginal: %s (%d/%d)\nreduced: %s (%d/%d)",
+				c.String(), cPos.Count(), cNeg.Count(), r.String(), rPos.Count(), rNeg.Count())
+		}
+	}
+}
+
+// CoverageFull restricted to the alive mask must agree with Coverage.
+func TestCoverageFullConsistentWithAliveCoverage(t *testing.T) {
+	fx := newFixture(t)
+	// Retract one positive to make the alive mask nontrivial.
+	covered := NewBitset(len(fx.ex.Pos))
+	covered.Set(1)
+	fx.ex.RetractPos(covered)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		c := randomRuleFrom(fx, rng)
+		fullPos, fullNeg := fx.ev.CoverageFull(&c)
+		alivePos, aliveNeg := fx.ev.Coverage(&c, nil, nil)
+		masked := fullPos.Clone()
+		masked.AndWith(fx.ex.PosAlive)
+		if masked.Count() != alivePos.Count() {
+			t.Fatalf("full∧alive (%d) != alive coverage (%d) for %s", masked.Count(), alivePos.Count(), c.String())
+		}
+		if fullNeg.Count() != aliveNeg.Count() {
+			t.Fatalf("negative coverage differs for %s", c.String())
+		}
+	}
+}
+
+// Property: coverage bitset counts are stable across repeated evaluation
+// (the evaluator has no hidden state).
+func TestQuickCoverageStable(t *testing.T) {
+	fx := newFixture(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomRuleFrom(fx, rng)
+		p1, n1 := fx.ev.Coverage(&c, nil, nil)
+		p2, n2 := fx.ev.Coverage(&c, nil, nil)
+		return p1.Count() == p2.Count() && n1.Count() == n2.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package search implements the bottom-clause-constrained rule search of
+// MDIE systems: candidate rules are subsets of the bottom clause's literals,
+// explored top-down (general to specific) breadth-first, ordered by
+// θ-subsumption and scored on example coverage.
+//
+// LearnRule implements both the sequential learn_rule of the paper's Fig. 2
+// (no seeds) and the pipelined learn_rule' of Fig. 7 (search restarted from
+// the rules found by the previous pipeline stage).
+package search
+
+import (
+	"container/heap"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bottom"
+	"repro/internal/logic"
+)
+
+// openList abstracts the search frontier: FIFO for breadth-first, a
+// score-ordered priority queue for best-first.
+type openList interface {
+	push(*Candidate)
+	pop() *Candidate
+	empty() bool
+}
+
+// fifoOpen is the breadth-first frontier.
+type fifoOpen struct{ q []*Candidate }
+
+func (f *fifoOpen) push(c *Candidate) { f.q = append(f.q, c) }
+func (f *fifoOpen) pop() *Candidate {
+	c := f.q[0]
+	f.q = f.q[1:]
+	return c
+}
+func (f *fifoOpen) empty() bool { return len(f.q) == 0 }
+
+// heapOpen is the best-first frontier: highest score first, ties broken by
+// insertion order for determinism.
+type heapOpen struct {
+	items []heapItem
+	seq   int
+}
+
+type heapItem struct {
+	c   *Candidate
+	seq int
+}
+
+func (h *heapOpen) Len() int { return len(h.items) }
+func (h *heapOpen) Less(i, j int) bool {
+	if h.items[i].c.Score != h.items[j].c.Score {
+		return h.items[i].c.Score > h.items[j].c.Score
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *heapOpen) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *heapOpen) Push(x any)    { h.items = append(h.items, x.(heapItem)) }
+func (h *heapOpen) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}
+
+func (h *heapOpen) push(c *Candidate) {
+	heap.Push(h, heapItem{c: c, seq: h.seq})
+	h.seq++
+}
+func (h *heapOpen) pop() *Candidate { return heap.Pop(h).(heapItem).c }
+func (h *heapOpen) empty() bool     { return len(h.items) == 0 }
+
+func newOpenList(s Strategy) openList {
+	if s == StrategyBestFirst {
+		return &heapOpen{}
+	}
+	return &fifoOpen{}
+}
+
+// Candidate is one searched rule: a set of bottom-clause literal indices
+// plus its local evaluation.
+type Candidate struct {
+	// Indices are the bottom-clause body literal positions, ascending.
+	Indices []int32
+	// Pos and Neg are local coverage counts (alive positives, negatives).
+	Pos, Neg int
+	// Score is the heuristic value under the search settings.
+	Score float64
+
+	posCov Bitset
+	negCov Bitset
+}
+
+// PosCover returns the bitset of alive positives the candidate covers.
+func (c *Candidate) PosCover() Bitset { return c.posCov }
+
+// NegCover returns the bitset of negatives the candidate covers.
+func (c *Candidate) NegCover() Bitset { return c.negCov }
+
+// Materialize builds the rule clause against its bottom clause.
+func (c *Candidate) Materialize(bot *bottom.Bottom) logic.Clause {
+	return bot.Materialize(c.Indices)
+}
+
+func indicesKey(ix []int32) string {
+	var b strings.Builder
+	for i, v := range ix {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
+
+// Result is the outcome of one rule search.
+type Result struct {
+	// Good holds the best W acceptable rules (all acceptable rules when W
+	// is unlimited), sorted best-first. Seeds are always retained, as in
+	// Fig. 7 ("Good = S"), even if locally poor — the master's global
+	// evaluation weeds them out.
+	Good []*Candidate
+	// Generated counts rules evaluated during this search.
+	Generated int
+	// ExhaustedNodes reports that the NodesLimit stopped the search.
+	ExhaustedNodes bool
+}
+
+// Best returns the top candidate, or nil if none is acceptable.
+func (r *Result) Best() *Candidate {
+	if len(r.Good) == 0 {
+		return nil
+	}
+	return r.Good[0]
+}
+
+// LearnRule searches the subset lattice of bot's literals for good rules.
+// With seeds == nil the search starts from the empty-bodied rule (Fig. 2);
+// otherwise the open set and initial Good are the seed rules (Fig. 7), each
+// re-evaluated on the local examples. The best W good rules are returned.
+func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Result {
+	st = st.WithDefaults()
+	res := &Result{}
+	seen := make(map[string]bool)
+	open := newOpenList(st.Strategy)
+	var good []*Candidate
+
+	addInitial := func(ix []int32, forceGood bool) {
+		if !validIndices(ix, len(bot.Lits)) {
+			return
+		}
+		sorted := append([]int32(nil), ix...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		key := indicesKey(sorted)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cand := evaluate(ev, bot, sorted, nil, nil, st)
+		res.Generated++
+		open.push(cand)
+		if forceGood || st.IsGood(cand.Pos, cand.Neg) {
+			good = append(good, cand)
+		}
+	}
+
+	if len(seeds) == 0 {
+		addInitial(nil, false)
+	} else {
+		for _, s := range seeds {
+			// Seeds stay in Good unconditionally (paper Fig. 7 line 1).
+			addInitial(s, true)
+		}
+	}
+
+	for !open.empty() && res.Generated < st.NodesLimit {
+		node := open.pop()
+		if len(node.Indices) >= st.MaxClauseLen {
+			continue
+		}
+		if node.Pos < st.MinPos {
+			continue // specialisation cannot regain positives
+		}
+		if node.Neg == 0 && len(node.Indices) > 0 {
+			continue // consistent already; refining only loses coverage
+		}
+		bound := boundVars(bot, node.Indices)
+		for j := int32(0); int(j) < len(bot.Lits); j++ {
+			if containsIndex(node.Indices, j) {
+				continue
+			}
+			if !inputsBound(bot.Info[j].InVars, bound) {
+				continue
+			}
+			child := insertSorted(node.Indices, j)
+			key := indicesKey(child)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cand := evaluate(ev, bot, child, node.posCov, node.negCov, st)
+			res.Generated++
+			if st.IsGood(cand.Pos, cand.Neg) {
+				good = append(good, cand)
+			}
+			if cand.Pos >= st.MinPos {
+				open.push(cand)
+			}
+			if res.Generated >= st.NodesLimit {
+				res.ExhaustedNodes = true
+				break
+			}
+		}
+	}
+	if res.Generated >= st.NodesLimit {
+		res.ExhaustedNodes = true
+	}
+
+	sortCandidates(good)
+	if st.W > 0 && len(good) > st.W {
+		good = good[:st.W]
+	}
+	res.Good = good
+	return res
+}
+
+// evaluate scores one candidate; parent coverage masks (may be nil) restrict
+// the examples re-tested.
+func evaluate(ev Coverer, bot *bottom.Bottom, ix []int32, posCand, negCand Bitset, st Settings) *Candidate {
+	clause := bot.Materialize(ix)
+	pos, neg := ev.Coverage(&clause, posCand, negCand)
+	c := &Candidate{Indices: ix, posCov: pos, negCov: neg}
+	c.Pos = pos.Count()
+	c.Neg = neg.Count()
+	c.Score = st.Score(c.Pos, c.Neg, len(ix))
+	return c
+}
+
+// sortCandidates orders best-first with deterministic tie-breaks:
+// score desc, positives desc, shorter first, then index-key order.
+func sortCandidates(cs []*Candidate) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Pos != b.Pos {
+			return a.Pos > b.Pos
+		}
+		if len(a.Indices) != len(b.Indices) {
+			return len(a.Indices) < len(b.Indices)
+		}
+		return indicesKey(a.Indices) < indicesKey(b.Indices)
+	})
+}
+
+func validIndices(ix []int32, n int) bool {
+	for _, v := range ix {
+		if v < 0 || int(v) >= n {
+			return false
+		}
+	}
+	return true
+}
+
+func containsIndex(ix []int32, j int32) bool {
+	for _, v := range ix {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(ix []int32, j int32) []int32 {
+	out := make([]int32, 0, len(ix)+1)
+	inserted := false
+	for _, v := range ix {
+		if !inserted && j < v {
+			out = append(out, j)
+			inserted = true
+		}
+		out = append(out, v)
+	}
+	if !inserted {
+		out = append(out, j)
+	}
+	return out
+}
+
+// boundVars returns the variables bound by the head plus the chosen literals.
+func boundVars(bot *bottom.Bottom, ix []int32) map[int32]bool {
+	bound := make(map[int32]bool, len(bot.HeadVars)+2*len(ix))
+	for _, v := range bot.HeadVars {
+		bound[v] = true
+	}
+	for _, i := range ix {
+		for _, v := range bot.Info[i].InVars {
+			bound[v] = true
+		}
+		for _, v := range bot.Info[i].OutVars {
+			bound[v] = true
+		}
+	}
+	return bound
+}
+
+func inputsBound(in []int32, bound map[int32]bool) bool {
+	for _, v := range in {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"", "bfs", "bestfirst", "best-first"} {
+		if _, err := ParseStrategy(name); err != nil {
+			t.Errorf("ParseStrategy(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseStrategy("dfs"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if StrategyBFS.String() != "bfs" || StrategyBestFirst.String() != "bestfirst" {
+		t.Error("Strategy String values")
+	}
+}
+
+func TestBestFirstFindsTarget(t *testing.T) {
+	fx := newFixture(t)
+	res := LearnRule(fx.ev, fx.bot, nil, Settings{
+		MaxClauseLen: 3, MinPrec: 0.9, Strategy: StrategyBestFirst,
+	})
+	best := res.Best()
+	if best == nil {
+		t.Fatal("best-first found nothing")
+	}
+	if best.Pos != 4 || best.Neg != 0 {
+		t.Fatalf("best-first best rule covers %d/%d, want 4/0", best.Pos, best.Neg)
+	}
+}
+
+func TestBestFirstMatchesBFSOnExhaustiveSearch(t *testing.T) {
+	// With no node limit pressure both strategies explore the same set, so
+	// the best rule must coincide.
+	fx1 := newFixture(t)
+	fx2 := newFixture(t)
+	bfs := LearnRule(fx1.ev, fx1.bot, nil, Settings{MaxClauseLen: 2, MinPrec: 0.9, NodesLimit: 100000})
+	bf := LearnRule(fx2.ev, fx2.bot, nil, Settings{MaxClauseLen: 2, MinPrec: 0.9, NodesLimit: 100000, Strategy: StrategyBestFirst})
+	if bfs.Generated != bf.Generated {
+		t.Fatalf("exhaustive searches generated different counts: %d vs %d", bfs.Generated, bf.Generated)
+	}
+	if bfs.Best().Score != bf.Best().Score {
+		t.Fatalf("best scores differ: %v vs %v", bfs.Best().Score, bf.Best().Score)
+	}
+}
+
+func TestBestFirstDeterministic(t *testing.T) {
+	fx1 := newFixture(t)
+	fx2 := newFixture(t)
+	st := Settings{MaxClauseLen: 3, MinPrec: 0.75, NodesLimit: 40, Strategy: StrategyBestFirst}
+	r1 := LearnRule(fx1.ev, fx1.bot, nil, st)
+	r2 := LearnRule(fx2.ev, fx2.bot, nil, st)
+	if len(r1.Good) != len(r2.Good) {
+		t.Fatalf("nondeterministic good counts: %d vs %d", len(r1.Good), len(r2.Good))
+	}
+	for i := range r1.Good {
+		if indicesKey(r1.Good[i].Indices) != indicesKey(r2.Good[i].Indices) {
+			t.Fatalf("rule %d differs between runs", i)
+		}
+	}
+}
+
+// Under a tight node budget, best-first should reach a rule at least as
+// good as breadth-first on this fixture (it expands promising nodes first).
+func TestBestFirstAtLeastAsGoodUnderBudget(t *testing.T) {
+	fx1 := newFixture(t)
+	fx2 := newFixture(t)
+	budget := Settings{MaxClauseLen: 3, MinPrec: 0.9, NodesLimit: 25}
+	bfs := LearnRule(fx1.ev, fx1.bot, nil, budget)
+	budget.Strategy = StrategyBestFirst
+	bf := LearnRule(fx2.ev, fx2.bot, nil, budget)
+	scoreOf := func(r *Result) float64 {
+		if r.Best() == nil {
+			return -1e18
+		}
+		return r.Best().Score
+	}
+	if scoreOf(bf) < scoreOf(bfs) {
+		t.Fatalf("best-first (%v) worse than BFS (%v) under budget", scoreOf(bf), scoreOf(bfs))
+	}
+}

@@ -1,0 +1,78 @@
+package solve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// benchKB builds a molecule-shaped KB with n facts per predicate.
+func benchKB(n int) *KB {
+	kb := NewKB()
+	for i := 0; i < n; i++ {
+		mol := fmt.Sprintf("m%d", i%50)
+		kb.AddFact(logic.MustParseTerm(fmt.Sprintf("atm(%s, a%d, carbon, 22, 0.1)", mol, i)))
+		kb.AddFact(logic.MustParseTerm(fmt.Sprintf("bond(%s, a%d, a%d, 1)", mol, i, (i+1)%n)))
+	}
+	return kb
+}
+
+func BenchmarkProveIndexedFact(b *testing.B) {
+	kb := benchKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	goal := logic.MustParseTerm("atm(m7, a7, carbon, 22, 0.1)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.ProveAtom(goal) {
+			b.Fatal("fact not proved")
+		}
+	}
+}
+
+func BenchmarkProveFailUnknownConstant(b *testing.B) {
+	kb := benchKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	goal := logic.MustParseTerm("atm(zz, a7, carbon, 22, 0.1)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.ProveAtom(goal) {
+			b.Fatal("unexpected proof")
+		}
+	}
+}
+
+func BenchmarkCoversExample(b *testing.B) {
+	kb := benchKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	rule := logic.MustParseClause("active(M) :- atm(M, A, carbon, T, C), bond(M, A, B, 1).")
+	example := logic.MustParseTerm("active(m7)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.CoversExample(&rule, example) {
+			b.Fatal("not covered")
+		}
+	}
+}
+
+func BenchmarkSolveEnumerate(b *testing.B) {
+	kb := benchKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	goal := logic.MustParseTerm("atm(m7, X, carbon, T, C)")
+	goals := []logic.Literal{logic.Lit(goal)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		m.Solve(goals, goal.MaxVar()+1, func(*logic.Bindings) bool {
+			count++
+			return true
+		})
+		if count == 0 {
+			b.Fatal("no solutions")
+		}
+	}
+}

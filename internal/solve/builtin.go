@@ -1,0 +1,93 @@
+package solve
+
+import (
+	"repro/internal/logic"
+)
+
+// builtinFn evaluates a deterministic builtin goal; it may bind variables.
+// The caller brackets the call with Mark/Undo, so a builtin does not need to
+// clean up after itself on failure.
+type builtinFn func(m *Machine, goal logic.Term) bool
+
+var builtins map[logic.PredKey]builtinFn
+
+func init() {
+	builtins = make(map[logic.PredKey]builtinFn)
+	reg := func(name string, arity int, fn builtinFn) {
+		builtins[logic.PredKey{Sym: logic.Intern(name), Arity: arity}] = fn
+	}
+	reg("true", 0, func(*Machine, logic.Term) bool { return true })
+	reg("fail", 0, func(*Machine, logic.Term) bool { return false })
+	reg("=", 2, func(m *Machine, g logic.Term) bool {
+		return m.bs.Unify(g.Args[0], g.Args[1])
+	})
+	reg("\\=", 2, func(m *Machine, g logic.Term) bool {
+		mark := m.bs.Mark()
+		ok := m.bs.Unify(g.Args[0], g.Args[1])
+		m.bs.Undo(mark)
+		return !ok
+	})
+	cmp := func(test func(a, b float64) bool) builtinFn {
+		return func(m *Machine, g logic.Term) bool {
+			a, okA := m.evalArith(g.Args[0])
+			b, okB := m.evalArith(g.Args[1])
+			return okA && okB && test(a, b)
+		}
+	}
+	reg("<", 2, cmp(func(a, b float64) bool { return a < b }))
+	reg("=<", 2, cmp(func(a, b float64) bool { return a <= b }))
+	reg(">", 2, cmp(func(a, b float64) bool { return a > b }))
+	reg(">=", 2, cmp(func(a, b float64) bool { return a >= b }))
+	reg("is", 2, func(m *Machine, g logic.Term) bool {
+		v, ok := m.evalArith(g.Args[1])
+		if !ok {
+			return false
+		}
+		return m.bs.Unify(g.Args[0], logic.FloatTerm(v))
+	})
+}
+
+// IsBuiltin reports whether a predicate key is handled by the engine itself
+// rather than by KB clauses.
+func IsBuiltin(key logic.PredKey) bool {
+	_, ok := builtins[key]
+	return ok
+}
+
+// evalArith evaluates t as an arithmetic expression under current bindings.
+// Supported: numeric constants, +, -, *, / (binary), - (unary).
+func (m *Machine) evalArith(t logic.Term) (float64, bool) {
+	t = m.bs.Walk(t)
+	switch t.Kind {
+	case logic.Int, logic.Float:
+		return t.Num, true
+	case logic.Compound:
+		name := t.Sym.Name()
+		if len(t.Args) == 1 && name == "-" {
+			v, ok := m.evalArith(t.Args[0])
+			return -v, ok
+		}
+		if len(t.Args) != 2 {
+			return 0, false
+		}
+		a, okA := m.evalArith(t.Args[0])
+		b, okB := m.evalArith(t.Args[1])
+		if !okA || !okB {
+			return 0, false
+		}
+		switch name {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}
+	}
+	return 0, false
+}

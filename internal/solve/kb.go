@@ -1,0 +1,224 @@
+// Package solve implements an indexed knowledge base of definite clauses and
+// a depth- and inference-bounded SLD resolution engine over it.
+//
+// The engine is the theorem prover behind every ILP coverage test: deciding
+// whether background knowledge plus a candidate rule entails an example. A
+// KB is safe for concurrent readers once populated; each goroutine reasons
+// through its own Machine, which owns all mutable state (bindings, trail,
+// fresh-variable counter, inference counters).
+package solve
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// argKey identifies a first-argument constant for clause indexing.
+type argKey struct {
+	kind logic.Kind
+	sym  logic.Symbol
+	num  float64
+}
+
+func keyFor(t logic.Term) (argKey, bool) {
+	switch t.Kind {
+	case logic.Atom:
+		return argKey{kind: logic.Atom, sym: t.Sym}, true
+	case logic.Int, logic.Float:
+		// Ints and floats unify numerically, so they share index keys.
+		return argKey{kind: logic.Int, num: t.Num}, true
+	}
+	return argKey{}, false
+}
+
+// storedClause caches per-clause metadata needed at resolution time.
+type storedClause struct {
+	clause  logic.Clause
+	numVars int
+}
+
+// pred holds all clauses for one predicate, facts indexed by first argument.
+type pred struct {
+	facts      []storedClause
+	rules      []storedClause
+	byFirstArg map[argKey][]int32 // fact positions, insertion order
+	unindexed  []int32            // fact positions whose first arg is not a constant
+}
+
+// KB is a knowledge base of definite clauses with first-argument indexing on
+// ground facts. Adding clauses is not goroutine-safe; reading (solving) is.
+type KB struct {
+	preds map[logic.PredKey]*pred
+	size  int
+}
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB {
+	return &KB{preds: make(map[logic.PredKey]*pred)}
+}
+
+// Add inserts a clause. Facts (empty body) join the indexed store; rules are
+// kept in insertion order and always scanned.
+func (kb *KB) Add(c logic.Clause) {
+	key := c.Head.Pred()
+	p := kb.preds[key]
+	if p == nil {
+		p = &pred{byFirstArg: make(map[argKey][]int32)}
+		kb.preds[key] = p
+	}
+	sc := storedClause{clause: c, numVars: c.NumVars()}
+	kb.size++
+	if !c.IsFact() {
+		p.rules = append(p.rules, sc)
+		return
+	}
+	pos := int32(len(p.facts))
+	p.facts = append(p.facts, sc)
+	if len(c.Head.Args) > 0 {
+		if k, ok := keyFor(c.Head.Args[0]); ok {
+			p.byFirstArg[k] = append(p.byFirstArg[k], pos)
+			return
+		}
+	}
+	p.unindexed = append(p.unindexed, pos)
+}
+
+// AddFact inserts head as a fact.
+func (kb *KB) AddFact(head logic.Term) { kb.Add(logic.Fact(head)) }
+
+// AddProgram inserts every clause of a parsed program.
+func (kb *KB) AddProgram(cs []logic.Clause) {
+	for _, c := range cs {
+		kb.Add(c)
+	}
+}
+
+// AddSource parses src and inserts the clauses.
+func (kb *KB) AddSource(src string) error {
+	cs, err := logic.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	kb.AddProgram(cs)
+	return nil
+}
+
+// Size reports the number of stored clauses.
+func (kb *KB) Size() int { return kb.size }
+
+// NumPredicates reports the number of distinct predicate keys.
+func (kb *KB) NumPredicates() int { return len(kb.preds) }
+
+// Predicates returns the predicate keys in a deterministic order.
+func (kb *KB) Predicates() []logic.PredKey {
+	out := make([]logic.PredKey, 0, len(kb.preds))
+	for k := range kb.preds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sym != out[j].Sym {
+			return out[i].Sym < out[j].Sym
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// Clone returns a deep-enough copy of the KB that may be extended
+// independently (clause storage is shared copy-on-write style: slices are
+// duplicated, clause structures are immutable and shared).
+func (kb *KB) Clone() *KB {
+	out := &KB{preds: make(map[logic.PredKey]*pred, len(kb.preds)), size: kb.size}
+	for k, p := range kb.preds {
+		np := &pred{
+			facts:      append([]storedClause(nil), p.facts...),
+			rules:      append([]storedClause(nil), p.rules...),
+			unindexed:  append([]int32(nil), p.unindexed...),
+			byFirstArg: make(map[argKey][]int32, len(p.byFirstArg)),
+		}
+		for ak, ps := range p.byFirstArg {
+			np.byFirstArg[ak] = append([]int32(nil), ps...)
+		}
+		out.preds[k] = np
+	}
+	return out
+}
+
+// lookup returns the candidate clauses for a goal whose arguments have been
+// dereferenced: a subset of facts selected by first-argument index when
+// possible, then all rules. The visit order is deterministic.
+func (kb *KB) lookup(goal logic.Term, visit func(storedClause) bool) {
+	p := kb.preds[goal.Pred()]
+	if p == nil {
+		return
+	}
+	if len(goal.Args) > 0 {
+		if k, ok := keyFor(goal.Args[0]); ok {
+			// Indexed facts matching the constant, plus unindexed facts,
+			// merged in insertion order to keep solution order stable.
+			idx, un := p.byFirstArg[k], p.unindexed
+			i, j := 0, 0
+			for i < len(idx) || j < len(un) {
+				var pos int32
+				if j >= len(un) || (i < len(idx) && idx[i] < un[j]) {
+					pos = idx[i]
+					i++
+				} else {
+					pos = un[j]
+					j++
+				}
+				if !visit(p.facts[pos]) {
+					return
+				}
+			}
+			for _, sc := range p.rules {
+				if !visit(sc) {
+					return
+				}
+			}
+			return
+		}
+	}
+	for _, sc := range p.facts {
+		if !visit(sc) {
+			return
+		}
+	}
+	for _, sc := range p.rules {
+		if !visit(sc) {
+			return
+		}
+	}
+}
+
+// AllClauses returns every stored clause grouped by predicate in
+// deterministic order (facts before rules within each predicate), for
+// dataset export tooling.
+func (kb *KB) AllClauses() []logic.Clause {
+	var out []logic.Clause
+	for _, key := range kb.Predicates() {
+		p := kb.preds[key]
+		for _, sc := range p.facts {
+			out = append(out, sc.clause)
+		}
+		for _, sc := range p.rules {
+			out = append(out, sc.clause)
+		}
+	}
+	return out
+}
+
+// FactsFor returns the stored facts of a predicate in insertion order
+// (used by dataset tooling and tests).
+func (kb *KB) FactsFor(key logic.PredKey) []logic.Clause {
+	p := kb.preds[key]
+	if p == nil {
+		return nil
+	}
+	out := make([]logic.Clause, len(p.facts))
+	for i, sc := range p.facts {
+		out[i] = sc.clause
+	}
+	return out
+}

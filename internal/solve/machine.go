@@ -1,0 +1,248 @@
+package solve
+
+import (
+	"repro/internal/logic"
+)
+
+// Budget bounds a proof attempt. A proof that exhausts the budget counts as
+// a failure (the standard ILP convention for h-bounded deduction: what cannot
+// be derived within the resource bound is treated as not entailed).
+type Budget struct {
+	// MaxDepth bounds the resolution depth (proof tree height). ≤0 means 64.
+	MaxDepth int
+	// MaxInferences bounds the number of resolution/builtin steps for a
+	// single query. ≤0 means 1<<20.
+	MaxInferences int64
+}
+
+func (b Budget) withDefaults() Budget {
+	if b.MaxDepth <= 0 {
+		b.MaxDepth = 64
+	}
+	if b.MaxInferences <= 0 {
+		b.MaxInferences = 1 << 20
+	}
+	return b
+}
+
+// DefaultBudget is a generous bound suitable for the bundled datasets.
+var DefaultBudget = Budget{MaxDepth: 64, MaxInferences: 1 << 20}
+
+// goalList is a persistent stack of pending goals; each carries its own
+// resolution depth so clause-body goals deepen while siblings do not.
+type goalList struct {
+	lit   logic.Literal
+	depth int
+	next  *goalList
+}
+
+func pushGoals(body []logic.Literal, depth int, rest *goalList) *goalList {
+	for i := len(body) - 1; i >= 0; i-- {
+		rest = &goalList{lit: body[i], depth: depth, next: rest}
+	}
+	return rest
+}
+
+// Machine is a single-goroutine SLD resolution engine over a shared KB.
+// Total inferences accumulate across queries; this counter is the work
+// measure that drives the simulated cluster's virtual clocks.
+type Machine struct {
+	kb     *KB
+	bs     *logic.Bindings
+	budget Budget
+
+	nextVar    int   // next fresh variable index for clause renaming
+	queryInf   int64 // inferences spent in the current query
+	totalInf   int64 // inferences spent since construction/reset
+	budgetHit  bool  // current query hit its budget
+	anyCutoffs int64 // queries that hit a budget since construction
+}
+
+// NewMachine returns a machine over kb with the given budget.
+func NewMachine(kb *KB, budget Budget) *Machine {
+	return &Machine{kb: kb, bs: logic.NewBindings(64), budget: budget.withDefaults()}
+}
+
+// KB returns the machine's knowledge base.
+func (m *Machine) KB() *KB { return m.kb }
+
+// SetKB swaps the knowledge base (used when a worker extends its background
+// with learned rules between epochs).
+func (m *Machine) SetKB(kb *KB) { m.kb = kb }
+
+// TotalInferences reports inferences accumulated over all queries.
+func (m *Machine) TotalInferences() int64 { return m.totalInf }
+
+// AddInferences charges extra work units to the machine (used by callers to
+// account for non-deductive work, e.g. clause construction, in the same
+// currency as proofs).
+func (m *Machine) AddInferences(n int64) { m.totalInf += n }
+
+// CutoffQueries reports how many queries were truncated by the budget.
+func (m *Machine) CutoffQueries() int64 { return m.anyCutoffs }
+
+// ResetCounters zeroes the accumulated inference statistics.
+func (m *Machine) ResetCounters() { m.totalInf = 0; m.anyCutoffs = 0 }
+
+// beginQuery prepares per-query state; vars [0, nVars) are reserved for the
+// caller's goal variables.
+func (m *Machine) beginQuery(nVars int) {
+	m.bs.Undo(0)
+	m.nextVar = nVars
+	m.queryInf = 0
+	m.budgetHit = false
+}
+
+func (m *Machine) endQuery() {
+	m.totalInf += m.queryInf
+	if m.budgetHit {
+		m.anyCutoffs++
+	}
+}
+
+// charge counts one inference step; it reports false when the budget is
+// exhausted, which aborts the current branch.
+func (m *Machine) charge() bool {
+	m.queryInf++
+	if m.queryInf >= m.budget.MaxInferences {
+		m.budgetHit = true
+		return false
+	}
+	return true
+}
+
+// Solve enumerates solutions of the conjunction goals, whose variables are
+// numbered below nVars. For each solution it calls yield with the machine's
+// bindings (valid only during the call); yield returns false to stop the
+// enumeration. Solve reports whether at least one solution was found.
+func (m *Machine) Solve(goals []logic.Literal, nVars int, yield func(*logic.Bindings) bool) bool {
+	m.beginQuery(nVars)
+	defer m.endQuery()
+	found := false
+	m.solve(pushGoals(goals, 0, nil), func() bool {
+		found = true
+		return yield(m.bs)
+	})
+	return found
+}
+
+// Prove reports whether the conjunction goals has at least one solution.
+func (m *Machine) Prove(goals []logic.Literal, nVars int) bool {
+	m.beginQuery(nVars)
+	defer m.endQuery()
+	found := false
+	m.solve(pushGoals(goals, 0, nil), func() bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ProveAtom proves a single positive goal.
+func (m *Machine) ProveAtom(goal logic.Term) bool {
+	return m.Prove([]logic.Literal{logic.Lit(goal)}, goal.MaxVar()+1)
+}
+
+// CoversExample reports whether rule covers the ground example atom: the
+// rule head must unify with the example and the body must then be provable
+// from the KB.
+func (m *Machine) CoversExample(rule *logic.Clause, example logic.Term) bool {
+	nv := rule.NumVars()
+	m.beginQuery(nv)
+	defer m.endQuery()
+	if !m.bs.Unify(rule.Head, example) {
+		return false
+	}
+	found := false
+	m.solve(pushGoals(rule.Body, 0, nil), func() bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// solve runs the SLD search over the pending goal list. The continuation k
+// is invoked at each solution and returns whether to keep searching.
+// solve's own return value has the same meaning (false = stop everything).
+func (m *Machine) solve(goals *goalList, k func() bool) bool {
+	if goals == nil {
+		return k()
+	}
+	g := goals.lit
+	rest := goals.next
+	if !m.charge() {
+		return true // budget: abandon this branch, enumeration "completes"
+	}
+	if g.Neg {
+		// Negation as failure: succeed iff the positive goal has no proof.
+		proved := false
+		m.solve(&goalList{lit: logic.Lit(g.Atom), depth: goals.depth + 1}, func() bool {
+			proved = true
+			return false
+		})
+		if proved {
+			return true
+		}
+		return m.solve(rest, k)
+	}
+	goal := m.resolveShallow(g.Atom)
+	if fn, ok := builtins[goal.Pred()]; ok {
+		mark := m.bs.Mark()
+		ok := fn(m, goal)
+		if ok {
+			if !m.solve(rest, k) {
+				return false
+			}
+		}
+		m.bs.Undo(mark)
+		return true
+	}
+	if goals.depth >= m.budget.MaxDepth {
+		m.budgetHit = true
+		return true
+	}
+	cont := true
+	m.kb.lookup(goal, func(sc storedClause) bool {
+		if !m.charge() {
+			cont = true
+			return false
+		}
+		base := m.nextVar
+		rc := sc.clause
+		if sc.numVars > 0 {
+			// Rename the clause apart; ground clauses (the vast majority
+			// of ILP background facts) need no copy.
+			rc = sc.clause.OffsetVars(base)
+		}
+		m.nextVar += sc.numVars
+		mark := m.bs.Mark()
+		if m.bs.Unify(goal, rc.Head) {
+			sub := pushGoals(rc.Body, goals.depth+1, rest)
+			if !m.solve(sub, k) {
+				cont = false
+				m.bs.Undo(mark)
+				m.nextVar = base
+				return false
+			}
+		}
+		m.bs.Undo(mark)
+		m.nextVar = base
+		return true
+	})
+	return cont
+}
+
+// resolveShallow dereferences the goal's top level and its immediate
+// arguments enough for indexing and builtin dispatch, without deep-copying
+// nested structure.
+func (m *Machine) resolveShallow(t logic.Term) logic.Term {
+	t = m.bs.Walk(t)
+	if t.Kind != logic.Compound {
+		return t
+	}
+	args := make([]logic.Term, len(t.Args))
+	for i := range t.Args {
+		args[i] = m.bs.Walk(t.Args[i])
+	}
+	return logic.Term{Kind: logic.Compound, Sym: t.Sym, Args: args}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample stddev of the set above is sqrt(32/7).
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 25); got != 4 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Fatalf("Speedup by zero = %v", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{0.5, 0.5, 0.5, 0.5}, // symmetric arcsine distribution median
+		{1, 1, 0.3, 0.3},     // uniform: I_x(1,1) = x
+		{2, 2, 0.5, 0.5},     // symmetric beta median
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x²
+		{1, 2, 0.5, 0.75},    // I_x(1,2) = 1-(1-x)²
+		{5, 3, 0.0, 0},       // boundary
+		{5, 3, 1.0, 1},       // boundary
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); !almost(got, c.want, 1e-10) {
+			t.Errorf("RegIncBeta(%v, %v, %v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestTwoSidedPKnownQuantiles(t *testing.T) {
+	// Classic t-table entries: t_{0.025, df} gives two-sided p = 0.05.
+	cases := []struct {
+		t  float64
+		df int
+	}{
+		{12.706, 1},
+		{2.776, 4},
+		{2.262, 9},
+		{2.045, 29},
+	}
+	for _, c := range cases {
+		if got := TwoSidedP(c.t, c.df); !almost(got, 0.05, 2e-4) {
+			t.Errorf("TwoSidedP(%v, %d) = %v, want ≈ 0.05", c.t, c.df, got)
+		}
+	}
+	if got := TwoSidedP(0, 10); !almost(got, 1, 1e-12) {
+		t.Errorf("TwoSidedP(0) = %v, want 1", got)
+	}
+}
+
+func TestTwoSidedPMonotone(t *testing.T) {
+	prev := 1.1
+	for _, tv := range []float64{0, 0.5, 1, 2, 4, 8, 16} {
+		p := TwoSidedP(tv, 7)
+		if p > prev {
+			t.Fatalf("p not monotone at t=%v: %v > %v", tv, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPairedTTestWorkedExample(t *testing.T) {
+	// Differences 1..5: mean 3, sd √2.5, t = 3/(√2.5/√5) = 4.2426, df 4.
+	a := []float64{2, 4, 6, 8, 10}
+	b := []float64{1, 2, 3, 4, 5}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, 3/math.Sqrt(2.5/5), 1e-12) {
+		t.Fatalf("T = %v", res.T)
+	}
+	if res.DF != 4 {
+		t.Fatalf("DF = %d", res.DF)
+	}
+	if !almost(res.P, 0.0132, 5e-4) {
+		t.Fatalf("P = %v, want ≈ 0.0132", res.P)
+	}
+	if !res.Significant(0.98) {
+		t.Fatal("should be significant at 98%")
+	}
+	if res.Significant(0.995) {
+		t.Fatal("should not be significant at 99.5%")
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err != ErrTooFewPairs {
+		t.Fatalf("short input: %v", err)
+	}
+	if _, err := PairedTTest([]float64{1, 2}, []float64{2}); err != ErrLengthMismatch {
+		t.Fatalf("mismatch: %v", err)
+	}
+	// Identical samples: no difference.
+	res, err := PairedTTest([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Fatalf("identical samples: %+v", res)
+	}
+	// Constant shift: infinitely significant.
+	res, err = PairedTTest([]float64{2, 3, 4}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, 1) {
+		t.Fatalf("constant shift: %+v", res)
+	}
+}
+
+func TestPairedTTestSymmetry(t *testing.T) {
+	a := []float64{0.62, 0.58, 0.61, 0.66, 0.59}
+	b := []float64{0.60, 0.62, 0.57, 0.60, 0.63}
+	r1, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r1.T, -r2.T, 1e-12) || !almost(r1.P, r2.P, 1e-12) {
+		t.Fatalf("asymmetry: %+v vs %+v", r1, r2)
+	}
+}
+
+// Property: RegIncBeta is a CDF in x — monotone nondecreasing, 0 at 0, 1 at 1.
+func TestQuickRegIncBetaMonotone(t *testing.T) {
+	f := func(ai, bi uint8) bool {
+		a := 0.5 + float64(ai%40)/4
+		b := 0.5 + float64(bi%40)/4
+		prev := -1.0
+		for x := 0.0; x <= 1.0001; x += 0.02 {
+			v := RegIncBeta(a, b, math.Min(x, 1))
+			if v < prev-1e-12 || v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: I_x(a,b) + I_{1-x}(b,a) = 1.
+func TestQuickRegIncBetaReflection(t *testing.T) {
+	f := func(ai, bi, xi uint8) bool {
+		a := 0.5 + float64(ai%40)/4
+		b := 0.5 + float64(bi%40)/4
+		x := float64(xi) / 255
+		return almost(RegIncBeta(a, b, x)+RegIncBeta(b, a, 1-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package theory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+func cl(s string) logic.Clause { return logic.MustParseClause(s) }
+
+func TestReduceRulesDropsSpecialisations(t *testing.T) {
+	th := []logic.Clause{
+		cl("p(X) :- q(X)."),
+		cl("p(X) :- q(X), r(X)."), // subsumed by the first
+		cl("p(X) :- s(X)."),
+	}
+	out := ReduceRules(th)
+	if len(out) != 2 {
+		t.Fatalf("ReduceRules kept %d rules, want 2: %v", len(out), out)
+	}
+	if out[0].String() != "p(A) :- q(A)" || out[1].String() != "p(A) :- s(A)" {
+		t.Fatalf("wrong survivors: %v", out)
+	}
+}
+
+func TestReduceRulesKeepsFirstOfEquivalents(t *testing.T) {
+	th := []logic.Clause{
+		cl("p(X) :- q(X, Y)."),
+		cl("p(U) :- q(U, V), q(U, W)."), // subsume-equivalent to the first
+	}
+	out := ReduceRules(th)
+	if len(out) != 1 {
+		t.Fatalf("kept %d, want 1", len(out))
+	}
+	if out[0].String() != "p(A) :- q(A, B)" {
+		t.Fatalf("kept the wrong equivalent: %s", out[0].String())
+	}
+}
+
+func TestReduceRulesKeepsGroundFacts(t *testing.T) {
+	th := []logic.Clause{
+		cl("p(X) :- q(X)."),
+		cl("p(a)."), // adopted example: subsumed by the general rule
+		cl("p(zz)."),
+	}
+	out := ReduceRules(th)
+	// p(a) and p(zz) are instances of p(X) :- q(X)? No: the rule has a
+	// body, the facts do not; a clause with extra body literals cannot be
+	// mapped into a bodiless clause, so facts survive.
+	if len(out) != 3 {
+		t.Fatalf("facts were dropped: %v", out)
+	}
+}
+
+func TestReduceBodies(t *testing.T) {
+	th := []logic.Clause{cl("p(X) :- q(X, Y), q(X, Z).")}
+	out := ReduceBodies(th)
+	if len(out[0].Body) != 1 {
+		t.Fatalf("body not reduced: %s", out[0].String())
+	}
+}
+
+func TestMinimizePreservesCoverage(t *testing.T) {
+	kb := solve.NewKB()
+	if err := kb.AddSource(`
+		q(a). q(b). s(c).
+		r(a).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	th := []logic.Clause{
+		cl("p(X) :- q(X), q(X)."),
+		cl("p(X) :- q(X), r(X)."),
+		cl("p(X) :- s(X)."),
+	}
+	min := Minimize(th)
+	if len(min) >= len(th) {
+		t.Fatalf("Minimize did not shrink: %v", min)
+	}
+	pos := []logic.Term{
+		logic.MustParseTerm("p(a)"),
+		logic.MustParseTerm("p(b)"),
+		logic.MustParseTerm("p(c)"),
+	}
+	before := Evaluate(kb, th, pos, nil, solve.Budget{})
+	after := Evaluate(kb, min, pos, nil, solve.Budget{})
+	if before.TP != after.TP {
+		t.Fatalf("minimisation changed coverage: %d vs %d", before.TP, after.TP)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	th := []logic.Clause{
+		cl("p(X) :- q(X), r(X, Y)."),
+		cl("p(X) :- q(X)."),
+		cl("p(a)."),
+	}
+	st := Summarize(th)
+	if st.Rules != 2 || st.Facts != 1 || st.Literals != 3 || st.MaxBodyLen != 2 || st.BodyPredCount != 2 {
+		t.Fatalf("Summarize: %+v", st)
+	}
+	if st.AvgBodyLen() != 1.5 {
+		t.Fatalf("AvgBodyLen = %v", st.AvgBodyLen())
+	}
+	if Summarize(nil).AvgBodyLen() != 0 {
+		t.Fatal("empty theory avg")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	kb := solve.NewKB()
+	if err := kb.AddSource(`q(a). q(b). q(n1).`); err != nil {
+		t.Fatal(err)
+	}
+	th := []logic.Clause{cl("p(X) :- q(X).")}
+	pos := []logic.Term{logic.MustParseTerm("p(a)"), logic.MustParseTerm("p(b)"), logic.MustParseTerm("p(c)")}
+	neg := []logic.Term{logic.MustParseTerm("p(n1)"), logic.MustParseTerm("p(n2)")}
+	c := Evaluate(kb, th, pos, neg, solve.Budget{})
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if c.Accuracy() != 3.0/5.0 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if c.Precision() != 2.0/3.0 {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if c.Recall() != 2.0/3.0 {
+		t.Fatalf("recall = %v", c.Recall())
+	}
+	if c.F1() != 2.0/3.0 {
+		t.Fatalf("f1 = %v", c.F1())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("zero matrix should yield zero metrics")
+	}
+}
+
+// Property: Minimize is idempotent.
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	preds := []string{"q", "r", "s"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var th []logic.Clause
+		for i := 0; i < 4; i++ {
+			var body []logic.Term
+			for j := 0; j <= rng.Intn(3); j++ {
+				body = append(body, logic.Comp(preds[rng.Intn(3)], logic.V(rng.Intn(2))))
+			}
+			th = append(th, logic.Rule(logic.Comp("p", logic.V(0)), body...))
+		}
+		once := Minimize(th)
+		twice := Minimize(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].String() != twice[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

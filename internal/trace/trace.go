@@ -1,0 +1,194 @@
+// Package trace collects and analyses simulated-cluster event streams:
+// per-node busy/communication accounting, link traffic matrices, and a
+// plain-text timeline rendering. It turns the cluster's raw event hook
+// into the utilisation views one would use to study pipeline balance (the
+// paper argues p²-mdie keeps all stages busy — these tools let a user
+// check that claim on any run).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Collector accumulates events; safe for concurrent emitters.
+type Collector struct {
+	mu     sync.Mutex
+	events []cluster.Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Hook returns the function to install via cluster.Network.SetTrace or
+// core.Config.Trace.
+func (c *Collector) Hook() func(cluster.Event) {
+	return func(e cluster.Event) {
+		c.mu.Lock()
+		c.events = append(c.events, e)
+		c.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []cluster.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]cluster.Event(nil), c.events...)
+}
+
+// Len reports how many events were collected.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// NodeStats aggregates one node's activity.
+type NodeStats struct {
+	Node       int
+	Sends      int
+	Receives   int
+	BytesOut   int64
+	BytesIn    int64
+	ComputeOps int
+	LastClock  cluster.VTime
+}
+
+// Analysis summarises a whole run.
+type Analysis struct {
+	Nodes    []NodeStats
+	Messages int
+	Bytes    int64
+	// Link[from][to] = bytes.
+	Link map[int]map[int]int64
+	// Makespan is the maximum clock observed on any event.
+	Makespan cluster.VTime
+}
+
+// Analyze aggregates an event stream.
+func Analyze(events []cluster.Event) *Analysis {
+	byNode := map[int]*NodeStats{}
+	get := func(id int) *NodeStats {
+		ns, ok := byNode[id]
+		if !ok {
+			ns = &NodeStats{Node: id}
+			byNode[id] = ns
+		}
+		return ns
+	}
+	an := &Analysis{Link: map[int]map[int]int64{}}
+	for _, e := range events {
+		ns := get(e.Node)
+		if e.Clock > ns.LastClock {
+			ns.LastClock = e.Clock
+		}
+		if e.Clock > an.Makespan {
+			an.Makespan = e.Clock
+		}
+		switch e.Type {
+		case cluster.EvSend:
+			ns.Sends++
+			ns.BytesOut += int64(e.Bytes)
+			get(e.Peer).BytesIn += int64(e.Bytes)
+			if an.Link[e.Node] == nil {
+				an.Link[e.Node] = map[int]int64{}
+			}
+			an.Link[e.Node][e.Peer] += int64(e.Bytes)
+			an.Messages++
+			an.Bytes += int64(e.Bytes)
+		case cluster.EvReceive:
+			ns.Receives++
+		case cluster.EvCompute:
+			ns.ComputeOps++
+		}
+	}
+	for _, ns := range byNode {
+		an.Nodes = append(an.Nodes, *ns)
+	}
+	sort.Slice(an.Nodes, func(i, j int) bool { return an.Nodes[i].Node < an.Nodes[j].Node })
+	return an
+}
+
+// Balance returns the ratio of the least to the most loaded worker by
+// outgoing bytes, over the given node ids (1.0 = perfectly balanced;
+// 0 when some worker sent nothing). The paper argues the pipeline keeps
+// granularity similar across workers — this is the quantitative check.
+func (a *Analysis) Balance(workers []int) float64 {
+	min, max := int64(-1), int64(0)
+	for _, w := range workers {
+		var out int64
+		for _, ns := range a.Nodes {
+			if ns.Node == w {
+				out = ns.BytesOut
+			}
+		}
+		if min < 0 || out < min {
+			min = out
+		}
+		if out > max {
+			max = out
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(min) / float64(max)
+}
+
+// RenderSummary writes a per-node table.
+func (a *Analysis) RenderSummary(w io.Writer, names map[int]string) {
+	fmt.Fprintf(w, "%-10s %8s %8s %10s %10s %12s\n", "node", "sends", "recvs", "bytes out", "bytes in", "last clock")
+	for _, ns := range a.Nodes {
+		name := names[ns.Node]
+		if name == "" {
+			name = fmt.Sprintf("node%d", ns.Node)
+		}
+		fmt.Fprintf(w, "%-10s %8d %8d %10d %10d %11.3fms\n",
+			name, ns.Sends, ns.Receives, ns.BytesOut, ns.BytesIn, float64(ns.LastClock)/1e6)
+	}
+}
+
+// Timeline renders a coarse text Gantt chart of send activity: one row per
+// node, time bucketed into width columns; '#' marks buckets where the node
+// sent at least one message, '.' marks quiet buckets.
+func Timeline(events []cluster.Event, nodes int, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var makespan cluster.VTime
+	for _, e := range events {
+		if e.Clock > makespan {
+			makespan = e.Clock
+		}
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	rows := make([][]byte, nodes)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range events {
+		if e.Type != cluster.EvSend || e.Node >= nodes {
+			continue
+		}
+		bucket := int(int64(e.Clock) * int64(width-1) / int64(makespan))
+		rows[e.Node][bucket] = '#'
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		fmt.Fprintf(&b, "node%-2d |%s|\n", i, row)
+	}
+	pad := width - 12
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "        0%s%.3fms\n", strings.Repeat(" ", pad), float64(makespan)/1e6)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+func sampleEvents() []cluster.Event {
+	ms := func(n int) cluster.VTime { return cluster.VTime(time.Duration(n) * time.Millisecond) }
+	return []cluster.Event{
+		{Type: cluster.EvSend, Node: 0, Peer: 1, Kind: 1, Bytes: 100, Clock: ms(0), Seq: 1},
+		{Type: cluster.EvReceive, Node: 1, Peer: 0, Kind: 1, Bytes: 100, Clock: ms(1), Seq: 1},
+		{Type: cluster.EvCompute, Node: 1, Peer: -1, Kind: -1, Clock: ms(5)},
+		{Type: cluster.EvSend, Node: 1, Peer: 2, Kind: 2, Bytes: 400, Clock: ms(5), Seq: 2},
+		{Type: cluster.EvReceive, Node: 2, Peer: 1, Kind: 2, Bytes: 400, Clock: ms(6), Seq: 2},
+		{Type: cluster.EvSend, Node: 2, Peer: 0, Kind: 3, Bytes: 50, Clock: ms(8), Seq: 3},
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	an := Analyze(sampleEvents())
+	if an.Messages != 3 || an.Bytes != 550 {
+		t.Fatalf("totals: %+v", an)
+	}
+	if an.Makespan != cluster.VTime(8*time.Millisecond) {
+		t.Fatalf("makespan: %v", an.Makespan)
+	}
+	if an.Link[1][2] != 400 {
+		t.Fatalf("link bytes: %+v", an.Link)
+	}
+	var n1 NodeStats
+	for _, ns := range an.Nodes {
+		if ns.Node == 1 {
+			n1 = ns
+		}
+	}
+	if n1.Sends != 1 || n1.Receives != 1 || n1.BytesOut != 400 || n1.BytesIn != 100 || n1.ComputeOps != 1 {
+		t.Fatalf("node1 stats: %+v", n1)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	an := Analyze(sampleEvents())
+	// Workers 1 and 2 sent 400 and 50 bytes.
+	got := an.Balance([]int{1, 2})
+	if got != 50.0/400.0 {
+		t.Fatalf("balance = %v", got)
+	}
+	if an.Balance([]int{9}) != 0 {
+		t.Fatal("unknown worker should give zero balance")
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	an := Analyze(sampleEvents())
+	var buf bytes.Buffer
+	an.RenderSummary(&buf, map[int]string{0: "master"})
+	out := buf.String()
+	if !strings.Contains(out, "master") || !strings.Contains(out, "node1") {
+		t.Fatalf("summary: %s", out)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := Timeline(sampleEvents(), 3, 40)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("timeline lines: %d\n%s", len(lines), tl)
+	}
+	if !strings.HasPrefix(lines[0], "node0") || !strings.Contains(lines[0], "|#") {
+		t.Fatalf("node0 row should start with a send mark:\n%s", tl)
+	}
+	if !strings.Contains(lines[2], "#") {
+		t.Fatalf("node2 row missing send mark:\n%s", tl)
+	}
+	// Zero events must not divide by zero.
+	if got := Timeline(nil, 2, 10); !strings.Contains(got, "node0") {
+		t.Fatalf("empty timeline: %q", got)
+	}
+}
+
+func TestCollectorOnRealRun(t *testing.T) {
+	ds := datasets.CarcinogenesisSized(16, 12, 5)
+	col := NewCollector()
+	met, err := core.Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, core.Config{
+		Workers: 3, Width: 5, Seed: 1,
+		Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+		Trace: col.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	an := Analyze(col.Events())
+	if int64(an.Messages) != met.CommMessages {
+		t.Fatalf("trace saw %d messages, metrics say %d", an.Messages, met.CommMessages)
+	}
+	if an.Bytes != met.CommBytes {
+		t.Fatalf("trace saw %d bytes, metrics say %d", an.Bytes, met.CommBytes)
+	}
+	if an.Makespan.Duration() > met.VirtualTime {
+		t.Fatalf("trace makespan %v exceeds metrics %v", an.Makespan, met.VirtualTime)
+	}
+	// All three workers participated.
+	bal := an.Balance([]int{1, 2, 3})
+	if bal <= 0 {
+		t.Fatalf("some worker never sent: balance=%v", bal)
+	}
+}

@@ -1,0 +1,131 @@
+package xval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func makeExamples(n int, pred string) []logic.Term {
+	out := make([]logic.Term, n)
+	for i := range out {
+		out[i] = logic.MustParseTerm(fmt.Sprintf("%s(e%d)", pred, i))
+	}
+	return out
+}
+
+func TestKFoldPartitionProperties(t *testing.T) {
+	pos := makeExamples(23, "p")
+	neg := makeExamples(17, "n")
+	folds, err := KFold(pos, neg, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seenPos := make(map[string]int)
+	seenNeg := make(map[string]int)
+	for fi, f := range folds {
+		// Test + train must reconstruct the full set for each fold.
+		if len(f.TestPos)+len(f.TrainPos) != len(pos) {
+			t.Fatalf("fold %d: pos split %d+%d != %d", fi, len(f.TestPos), len(f.TrainPos), len(pos))
+		}
+		if len(f.TestNeg)+len(f.TrainNeg) != len(neg) {
+			t.Fatalf("fold %d: neg split sizes wrong", fi)
+		}
+		// No overlap between train and test.
+		inTrain := make(map[string]bool)
+		for _, e := range f.TrainPos {
+			inTrain[e.String()] = true
+		}
+		for _, e := range f.TestPos {
+			if inTrain[e.String()] {
+				t.Fatalf("fold %d: %s in both train and test", fi, e)
+			}
+			seenPos[e.String()]++
+		}
+		for _, e := range f.TestNeg {
+			seenNeg[e.String()]++
+		}
+		// Balanced fold sizes (within one example).
+		if len(f.TestPos) < len(pos)/5 || len(f.TestPos) > len(pos)/5+1 {
+			t.Fatalf("fold %d: unbalanced test pos size %d", fi, len(f.TestPos))
+		}
+	}
+	// Every example appears in exactly one test fold.
+	if len(seenPos) != len(pos) || len(seenNeg) != len(neg) {
+		t.Fatalf("coverage: %d pos, %d neg in test folds", len(seenPos), len(seenNeg))
+	}
+	for k, c := range seenPos {
+		if c != 1 {
+			t.Fatalf("%s appears in %d test folds", k, c)
+		}
+	}
+}
+
+func TestKFoldDeterministicBySeed(t *testing.T) {
+	pos := makeExamples(20, "p")
+	neg := makeExamples(20, "n")
+	f1, _ := KFold(pos, neg, 4, 7)
+	f2, _ := KFold(pos, neg, 4, 7)
+	f3, _ := KFold(pos, neg, 4, 8)
+	for i := range f1 {
+		if fmt.Sprint(f1[i].TestPos) != fmt.Sprint(f2[i].TestPos) {
+			t.Fatal("same seed produced different folds")
+		}
+	}
+	same := true
+	for i := range f1 {
+		if fmt.Sprint(f1[i].TestPos) != fmt.Sprint(f3[i].TestPos) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical folds (suspicious)")
+	}
+}
+
+func TestKFoldShufflesAcrossFolds(t *testing.T) {
+	pos := makeExamples(30, "p")
+	neg := makeExamples(10, "n")
+	folds, err := KFold(pos, neg, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first fold should not simply be the first 6 examples in order.
+	inOrder := true
+	for i, e := range folds[0].TestPos {
+		if e.String() != fmt.Sprintf("p(e%d)", i) {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("fold 0 is the unshuffled prefix")
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	pos := makeExamples(3, "p")
+	neg := makeExamples(3, "n")
+	if _, err := KFold(pos, neg, 1, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KFold(pos, neg, 5, 0); err == nil {
+		t.Fatal("k > len(pos) accepted")
+	}
+}
+
+func TestKFoldEmptyNegatives(t *testing.T) {
+	pos := makeExamples(10, "p")
+	folds, err := KFold(pos, nil, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range folds {
+		if len(f.TestNeg) != 0 || len(f.TrainNeg) != 0 {
+			t.Fatal("phantom negatives")
+		}
+	}
+}
