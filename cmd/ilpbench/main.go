@@ -36,6 +36,7 @@ func main() {
 		only     = flag.String("dataset", "", "restrict to one dataset (carcinogenesis, mesh, pyrimidines)")
 		shape    = flag.Bool("shape", false, "print the qualitative shape checks after the tables")
 		chart    = flag.Bool("chart", false, "draw a text speedup-vs-processors chart after the tables")
+		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); results are identical, wall-clock drops")
 		quiet    = flag.Bool("q", false, "suppress per-fold progress output")
 	)
 	flag.Parse()
@@ -86,11 +87,12 @@ func main() {
 	}
 
 	cfg := harness.Config{
-		Datasets: dss,
-		Procs:    procs,
-		Widths:   widths,
-		Folds:    *folds,
-		Seed:     *seed,
+		Datasets:         dss,
+		Procs:            procs,
+		Widths:           widths,
+		Folds:            *folds,
+		Seed:             *seed,
+		CoverParallelism: *coverPar,
 	}
 	progress := os.Stderr
 	if *quiet {

@@ -29,6 +29,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "p²-mdie worker count (0 = run the sequential baseline)")
 		width    = flag.Int("width", 10, "pipeline width W (0 = unlimited, the paper's 'nolimit')")
 		strategy = flag.String("strategy", "bfs", "search strategy: bfs (paper) or bestfirst")
+		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); with -workers > 0 the pool is per worker, so total concurrency is workers*N")
 		verbose  = flag.Bool("v", false, "print the learned theory")
 		quiet    = flag.Bool("q", false, "suppress everything except the metrics line")
 	)
@@ -60,7 +61,7 @@ func main() {
 
 	var theory []ilp.Clause
 	if *workers <= 0 {
-		res, err := ilp.LearnSequential(ds)
+		res, err := ilp.LearnSequential(ds, ilp.SequentialOptions{CoverParallelism: *coverPar})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p2mdie:", err)
 			os.Exit(1)
@@ -70,7 +71,7 @@ func main() {
 			res.RulesLearned, res.GroundFactsAdopted, res.Searches, res.GeneratedRules,
 			res.Inferences, res.Duration.Seconds())
 	} else {
-		met, err := ilp.LearnParallel(ds, *workers, *width, ilp.ParallelOptions{Seed: *seed})
+		met, err := ilp.LearnParallel(ds, *workers, *width, ilp.ParallelOptions{Seed: *seed, CoverParallelism: *coverPar})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p2mdie:", err)
 			os.Exit(1)

@@ -143,14 +143,26 @@ func Define(name, background, modes string, pos, neg []string) (*Dataset, error)
 	}, nil
 }
 
+// SequentialOptions tunes LearnSequential.
+type SequentialOptions struct {
+	// CoverParallelism shards coverage tests across this many goroutines
+	// (<0 = all cores, ≤1 = serial). The learned theory is identical.
+	CoverParallelism int
+}
+
 // LearnSequential runs the sequential MDIE covering algorithm (the paper's
 // Figure 1 baseline) with the dataset's recommended settings.
-func LearnSequential(ds *Dataset) (*SequentialResult, error) {
+func LearnSequential(ds *Dataset, opts ...SequentialOptions) (*SequentialResult, error) {
+	var o SequentialOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	ex := search.NewExamples(ds.Pos, ds.Neg)
 	return covering.Learn(ds.KB, ex, ds.Modes, covering.Config{
-		Search: ds.Search,
-		Bottom: ds.Bottom,
-		Budget: ds.Budget,
+		Search:           ds.Search,
+		Bottom:           ds.Bottom,
+		Budget:           ds.Budget,
+		CoverParallelism: o.CoverParallelism,
 	})
 }
 
@@ -165,6 +177,10 @@ type ParallelOptions struct {
 	// Repartition re-balances uncovered positives across workers before
 	// every epoch (the §4.1 alternative; costs communication).
 	Repartition bool
+	// CoverParallelism shards each worker's coverage tests across this
+	// many goroutines (<0 = all cores, ≤1 = serial); real multicore
+	// speedup inside the simulation, identical results.
+	CoverParallelism int
 }
 
 // LearnParallel runs p²-mdie (the paper's pipelined data-parallel
@@ -189,6 +205,7 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 		Cost:                 o.Cost,
 		Trace:                o.Trace,
 		RepartitionEachEpoch: o.Repartition,
+		CoverParallelism:     o.CoverParallelism,
 	})
 }
 

@@ -381,7 +381,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	metrics.CommBytes = st.Bytes
 	metrics.CommMessages = st.Messages
 	for _, w := range workers {
-		metrics.TotalInferences += w.m.TotalInferences()
+		metrics.TotalInferences += w.totalInf()
 		metrics.GeneratedRules += w.generated
 	}
 	return metrics, nil

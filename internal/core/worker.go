@@ -23,7 +23,11 @@ type worker struct {
 
 	m  *solve.Machine
 	ex *search.Examples
-	ev *search.Evaluator
+	ev search.FullCoverer
+
+	// retiredInf preserves inference totals of evaluators discarded on
+	// repartition, so the worker's work accounting stays monotonic.
+	retiredInf int64
 
 	generated int64 // rules evaluated by this worker's searches
 
@@ -46,7 +50,7 @@ func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples,
 		machineKB = kb.Clone()
 	}
 	m := solve.NewMachine(machineKB, cfg.Budget)
-	return &worker{
+	w := &worker{
 		id:       id,
 		p:        p,
 		node:     node,
@@ -54,9 +58,23 @@ func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples,
 		ms:       ms,
 		m:        m,
 		ex:       ex,
-		ev:       search.NewEvaluator(m, ex),
 		covCache: make(map[string]covEntry),
 	}
+	w.ev = w.newEvaluator()
+	return w
+}
+
+// newEvaluator builds the worker's coverage evaluator over its current
+// example partition: serial on the worker's own machine, or sharded over
+// CoverParallelism goroutines with private machines on the same KB.
+func (w *worker) newEvaluator() search.FullCoverer {
+	return search.NewFullCoverer(w.m, w.ex, w.cfg.Budget, w.cfg.CoverParallelism)
+}
+
+// totalInf is the worker's total SLD work: its own machine plus any
+// evaluator-owned shard machines, plus totals retired on repartition.
+func (w *worker) totalInf() int64 {
+	return w.m.TotalInferences() + w.ev.OwnInferences() + w.retiredInf
 }
 
 // ruleCoverage returns the memoised intrinsic coverage of rule on this
@@ -66,7 +84,7 @@ func (w *worker) ruleCoverage(rule *logic.Clause) covEntry {
 	if e, ok := w.covCache[key]; ok {
 		return e
 	}
-	before := w.m.TotalInferences()
+	before := w.totalInf()
 	pos, neg := w.ev.CoverageFull(rule)
 	w.chargeWork(before)
 	e := covEntry{pos: pos, neg: neg.Count()}
@@ -84,9 +102,9 @@ func (w *worker) nextWorker() int {
 }
 
 // chargeWork advances the node's virtual clock by the SLD work done since
-// the last charge.
+// the last charge (before is a prior totalInf reading).
 func (w *worker) chargeWork(before int64) {
-	w.node.Compute(w.m.TotalInferences() - before)
+	w.node.Compute(w.totalInf() - before)
 }
 
 // run is the worker event loop; it exits on kindStop or network shutdown.
@@ -166,7 +184,7 @@ func (w *worker) startPipeline() error {
 		// Nothing left locally: deliver an empty pipeline result.
 		return w.node.Send(0, kindRules, rulesMsg{Origin: w.id})
 	}
-	before := w.m.TotalInferences()
+	before := w.totalInf()
 	bot, err := bottom.Construct(w.m, w.ms, w.ex.Pos[seedIdx], w.cfg.Bottom)
 	if err != nil {
 		return fmt.Errorf("core: worker %d saturation: %w", w.id, err)
@@ -189,7 +207,7 @@ func (w *worker) runStage(st *stageMsg) error {
 	for i, s := range st.Seeds {
 		seeds[i] = s.Indices
 	}
-	before := w.m.TotalInferences()
+	before := w.totalInf()
 	res := search.LearnRule(w.ev, &st.Bottom, seeds, w.cfg.Search)
 	w.generated += int64(res.Generated)
 	w.chargeWork(before)
@@ -267,8 +285,9 @@ func (w *worker) gatherAlive() error {
 // keys rules, but its bitsets index the old positives, so it must be
 // rebuilt from scratch.
 func (w *worker) installPartition(pos []logic.Term) {
+	w.retiredInf += w.ev.OwnInferences()
 	w.ex = search.NewExamples(pos, w.ex.Neg)
-	w.ev = search.NewEvaluator(w.m, w.ex)
+	w.ev = w.newEvaluator()
 	w.covCache = make(map[string]covEntry)
 	w.node.Compute(int64(len(pos)))
 }

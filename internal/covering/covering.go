@@ -33,6 +33,11 @@ type Config struct {
 	// mark_covered does this on workers; the sequential Fig. 1 does not,
 	// so the default is off).
 	AddLearnedToBK bool
+	// CoverParallelism selects the coverage evaluator: ≤1 tests examples
+	// serially on the learner's own machine, n > 1 shards coverage tests
+	// across n goroutines, and a negative value selects GOMAXPROCS. The
+	// learned theory is identical in all cases; only wall-clock changes.
+	CoverParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,7 +72,7 @@ func Learn(kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) (*Result
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	m := solve.NewMachine(kb, cfg.Budget)
-	ev := search.NewEvaluator(m, ex)
+	ev := search.NewFullCoverer(m, ex, cfg.Budget, cfg.CoverParallelism)
 	res := &Result{}
 
 	for ex.NumPosAlive() > 0 && len(res.Theory) < cfg.MaxRules {
@@ -100,7 +105,7 @@ func Learn(kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) (*Result
 		}
 	}
 
-	res.Inferences = m.TotalInferences()
+	res.Inferences = m.TotalInferences() + ev.OwnInferences()
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -42,6 +42,10 @@ type Config struct {
 	Seed int64
 	// Cost is the simulated cluster model.
 	Cost cluster.CostModel
+	// CoverParallelism shards every learner's coverage tests across this
+	// many goroutines (<0 = GOMAXPROCS, ≤1 = serial). Results are
+	// identical; only wall-clock changes.
+	CoverParallelism int
 }
 
 // WithDefaults fills the paper's protocol values.
@@ -118,6 +122,7 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 			ex := search.NewExamples(fold.TrainPos, fold.TrainNeg)
 			seq, err := covering.Learn(ds.KB, ex, ds.Modes, covering.Config{
 				Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+				CoverParallelism: cfg.CoverParallelism,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s fold %d sequential: %w", ds.Name, fi, err)
@@ -139,6 +144,8 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 						Bottom:  ds.Bottom,
 						Budget:  ds.Budget,
 						Cost:    cfg.Cost,
+
+						CoverParallelism: cfg.CoverParallelism,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("harness: %s fold %d p=%d w=%d: %w", ds.Name, fi, p, w, err)

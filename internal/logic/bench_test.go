@@ -58,3 +58,36 @@ func BenchmarkClauseCanonical(b *testing.B) {
 		_ = c.Canonical()
 	}
 }
+
+// BenchmarkUnifyOffRenaming measures renaming a clause head apart via the
+// offset-threaded unifier, the resolution-time replacement for OffsetVars
+// copies.
+func BenchmarkUnifyOffRenaming(b *testing.B) {
+	goal := MustParseTerm("atm(m1, A, carbon, T, C)")
+	head := MustParseTerm("atm(M, A, E, T, C)")
+	bs := NewBindings(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := bs.Mark()
+		if !bs.UnifyOff(goal, 0, head, 10) {
+			b.Fatal("unify failed")
+		}
+		bs.Undo(mark)
+	}
+}
+
+// BenchmarkOffsetVarsThenUnify is the old-engine equivalent of the above:
+// copy the clause apart, then unify.
+func BenchmarkOffsetVarsThenUnify(b *testing.B) {
+	goal := MustParseTerm("atm(m1, A, carbon, T, C)")
+	head := MustParseTerm("atm(M, A, E, T, C)")
+	bs := NewBindings(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := bs.Mark()
+		if !bs.Unify(goal, head.OffsetVars(10)) {
+			b.Fatal("unify failed")
+		}
+		bs.Undo(mark)
+	}
+}

@@ -62,6 +62,35 @@ func (bs *Bindings) Walk(t Term) Term {
 	return t
 }
 
+// WalkOff shallow-dereferences t whose variables are shifted by off, the
+// structure-sharing view the solver uses to rename program clauses apart
+// without copying them. The offset applies only to t's own variables; slot
+// contents are always stored offset-free, so the offset is consumed at the
+// first dereference. It returns the walked term together with the offset
+// still pending for that term's arguments (0 unless the result is a compound
+// taken directly from t).
+func (bs *Bindings) WalkOff(t Term, off int) (Term, int) {
+	for t.Kind == Var {
+		i := int(t.Sym) + off
+		off = 0
+		if i >= len(bs.slots) || bs.slots[i].Kind == Invalid {
+			return Term{Kind: Var, Sym: Symbol(i)}, 0
+		}
+		t = bs.slots[i]
+	}
+	return t, off
+}
+
+// bindOff records v ↦ t with t's variables shifted by off, materializing the
+// shift into a fresh copy only when t actually contains variables (ground
+// terms — the vast majority in ILP workloads — are shared as-is).
+func (bs *Bindings) bindOff(v int, t Term, off int) {
+	if off != 0 && !t.IsGround() {
+		t = t.OffsetVars(off)
+	}
+	bs.Bind(v, t)
+}
+
 // Resolve deep-dereferences t, substituting all bound variables recursively.
 // The result shares structure with t where no substitution applies.
 func (bs *Bindings) Resolve(t Term) Term {
@@ -91,18 +120,33 @@ func (bs *Bindings) Resolve(t Term) Term {
 // on success. On failure the store may hold partial bindings; callers should
 // Mark before and Undo on failure (the solver does this at each choice
 // point). No occur check is performed (standard for ILP workloads).
-func (bs *Bindings) Unify(x, y Term) bool {
-	x = bs.Walk(x)
-	y = bs.Walk(y)
+func (bs *Bindings) Unify(x, y Term) bool { return bs.UnifyOff(x, 0, y, 0) }
+
+// UnifyOff unifies x and y whose variables are shifted by ox and oy
+// respectively. Threading the offsets through the recursion is how the
+// solver renames a program clause apart at resolution time without building
+// an offset copy of it: only terms that end up stored in a binding slot are
+// ever materialized (see bindOff), and only when non-ground.
+func (bs *Bindings) UnifyOff(x Term, ox int, y Term, oy int) bool {
+	x, ox = bs.WalkOff(x, ox)
+	y, oy = bs.WalkOff(y, oy)
 	if x.Kind == Var {
 		if y.Kind == Var && x.Sym == y.Sym {
 			return true
 		}
-		bs.Bind(int(x.Sym), y)
+		if oy == 0 {
+			bs.Bind(int(x.Sym), y)
+		} else {
+			bs.bindOff(int(x.Sym), y, oy)
+		}
 		return true
 	}
 	if y.Kind == Var {
-		bs.Bind(int(y.Sym), x)
+		if ox == 0 {
+			bs.Bind(int(y.Sym), x)
+		} else {
+			bs.bindOff(int(y.Sym), x, ox)
+		}
 		return true
 	}
 	if x.IsNumber() && y.IsNumber() {
@@ -119,7 +163,37 @@ func (bs *Bindings) Unify(x, y Term) bool {
 			return false
 		}
 		for i := range x.Args {
-			if !bs.Unify(x.Args[i], y.Args[i]) {
+			if !bs.UnifyOff(x.Args[i], ox, y.Args[i], oy) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// EqualGroundOff reports whether x (under offset ox and the current
+// bindings) dereferences to exactly the ground term y, comparing numbers
+// numerically as Unify does. It is the solver's trail-free fast path for
+// matching a ground goal against a ground fact: no binding can result, so
+// equality is all unification could establish.
+func (bs *Bindings) EqualGroundOff(x Term, ox int, y Term) bool {
+	x, ox = bs.WalkOff(x, ox)
+	if x.IsNumber() && y.IsNumber() {
+		return x.Num == y.Num
+	}
+	if x.Kind != y.Kind {
+		return false
+	}
+	switch x.Kind {
+	case Atom:
+		return x.Sym == y.Sym
+	case Compound:
+		if x.Sym != y.Sym || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !bs.EqualGroundOff(x.Args[i], ox, y.Args[i]) {
 				return false
 			}
 		}

@@ -1,7 +1,11 @@
 package search
 
 import (
+	"fmt"
 	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/solve"
 )
 
 func benchFixture(b *testing.B) *fixture {
@@ -66,6 +70,73 @@ func BenchmarkBitsetOps(b *testing.B) {
 		c.AndWith(y)
 		if c.Count() == 0 {
 			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkCoverageFullSerial(b *testing.B) {
+	fx := benchFixture(b)
+	rule := fx.bot.Materialize([]int32{0, 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, _ := fx.ev.CoverageFull(&rule)
+		if pos.Empty() {
+			b.Fatal("no coverage")
+		}
+	}
+}
+
+// benchWideExamples builds a molecular task large enough that sharding the
+// example set matters: n molecules, alternating positive (oxygen-bonded)
+// and negative.
+func benchWideExamples(b *testing.B, n int) (*solve.KB, *Examples, logic.Clause) {
+	b.Helper()
+	kb := solve.NewKB()
+	var pos, neg []logic.Term
+	for i := 0; i < n; i++ {
+		mol := fmt.Sprintf("w%d", i)
+		second := "carbon"
+		if i%2 == 0 {
+			second = "oxygen"
+		}
+		kb.AddFact(logic.MustParseTerm(fmt.Sprintf("atm(%s, b%d1, carbon)", mol, i)))
+		kb.AddFact(logic.MustParseTerm(fmt.Sprintf("atm(%s, b%d2, %s)", mol, i, second)))
+		kb.AddFact(logic.MustParseTerm(fmt.Sprintf("bondx(%s, b%d1, b%d2)", mol, i, i)))
+		ex := logic.MustParseTerm(fmt.Sprintf("active(%s)", mol))
+		if i%2 == 0 {
+			pos = append(pos, ex)
+		} else {
+			neg = append(neg, ex)
+		}
+	}
+	rule := logic.MustParseClause("active(M) :- atm(M, A, carbon), bondx(M, A, B), atm(M, B, oxygen).")
+	return kb, NewExamples(pos, neg), rule
+}
+
+func BenchmarkCoverageFullWideSerial(b *testing.B) {
+	kb, ex, rule := benchWideExamples(b, 2048)
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ev := NewEvaluator(m, ex)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, _ := ev.CoverageFull(&rule)
+		if pos.Empty() {
+			b.Fatal("no coverage")
+		}
+	}
+}
+
+func BenchmarkCoverageFullWideParallel(b *testing.B) {
+	kb, ex, rule := benchWideExamples(b, 2048)
+	pe := NewParallelEvaluator(kb, ex, solve.DefaultBudget, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, _ := pe.CoverageFull(&rule)
+		if pos.Empty() {
+			b.Fatal("no coverage")
 		}
 	}
 }

@@ -69,6 +69,17 @@ func (b Bitset) OrWith(o Bitset) {
 	}
 }
 
+// IntersectInto writes a ∧ b into dst (resizing it if needed) and returns
+// the buffer, so callers can reuse a scratch bitset across calls.
+func IntersectInto(dst, a, b Bitset) Bitset {
+	if len(dst) != len(a) {
+		dst = make(Bitset, len(a))
+	}
+	copy(dst, a)
+	dst.AndWith(b)
+	return dst
+}
+
 // Empty reports whether no bit is set.
 func (b Bitset) Empty() bool {
 	for _, w := range b {

@@ -6,8 +6,9 @@ import (
 )
 
 // Coverer abstracts rule-coverage computation so the search can run against
-// a local evaluator (this package's Evaluator) or a distributed one (the
-// parallel-coverage baseline farms tests out to cluster workers).
+// a local evaluator (this package's Evaluator), a multicore one
+// (ParallelEvaluator), or a distributed one (the parallel-coverage baseline
+// farms tests out to cluster workers).
 type Coverer interface {
 	// Coverage returns bitsets over the positive and negative example
 	// index spaces; non-nil candidate masks restrict which examples are
@@ -18,6 +19,21 @@ type Coverer interface {
 	NegLen() int
 }
 
+// FullCoverer extends Coverer with whole-set evaluation and inference
+// accounting, the surface the p²-mdie workers need from their local
+// evaluator regardless of whether it is serial or multicore.
+type FullCoverer interface {
+	Coverer
+	// CoverageFull evaluates over every positive (retracted or not) and
+	// every negative; callers memoise the result.
+	CoverageFull(rule *logic.Clause) (pos, neg Bitset)
+	// OwnInferences reports the SLD work done by machines the evaluator
+	// owns. The serial Evaluator borrows its caller's machine — which the
+	// caller already accounts for — so it reports 0; the parallel
+	// evaluator owns one machine per shard and reports their sum.
+	OwnInferences() int64
+}
+
 // Evaluator computes rule coverage over an example store using an SLD
 // machine. Coverage of a refinement is computed only over the examples its
 // parent covered (candidate masks), the standard MDIE evaluation shortcut:
@@ -25,15 +41,20 @@ type Coverer interface {
 type Evaluator struct {
 	M  *solve.Machine
 	Ex *Examples
+
+	scratch Bitset // reused candidate-mask buffer; never escapes Coverage
 }
 
-var _ Coverer = (*Evaluator)(nil)
+var _ FullCoverer = (*Evaluator)(nil)
 
 // PosLen returns the positive example count.
 func (ev *Evaluator) PosLen() int { return len(ev.Ex.Pos) }
 
 // NegLen returns the negative example count.
 func (ev *Evaluator) NegLen() int { return len(ev.Ex.Neg) }
+
+// OwnInferences reports 0: the Evaluator borrows its caller's machine.
+func (ev *Evaluator) OwnInferences() int64 { return 0 }
 
 // NewEvaluator pairs a machine with an example store.
 func NewEvaluator(m *solve.Machine, ex *Examples) *Evaluator {
@@ -48,8 +69,10 @@ func (ev *Evaluator) Coverage(rule *logic.Clause, posCand, negCand Bitset) (pos,
 	neg = NewBitset(len(ev.Ex.Neg))
 	testPos := ev.Ex.PosAlive
 	if posCand != nil {
-		testPos = posCand.Clone()
-		testPos.AndWith(ev.Ex.PosAlive)
+		// Intersect into a scratch buffer owned by the evaluator instead of
+		// cloning the candidate mask on every call.
+		ev.scratch = IntersectInto(ev.scratch, posCand, ev.Ex.PosAlive)
+		testPos = ev.scratch
 	}
 	testPos.ForEach(func(i int) bool {
 		if ev.M.CoversExample(rule, ev.Ex.Pos[i]) {

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+// parallelThreshold is the minimum number of coverage tests in one call that
+// justifies fanning out to goroutines; below it the synchronization overhead
+// dominates and the call runs on a single shard machine. The result is
+// bit-for-bit identical either way.
+const parallelThreshold = 64
+
+// ParallelEvaluator is a FullCoverer that shards coverage testing across
+// multiple goroutines. Each shard owns a private solve.Machine over the
+// shared KB (a populated KB is safe for concurrent readers); a shard tests
+// the examples of every 64-bit mask word congruent to its id, writing
+// results into disjoint words of the output bitsets, so the merged result is
+// bit-for-bit identical to the serial Evaluator's and requires no locking.
+//
+// Work assignment depends only on the mask length and the shard count, so
+// per-machine inference totals — and therefore OwnInferences and the virtual
+// clocks driven by it — are deterministic across runs.
+type ParallelEvaluator struct {
+	Ex       *Examples
+	machines []*solve.Machine
+
+	scratchPos Bitset // materialized positive test mask
+	fullPos    Bitset // cached all-ones mask over positives
+	fullNeg    Bitset // cached all-ones mask over negatives
+}
+
+var _ FullCoverer = (*ParallelEvaluator)(nil)
+
+// CoverWorkers resolves a coverage-parallelism knob to a shard count:
+// negative selects GOMAXPROCS, anything else passes through.
+func CoverWorkers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NewFullCoverer selects the coverage evaluator for a learner: a serial
+// Evaluator on the caller's machine m when parallelism resolves to ≤1, or a
+// ParallelEvaluator with that many shards over m's KB. This is the single
+// home of the serial-vs-parallel selection rule shared by the sequential
+// learner and the p²-mdie workers.
+func NewFullCoverer(m *solve.Machine, ex *Examples, budget solve.Budget, parallelism int) FullCoverer {
+	if w := CoverWorkers(parallelism); w > 1 {
+		return NewParallelEvaluator(m.KB(), ex, budget, w)
+	}
+	return NewEvaluator(m, ex)
+}
+
+// NewParallelEvaluator builds an evaluator with the given number of shard
+// workers over a shared KB; workers ≤ 0 selects GOMAXPROCS.
+func NewParallelEvaluator(kb *solve.KB, ex *Examples, budget solve.Budget, workers int) *ParallelEvaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pe := &ParallelEvaluator{Ex: ex, machines: make([]*solve.Machine, workers)}
+	for i := range pe.machines {
+		pe.machines[i] = solve.NewMachine(kb, budget)
+	}
+	return pe
+}
+
+// Workers reports the shard count.
+func (pe *ParallelEvaluator) Workers() int { return len(pe.machines) }
+
+// PosLen returns the positive example count.
+func (pe *ParallelEvaluator) PosLen() int { return len(pe.Ex.Pos) }
+
+// NegLen returns the negative example count.
+func (pe *ParallelEvaluator) NegLen() int { return len(pe.Ex.Neg) }
+
+// OwnInferences sums the SLD work across all shard machines.
+func (pe *ParallelEvaluator) OwnInferences() int64 {
+	var n int64
+	for _, m := range pe.machines {
+		n += m.TotalInferences()
+	}
+	return n
+}
+
+// CutoffQueries sums budget-truncated queries across all shard machines.
+func (pe *ParallelEvaluator) CutoffQueries() int64 {
+	var n int64
+	for _, m := range pe.machines {
+		n += m.CutoffQueries()
+	}
+	return n
+}
+
+// Coverage returns bitsets of the alive positives and of the negatives that
+// rule covers, exactly as the serial Evaluator does. Non-nil candidate masks
+// restrict which examples are tested.
+func (pe *ParallelEvaluator) Coverage(rule *logic.Clause, posCand, negCand Bitset) (pos, neg Bitset) {
+	testPos := pe.Ex.PosAlive
+	if posCand != nil {
+		pe.scratchPos = IntersectInto(pe.scratchPos, posCand, pe.Ex.PosAlive)
+		testPos = pe.scratchPos
+	}
+	testNeg := negCand
+	if testNeg == nil {
+		testNeg = pe.allNeg()
+	}
+	return pe.cover(rule, testPos, testNeg)
+}
+
+// CoverageFull evaluates rule over every positive — retracted or not — and
+// every negative (see Evaluator.CoverageFull).
+func (pe *ParallelEvaluator) CoverageFull(rule *logic.Clause) (pos, neg Bitset) {
+	if len(pe.fullPos) == 0 && len(pe.Ex.Pos) > 0 {
+		pe.fullPos = FullBitset(len(pe.Ex.Pos))
+	}
+	return pe.cover(rule, pe.fullPos, pe.allNeg())
+}
+
+func (pe *ParallelEvaluator) allNeg() Bitset {
+	if len(pe.fullNeg) == 0 && len(pe.Ex.Neg) > 0 {
+		pe.fullNeg = FullBitset(len(pe.Ex.Neg))
+	}
+	return pe.fullNeg
+}
+
+// cover evaluates the rule over the examples selected by the test masks.
+func (pe *ParallelEvaluator) cover(rule *logic.Clause, testPos, testNeg Bitset) (pos, neg Bitset) {
+	pos = NewBitset(len(pe.Ex.Pos))
+	neg = NewBitset(len(pe.Ex.Neg))
+	n := len(pe.machines)
+	if n == 1 || testPos.Count()+testNeg.Count() < parallelThreshold {
+		coverShard(pe.machines[0], rule, pe.Ex.Pos, testPos, pos, 0, 1)
+		coverShard(pe.machines[0], rule, pe.Ex.Neg, testNeg, neg, 0, 1)
+		return pos, neg
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			coverShard(pe.machines[w], rule, pe.Ex.Pos, testPos, pos, w, n)
+			coverShard(pe.machines[w], rule, pe.Ex.Neg, testNeg, neg, w, n)
+		}(w)
+	}
+	wg.Wait()
+	return pos, neg
+}
+
+// coverShard tests the examples under the mask words congruent to w modulo
+// stride, writing hits into the same words of out. Striding whole words
+// keeps shards' writes disjoint (no locking) and balances clustered masks.
+func coverShard(m *solve.Machine, rule *logic.Clause, ex []logic.Term, mask, out Bitset, w, stride int) {
+	for wi := w; wi < len(mask); wi += stride {
+		word := mask[wi]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			if i := wi*64 + b; m.CoversExample(rule, ex[i]) {
+				out[wi] |= 1 << b
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/solve"
+)
+
+func TestParallelEvaluatorMatchesSerial(t *testing.T) {
+	fx := newFixture(t)
+	subsets := [][]int32{nil, {0}, {1}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	for _, workers := range []int{1, 2, 3, 8} {
+		pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, workers)
+		if pe.Workers() != workers {
+			t.Fatalf("workers = %d, want %d", pe.Workers(), workers)
+		}
+		for _, ix := range subsets {
+			if !validIndices(ix, len(fx.bot.Lits)) {
+				continue
+			}
+			rule := fx.bot.Materialize(ix)
+
+			wantPos, wantNeg := fx.ev.Coverage(&rule, nil, nil)
+			gotPos, gotNeg := pe.Coverage(&rule, nil, nil)
+			assertSameBits(t, "pos", wantPos, gotPos)
+			assertSameBits(t, "neg", wantNeg, gotNeg)
+
+			// Candidate-masked evaluation must agree too.
+			gotPos2, gotNeg2 := pe.Coverage(&rule, wantPos, wantNeg)
+			wantPos2, wantNeg2 := fx.ev.Coverage(&rule, wantPos, wantNeg)
+			assertSameBits(t, "pos-masked", wantPos2, gotPos2)
+			assertSameBits(t, "neg-masked", wantNeg2, gotNeg2)
+
+			fullPosW, fullNegW := fx.ev.CoverageFull(&rule)
+			fullPosG, fullNegG := pe.CoverageFull(&rule)
+			assertSameBits(t, "pos-full", fullPosW, fullPosG)
+			assertSameBits(t, "neg-full", fullNegW, fullNegG)
+		}
+	}
+}
+
+func TestParallelEvaluatorRespectsAliveMask(t *testing.T) {
+	fx := newFixture(t)
+	pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 3)
+	rule := fx.bot.Materialize([]int32{0, 1, 2})
+	// Retract half the positives; Coverage must honor the alive mask while
+	// CoverageFull ignores it.
+	retract := NewBitset(len(fx.ex.Pos))
+	retract.Set(0)
+	retract.Set(2)
+	fx.ex.RetractPos(retract)
+	wantPos, _ := fx.ev.Coverage(&rule, nil, nil)
+	gotPos, _ := pe.Coverage(&rule, nil, nil)
+	assertSameBits(t, "pos-after-retract", wantPos, gotPos)
+	if gotPos.Get(0) || gotPos.Get(2) {
+		t.Fatal("retracted positives reported as covered")
+	}
+	fullW, _ := fx.ev.CoverageFull(&rule)
+	fullG, _ := pe.CoverageFull(&rule)
+	assertSameBits(t, "full-after-retract", fullW, fullG)
+	if !fullG.Get(0) {
+		t.Fatal("CoverageFull must ignore the alive mask")
+	}
+}
+
+func TestParallelEvaluatorDeterministicAccounting(t *testing.T) {
+	run := func() int64 {
+		fx := newFixture(t)
+		pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 4)
+		for _, ix := range [][]int32{nil, {0}, {0, 1}, {0, 1, 2}} {
+			rule := fx.bot.Materialize(ix)
+			pe.Coverage(&rule, nil, nil)
+			pe.CoverageFull(&rule)
+		}
+		return pe.OwnInferences()
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("no inferences recorded")
+	}
+	if a != b {
+		t.Fatalf("inference accounting not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestLearnRuleSameWithParallelCoverer runs the full rule search with both
+// coverers and requires identical outcomes.
+func TestLearnRuleSameWithParallelCoverer(t *testing.T) {
+	fx := newFixture(t)
+	st := Settings{MaxClauseLen: 3, MinPrec: 0.9}
+	serial := LearnRule(fx.ev, fx.bot, nil, st)
+	pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 4)
+	par := LearnRule(pe, fx.bot, nil, st)
+	if serial.Generated != par.Generated {
+		t.Fatalf("generated: serial %d, parallel %d", serial.Generated, par.Generated)
+	}
+	if len(serial.Good) != len(par.Good) {
+		t.Fatalf("good rules: serial %d, parallel %d", len(serial.Good), len(par.Good))
+	}
+	for i := range serial.Good {
+		sc := serial.Good[i].Materialize(fx.bot).Canonical()
+		pc := par.Good[i].Materialize(fx.bot).Canonical()
+		if sc.String() != pc.String() {
+			t.Fatalf("good[%d]: serial %s, parallel %s", i, sc, pc)
+		}
+		assertSameBits(t, "good-pos", serial.Good[i].PosCover(), par.Good[i].PosCover())
+	}
+}
+
+func assertSameBits(t *testing.T, what string, want, got Bitset) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: word %d differs: %064b vs %064b", what, i, want[i], got[i])
+		}
+	}
+}

@@ -76,3 +76,70 @@ func BenchmarkSolveEnumerate(b *testing.B) {
 		}
 	}
 }
+
+// benchRuleKB mixes ground facts with var-containing rules so the
+// clause-renaming path (offset-threaded unification) is exercised.
+func benchRuleKB(n int) *KB {
+	kb := benchKB(n)
+	if err := kb.AddSource(`
+		heavy(M) :- atm(M, A, carbon, T, C), T > 20.
+		linked(M, A, B) :- bond(M, A, B, K).
+		linked(M, A, B) :- bond(M, B, A, K).
+		ring3(M) :- linked(M, A, B), linked(M, B, C), linked(M, C, A).
+	`); err != nil {
+		panic(err)
+	}
+	// Close one triangle so ring3 is satisfiable: a7 → a8 → az → a7.
+	kb.AddFact(logic.MustParseTerm("bond(m7, a8, az, 1)"))
+	kb.AddFact(logic.MustParseTerm("bond(m7, az, a7, 1)"))
+	return kb
+}
+
+func BenchmarkCoversExampleRules(b *testing.B) {
+	kb := benchRuleKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	rule := logic.MustParseClause("active(M) :- heavy(M), linked(M, A, B).")
+	example := logic.MustParseTerm("active(m7)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.CoversExample(&rule, example) {
+			b.Fatal("not covered")
+		}
+	}
+}
+
+func BenchmarkProveRecursiveRules(b *testing.B) {
+	kb := benchRuleKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	goal := logic.MustParseTerm("ring3(m7)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.ProveAtom(goal) {
+			b.Fatal("no 3-ring found")
+		}
+	}
+}
+
+func BenchmarkSecondArgIndexedGoal(b *testing.B) {
+	kb := benchKB(2000)
+	m := NewMachine(kb, DefaultBudget)
+	// First argument unbound, second bound: only the second-arg index saves
+	// this goal from scanning the whole bond table.
+	goal := logic.MustParseTerm("bond(M, a7, B, 1)")
+	goals := []logic.Literal{logic.Lit(goal)}
+	nv := goal.MaxVar() + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		m.Solve(goals, nv, func(*logic.Bindings) bool {
+			found = true
+			return false
+		})
+		if !found {
+			b.Fatal("no solution")
+		}
+	}
+}

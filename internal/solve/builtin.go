@@ -11,10 +11,41 @@ type builtinFn func(m *Machine, goal logic.Term) bool
 
 var builtins map[logic.PredKey]builtinFn
 
+// builtinBySym dispatches builtins by interned functor symbol without
+// hashing: builtin names are interned at init, so their symbols are small
+// and the table stays tiny. Each symbol holds a slice so one name may carry
+// several arities.
+var builtinBySym [][]builtinEntry
+
+type builtinEntry struct {
+	arity int32
+	fn    builtinFn
+}
+
+// builtinFor returns the builtin implementing the goal's predicate, or nil.
+func builtinFor(t logic.Term) builtinFn {
+	if t.Kind != logic.Atom && t.Kind != logic.Compound {
+		return nil
+	}
+	if s := int(t.Sym); s < len(builtinBySym) {
+		for _, e := range builtinBySym[s] {
+			if int(e.arity) == len(t.Args) {
+				return e.fn
+			}
+		}
+	}
+	return nil
+}
+
 func init() {
 	builtins = make(map[logic.PredKey]builtinFn)
 	reg := func(name string, arity int, fn builtinFn) {
-		builtins[logic.PredKey{Sym: logic.Intern(name), Arity: arity}] = fn
+		sym := logic.Intern(name)
+		builtins[logic.PredKey{Sym: sym, Arity: arity}] = fn
+		for int(sym) >= len(builtinBySym) {
+			builtinBySym = append(builtinBySym, nil)
+		}
+		builtinBySym[sym] = append(builtinBySym[sym], builtinEntry{arity: int32(arity), fn: fn})
 	}
 	reg("true", 0, func(*Machine, logic.Term) bool { return true })
 	reg("fail", 0, func(*Machine, logic.Term) bool { return false })

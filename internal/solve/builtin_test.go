@@ -19,13 +19,13 @@ func TestArithmeticEdgeCases(t *testing.T) {
 		goal string
 		want bool
 	}{
-		{"ok :- X is 6 / 0.", false},          // division by zero fails, no panic
-		{"ok :- X is 2 + 3 * 4, X = 14.", true}, // precedence
+		{"ok :- X is 6 / 0.", false},               // division by zero fails, no panic
+		{"ok :- X is 2 + 3 * 4, X = 14.", true},    // precedence
 		{"ok :- X is (2 + 3) * 4, X = 20.", false}, // parens unsupported: parse error guarded below
-		{"ok :- X is -3, X < 0.", true},       // unary minus value
+		{"ok :- X is -3, X < 0.", true},            // unary minus value
 		{"ok :- 1 < 2, 2 =< 2, 3 > 2, 2 >= 2.", true},
-		{"ok :- X < 1.", false},               // unbound comparison fails
-		{"ok :- X is Y + 1.", false},          // unbound arithmetic fails
+		{"ok :- X < 1.", false},      // unbound comparison fails
+		{"ok :- X is Y + 1.", false}, // unbound arithmetic fails
 	}
 	for _, c := range cases {
 		cl, err := logic.ParseClause(c.goal)

@@ -1,0 +1,360 @@
+package solve
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// This file pits the goal-stack engine against a reference prover that
+// replicates the pre-rewrite semantics: a persistent linked goal list,
+// OffsetVars clause renaming and per-goal shallow resolution. Both engines
+// share the KB's candidate selection, so on any program and goal they must
+// produce the same solutions in the same order, charge the same number of
+// inferences and hit the same budget cutoffs.
+
+// refGoals is the reference engine's persistent goal stack.
+type refGoals struct {
+	lit   logic.Literal
+	depth int
+	next  *refGoals
+}
+
+func refPush(body []logic.Literal, depth int, rest *refGoals) *refGoals {
+	for i := len(body) - 1; i >= 0; i-- {
+		rest = &refGoals{lit: body[i], depth: depth, next: rest}
+	}
+	return rest
+}
+
+// refMachine is the reference SLD engine (heap-allocating, copy-renaming).
+type refMachine struct {
+	kb     *KB
+	bs     *logic.Bindings
+	budget Budget
+
+	nextVar   int
+	queryInf  int64
+	totalInf  int64
+	budgetHit bool
+	cutoffs   int64
+}
+
+func newRefMachine(kb *KB, budget Budget) *refMachine {
+	return &refMachine{kb: kb, bs: logic.NewBindings(64), budget: budget.withDefaults()}
+}
+
+func (m *refMachine) charge() bool {
+	m.queryInf++
+	if m.queryInf >= m.budget.MaxInferences {
+		m.budgetHit = true
+		return false
+	}
+	return true
+}
+
+func (m *refMachine) solveQuery(goals []logic.Literal, nVars int, yield func(*logic.Bindings) bool) {
+	m.bs.Undo(0)
+	m.nextVar = nVars
+	m.queryInf = 0
+	m.budgetHit = false
+	m.solve(refPush(goals, 0, nil), func() bool { return yield(m.bs) })
+	m.totalInf += m.queryInf
+	if m.budgetHit {
+		m.cutoffs++
+	}
+}
+
+func (m *refMachine) solve(goals *refGoals, k func() bool) bool {
+	if goals == nil {
+		return k()
+	}
+	g := goals.lit
+	rest := goals.next
+	if !m.charge() {
+		return true
+	}
+	if g.Neg {
+		proved := false
+		m.solve(&refGoals{lit: logic.Lit(g.Atom), depth: goals.depth + 1}, func() bool {
+			proved = true
+			return false
+		})
+		if proved {
+			return true
+		}
+		return m.solve(rest, k)
+	}
+	goal := m.resolveShallow(g.Atom)
+	if fn := builtinFor(goal); fn != nil {
+		mark := m.bs.Mark()
+		ok := fn2ref(fn)(m, goal)
+		if ok {
+			if !m.solve(rest, k) {
+				return false
+			}
+		}
+		m.bs.Undo(mark)
+		return true
+	}
+	if goals.depth >= m.budget.MaxDepth {
+		m.budgetHit = true
+		return true
+	}
+	cont := true
+	m.kb.lookup(m.bs, goal, 0, func(sc *storedClause, _ int) bool {
+		if !m.charge() {
+			cont = true
+			return false
+		}
+		base := m.nextVar
+		rc := sc.clause
+		if sc.numVars > 0 {
+			rc = sc.clause.OffsetVars(base)
+		}
+		m.nextVar += sc.numVars
+		mark := m.bs.Mark()
+		if m.bs.Unify(goal, rc.Head) {
+			sub := refPush(rc.Body, goals.depth+1, rest)
+			if !m.solve(sub, k) {
+				cont = false
+				m.bs.Undo(mark)
+				m.nextVar = base
+				return false
+			}
+		}
+		m.bs.Undo(mark)
+		m.nextVar = base
+		return true
+	})
+	return cont
+}
+
+func (m *refMachine) resolveShallow(t logic.Term) logic.Term {
+	t = m.bs.Walk(t)
+	if t.Kind != logic.Compound {
+		return t
+	}
+	args := make([]logic.Term, len(t.Args))
+	for i := range t.Args {
+		args[i] = m.bs.Walk(t.Args[i])
+	}
+	return logic.Term{Kind: logic.Compound, Sym: t.Sym, Args: args}
+}
+
+// fn2ref adapts a builtin to the reference machine: builtins only touch the
+// bindings store and arithmetic, so a shim Machine around the same store
+// evaluates them identically.
+func fn2ref(fn builtinFn) func(*refMachine, logic.Term) bool {
+	return func(m *refMachine, goal logic.Term) bool {
+		shim := &Machine{bs: m.bs, budget: m.budget}
+		return fn(shim, goal)
+	}
+}
+
+// genProgram builds a random definite program with ground facts, var-headed
+// facts, chain rules, recursion and negation.
+func genProgram(rng *rand.Rand) *KB {
+	kb := NewKB()
+	consts := []string{"a", "b", "c", "d", "e", "f"}
+	randConst := func() logic.Term {
+		if rng.Intn(5) == 0 {
+			return logic.IntTerm(int64(rng.Intn(4)))
+		}
+		return logic.A(consts[rng.Intn(len(consts))])
+	}
+	// Ground facts over p/2, q/2, r/1.
+	for i := 0; i < 25+rng.Intn(25); i++ {
+		kb.AddFact(logic.Comp("p", randConst(), randConst()))
+	}
+	for i := 0; i < 15+rng.Intn(15); i++ {
+		kb.AddFact(logic.Comp("q", randConst(), randConst()))
+	}
+	for i := 0; i < 8; i++ {
+		kb.AddFact(logic.Comp("r", randConst()))
+	}
+	// A few facts with variable or compound arguments (unindexed paths).
+	if rng.Intn(2) == 0 {
+		kb.Add(logic.MustParseClause("p(X, wild)."))
+	}
+	if rng.Intn(2) == 0 {
+		kb.AddFact(logic.Comp("q", logic.Comp("f", randConst()), randConst()))
+	}
+	// Chain rules: s(X,Y) :- p(X,Z), q(Z,Y).  t(X) :- s(X,Y), r(Y).
+	kb.Add(logic.MustParseClause("s(X, Y) :- p(X, Z), q(Z, Y)."))
+	kb.Add(logic.MustParseClause("t(X) :- s(X, Y), r(Y)."))
+	// Recursion with a base case.
+	kb.Add(logic.MustParseClause("reach(X, Y) :- p(X, Y)."))
+	kb.Add(logic.MustParseClause("reach(X, Y) :- p(X, Z), reach(Z, Y)."))
+	// Negation and builtins.
+	kb.Add(logic.MustParseClause("lone(X) :- r(X), \\+p(X, X)."))
+	kb.Add(logic.MustParseClause("gt(X, Y) :- p(X, Y), X \\= Y."))
+	return kb
+}
+
+// genGoal builds a random query (conjunction) over the program's predicates.
+func genGoal(rng *rand.Rand) ([]logic.Literal, int) {
+	preds := []struct {
+		name  string
+		arity int
+	}{{"p", 2}, {"q", 2}, {"r", 1}, {"s", 2}, {"t", 1}, {"reach", 2}, {"lone", 1}, {"gt", 2}}
+	consts := []string{"a", "b", "c", "d", "e", "f", "zz"}
+	nVars := 0
+	var lits []logic.Literal
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		pd := preds[rng.Intn(len(preds))]
+		args := make([]logic.Term, pd.arity)
+		for j := range args {
+			switch rng.Intn(3) {
+			case 0:
+				args[j] = logic.V(rng.Intn(3)) // shared variables across literals
+				if args[j].VarIndex() >= nVars {
+					nVars = args[j].VarIndex() + 1
+				}
+			case 1:
+				args[j] = logic.A(consts[rng.Intn(len(consts))])
+			default:
+				args[j] = logic.IntTerm(int64(rng.Intn(4)))
+			}
+		}
+		lit := logic.Lit(logic.Comp(pd.name, args...))
+		if rng.Intn(8) == 0 && i > 0 {
+			lit.Neg = true
+		}
+		lits = append(lits, lit)
+	}
+	return lits, nVars
+}
+
+func solutionString(bs *logic.Bindings, nVars int) string {
+	var b strings.Builder
+	for v := 0; v < nVars; v++ {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(bs.Resolve(logic.V(v)).String())
+	}
+	return b.String()
+}
+
+func TestDifferentialGoalStackVsReference(t *testing.T) {
+	budget := Budget{MaxDepth: 12, MaxInferences: 4000}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		kb := genProgram(rng)
+		m := NewMachine(kb, budget)
+		ref := newRefMachine(kb, budget)
+		for q := 0; q < 25; q++ {
+			goals, nVars := genGoal(rng)
+			var got, want []string
+			m.Solve(goals, nVars, func(bs *logic.Bindings) bool {
+				got = append(got, solutionString(bs, nVars))
+				return len(got) < 200
+			})
+			ref.solveQuery(goals, nVars, func(bs *logic.Bindings) bool {
+				want = append(want, solutionString(bs, nVars))
+				return len(want) < 200
+			})
+			goalsStr := func() string {
+				parts := make([]string, len(goals))
+				for i, g := range goals {
+					parts[i] = g.String()
+				}
+				return strings.Join(parts, ", ")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d query %d (%s): %d solutions, reference %d\n got: %v\nwant: %v",
+					seed, q, goalsStr(), len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d query %d (%s): solution %d = %q, reference %q",
+						seed, q, goalsStr(), i, got[i], want[i])
+				}
+			}
+			if m.TotalInferences() != ref.totalInf {
+				t.Fatalf("seed %d query %d (%s): %d total inferences, reference %d",
+					seed, q, goalsStr(), m.TotalInferences(), ref.totalInf)
+			}
+			if m.CutoffQueries() != ref.cutoffs {
+				t.Fatalf("seed %d query %d (%s): %d cutoffs, reference %d",
+					seed, q, goalsStr(), m.CutoffQueries(), ref.cutoffs)
+			}
+		}
+	}
+}
+
+// TestSecondArgIndexMatchesScan checks that second-argument indexing and
+// index selection return exactly the solutions of a full scan.
+func TestSecondArgIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type row struct{ a, b, c int }
+	var rows []row
+	kb := NewKB()
+	for i := 0; i < 400; i++ {
+		r := row{rng.Intn(10), rng.Intn(10), rng.Intn(5)}
+		rows = append(rows, r)
+		kb.AddFact(logic.Comp("e",
+			logic.A(fmt.Sprintf("x%d", r.a)),
+			logic.A(fmt.Sprintf("y%d", r.b)),
+			logic.IntTerm(int64(r.c))))
+	}
+	// A couple of var-argument facts keep the unindexed merge paths honest.
+	kb.Add(logic.MustParseClause("e(x0, Y, 99)."))
+	kb.Add(logic.MustParseClause("e(X, y0, 98)."))
+	m := NewMachine(kb, DefaultBudget)
+
+	count := func(goal logic.Term, nv int) int {
+		n := 0
+		m.Solve([]logic.Literal{logic.Lit(goal)}, nv, func(*logic.Bindings) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	for b := 0; b < 10; b++ {
+		want := 0
+		for _, r := range rows {
+			if r.b == b {
+				want++
+			}
+		}
+		want++ // e(x0, Y, 99) has a variable second arg and matches any y
+		if b == 0 {
+			want++ // e(X, y0, 98)
+		}
+		goal := logic.Comp("e", logic.V(0), logic.A(fmt.Sprintf("y%d", b)), logic.V(1))
+		if got := count(goal, 2); got != want {
+			t.Fatalf("second-arg y%d: got %d solutions, want %d", b, got, want)
+		}
+	}
+	// Both args bound: the engine picks the smaller bucket; results must
+	// match a straight count either way.
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			want := 0
+			for _, r := range rows {
+				if r.a == a && r.b == b {
+					want++
+				}
+			}
+			if a == 0 {
+				want++ // e(x0, Y, 99)
+			}
+			if b == 0 {
+				want++ // e(X, y0, 98)
+			}
+			goal := logic.Comp("e",
+				logic.A(fmt.Sprintf("x%d", a)),
+				logic.A(fmt.Sprintf("y%d", b)),
+				logic.V(0))
+			if got := count(goal, 1); got != want {
+				t.Fatalf("x%d,y%d: got %d solutions, want %d", a, b, got, want)
+			}
+		}
+	}
+}

@@ -14,42 +14,113 @@ import (
 	"repro/internal/logic"
 )
 
-// argKey identifies a first-argument constant for clause indexing.
-type argKey struct {
-	kind logic.Kind
-	sym  logic.Symbol
-	num  float64
+// argIndex indexes fact positions by the constant at one argument position.
+// Symbols and numbers get separate maps: symbol keys are small interned
+// integers whose hashing is far cheaper than a composite struct key, and
+// ints and floats unify numerically so they share the numeric map.
+type argIndex struct {
+	byAtom    map[logic.Symbol][]int32
+	byNum     map[float64][]int32
+	unindexed []int32 // fact positions whose argument is not a constant
 }
 
-func keyFor(t logic.Term) (argKey, bool) {
+func (ix *argIndex) add(t logic.Term, pos int32) {
 	switch t.Kind {
 	case logic.Atom:
-		return argKey{kind: logic.Atom, sym: t.Sym}, true
+		if ix.byAtom == nil {
+			ix.byAtom = make(map[logic.Symbol][]int32)
+		}
+		ix.byAtom[t.Sym] = append(ix.byAtom[t.Sym], pos)
 	case logic.Int, logic.Float:
-		// Ints and floats unify numerically, so they share index keys.
-		return argKey{kind: logic.Int, num: t.Num}, true
+		if ix.byNum == nil {
+			ix.byNum = make(map[float64][]int32)
+		}
+		ix.byNum[t.Num] = append(ix.byNum[t.Num], pos)
+	default:
+		ix.unindexed = append(ix.unindexed, pos)
 	}
-	return argKey{}, false
+}
+
+// bucket returns the candidate positions for a dereferenced goal argument
+// and whether the argument was a constant usable for indexing.
+func (ix *argIndex) bucket(t logic.Term) ([]int32, bool) {
+	switch t.Kind {
+	case logic.Atom:
+		return ix.byAtom[t.Sym], true
+	case logic.Int, logic.Float:
+		return ix.byNum[t.Num], true
+	}
+	return nil, false
+}
+
+func (ix *argIndex) clone() argIndex {
+	out := argIndex{unindexed: append([]int32(nil), ix.unindexed...)}
+	if ix.byAtom != nil {
+		out.byAtom = make(map[logic.Symbol][]int32, len(ix.byAtom))
+		for k, v := range ix.byAtom {
+			out.byAtom[k] = append([]int32(nil), v...)
+		}
+	}
+	if ix.byNum != nil {
+		out.byNum = make(map[float64][]int32, len(ix.byNum))
+		for k, v := range ix.byNum {
+			out.byNum[k] = append([]int32(nil), v...)
+		}
+	}
+	return out
 }
 
 // storedClause caches per-clause metadata needed at resolution time.
 type storedClause struct {
 	clause  logic.Clause
 	numVars int
+	// ground marks a fact with a fully ground head: resolving against it can
+	// never bind clause-side variables, so a ground goal matches it by plain
+	// equality, with no renaming, trail traffic or undo.
+	ground bool
+	// bodyGround flags the statically ground body literals (nil when none
+	// are, the common case): goals pushed from them can take the
+	// equality-only fast path against ground facts.
+	bodyGround []bool
 }
 
-// pred holds all clauses for one predicate, facts indexed by first argument.
+func staticBodyGround(body []logic.Literal) []bool {
+	var out []bool
+	for i := range body {
+		if body[i].Atom.IsGround() {
+			if out == nil {
+				out = make([]bool, len(body))
+			}
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// pred holds all clauses for one predicate, facts indexed by their first and
+// second argument constants.
 type pred struct {
-	facts      []storedClause
-	rules      []storedClause
-	byFirstArg map[argKey][]int32 // fact positions, insertion order
-	unindexed  []int32            // fact positions whose first arg is not a constant
+	facts []storedClause
+	rules []storedClause
+	arg1  argIndex
+	arg2  argIndex
 }
 
-// KB is a knowledge base of definite clauses with first-argument indexing on
-// ground facts. Adding clauses is not goroutine-safe; reading (solving) is.
+// predEntry pairs an arity with its clause store for by-symbol dispatch.
+type predEntry struct {
+	arity int32
+	p     *pred
+}
+
+// KB is a knowledge base of definite clauses with first- and second-argument
+// indexing on ground facts. Adding clauses is not goroutine-safe; reading
+// (solving) is.
 type KB struct {
 	preds map[logic.PredKey]*pred
+	// bySym resolves a goal's predicate without hashing: functor symbols are
+	// small interned integers, so a slice lookup plus a short arity scan
+	// replaces a map access on the hottest dispatch in the engine.
+	bySym [][]predEntry
 	size  int
 }
 
@@ -58,30 +129,53 @@ func NewKB() *KB {
 	return &KB{preds: make(map[logic.PredKey]*pred)}
 }
 
+func (kb *KB) register(key logic.PredKey, p *pred) {
+	s := int(key.Sym)
+	for s >= len(kb.bySym) {
+		kb.bySym = append(kb.bySym, nil)
+	}
+	kb.bySym[s] = append(kb.bySym[s], predEntry{arity: int32(key.Arity), p: p})
+}
+
+// predFor resolves the clause store for a callable goal, or nil.
+func (kb *KB) predFor(goal logic.Term) *pred {
+	s := int(goal.Sym)
+	if s < len(kb.bySym) {
+		for _, e := range kb.bySym[s] {
+			if int(e.arity) == len(goal.Args) {
+				return e.p
+			}
+		}
+	}
+	return nil
+}
+
 // Add inserts a clause. Facts (empty body) join the indexed store; rules are
 // kept in insertion order and always scanned.
 func (kb *KB) Add(c logic.Clause) {
 	key := c.Head.Pred()
 	p := kb.preds[key]
 	if p == nil {
-		p = &pred{byFirstArg: make(map[argKey][]int32)}
+		p = &pred{}
 		kb.preds[key] = p
+		kb.register(key, p)
 	}
 	sc := storedClause{clause: c, numVars: c.NumVars()}
 	kb.size++
 	if !c.IsFact() {
+		sc.bodyGround = staticBodyGround(c.Body)
 		p.rules = append(p.rules, sc)
 		return
 	}
+	sc.ground = sc.numVars == 0
 	pos := int32(len(p.facts))
 	p.facts = append(p.facts, sc)
 	if len(c.Head.Args) > 0 {
-		if k, ok := keyFor(c.Head.Args[0]); ok {
-			p.byFirstArg[k] = append(p.byFirstArg[k], pos)
-			return
-		}
+		p.arg1.add(c.Head.Args[0], pos)
 	}
-	p.unindexed = append(p.unindexed, pos)
+	if len(c.Head.Args) > 1 {
+		p.arg2.add(c.Head.Args[1], pos)
+	}
 }
 
 // AddFact inserts head as a fact.
@@ -129,64 +223,102 @@ func (kb *KB) Predicates() []logic.PredKey {
 // independently (clause storage is shared copy-on-write style: slices are
 // duplicated, clause structures are immutable and shared).
 func (kb *KB) Clone() *KB {
-	out := &KB{preds: make(map[logic.PredKey]*pred, len(kb.preds)), size: kb.size}
+	out := &KB{
+		preds: make(map[logic.PredKey]*pred, len(kb.preds)),
+		bySym: make([][]predEntry, len(kb.bySym)),
+		size:  kb.size,
+	}
 	for k, p := range kb.preds {
 		np := &pred{
-			facts:      append([]storedClause(nil), p.facts...),
-			rules:      append([]storedClause(nil), p.rules...),
-			unindexed:  append([]int32(nil), p.unindexed...),
-			byFirstArg: make(map[argKey][]int32, len(p.byFirstArg)),
-		}
-		for ak, ps := range p.byFirstArg {
-			np.byFirstArg[ak] = append([]int32(nil), ps...)
+			facts: append([]storedClause(nil), p.facts...),
+			rules: append([]storedClause(nil), p.rules...),
+			arg1:  p.arg1.clone(),
+			arg2:  p.arg2.clone(),
 		}
 		out.preds[k] = np
+		out.register(k, np)
 	}
 	return out
 }
 
-// lookup returns the candidate clauses for a goal whose arguments have been
-// dereferenced: a subset of facts selected by first-argument index when
-// possible, then all rules. The visit order is deterministic.
-func (kb *KB) lookup(goal logic.Term, visit func(storedClause) bool) {
-	p := kb.preds[goal.Pred()]
+// lookup visits the candidate clauses for a goal whose variables are shifted
+// by off under bs: a subset of facts selected by first- or second-argument
+// index when the corresponding goal argument dereferences to a constant
+// (whichever bucket is smaller), then all rules. The visit order is
+// deterministic: indexed facts merge with the unindexed ones in insertion
+// order to keep solution order stable. Each visit carries skipArg, the
+// argument position the index already proved equal (or -1): callers can skip
+// unifying it.
+func (kb *KB) lookup(bs *logic.Bindings, goal logic.Term, off int, visit func(sc *storedClause, skipArg int) bool) {
+	p := kb.predFor(goal)
 	if p == nil {
 		return
 	}
 	if len(goal.Args) > 0 {
-		if k, ok := keyFor(goal.Args[0]); ok {
-			// Indexed facts matching the constant, plus unindexed facts,
-			// merged in insertion order to keep solution order stable.
-			idx, un := p.byFirstArg[k], p.unindexed
-			i, j := 0, 0
-			for i < len(idx) || j < len(un) {
-				var pos int32
-				if j >= len(un) || (i < len(idx) && idx[i] < un[j]) {
-					pos = idx[i]
-					i++
-				} else {
-					pos = un[j]
-					j++
-				}
-				if !visit(p.facts[pos]) {
-					return
-				}
-			}
-			for _, sc := range p.rules {
-				if !visit(sc) {
-					return
-				}
-			}
+		if idx, un, skip, ok := p.selectIndex(bs, goal, off); ok {
+			p.scanMerged(idx, un, skip, visit)
 			return
 		}
 	}
-	for _, sc := range p.facts {
-		if !visit(sc) {
+	for i := range p.facts {
+		if !visit(&p.facts[i], -1) {
 			return
 		}
 	}
-	for _, sc := range p.rules {
-		if !visit(sc) {
+	p.scanRules(visit)
+}
+
+// selectIndex picks the cheapest applicable fact index for the goal: the
+// first- or second-argument bucket with the fewest candidates (bucket plus
+// the unindexed facts that must always be scanned alongside it).
+func (p *pred) selectIndex(bs *logic.Bindings, goal logic.Term, off int) (idx, un []int32, skip int, ok bool) {
+	skip = -1
+	best := 0
+	a0, _ := bs.WalkOff(goal.Args[0], off)
+	if i1, kok := p.arg1.bucket(a0); kok {
+		idx, un, skip, ok = i1, p.arg1.unindexed, 0, true
+		best = len(idx) + len(un)
+	}
+	// A second probe costs a map access; skip it when the first bucket is
+	// already down to at most one candidate.
+	if len(goal.Args) > 1 && (!ok || best > 1) {
+		a1, _ := bs.WalkOff(goal.Args[1], off)
+		if i2, kok := p.arg2.bucket(a1); kok {
+			if u2 := p.arg2.unindexed; !ok || len(i2)+len(u2) < best {
+				idx, un, skip, ok = i2, u2, 1, true
+			}
+		}
+	}
+	return idx, un, skip, ok
+}
+
+// scanMerged visits the union of an index bucket and the matching unindexed
+// positions in insertion order, then every rule. Bucket entries are
+// reported with the index's skip argument; unindexed entries and rules must
+// unify in full.
+func (p *pred) scanMerged(idx, un []int32, skip int, visit func(*storedClause, int) bool) {
+	i, j := 0, 0
+	for i < len(idx) || j < len(un) {
+		var pos int32
+		s := skip
+		if j >= len(un) || (i < len(idx) && idx[i] < un[j]) {
+			pos = idx[i]
+			i++
+		} else {
+			pos = un[j]
+			j++
+			s = -1
+		}
+		if !visit(&p.facts[pos], s) {
+			return
+		}
+	}
+	p.scanRules(visit)
+}
+
+func (p *pred) scanRules(visit func(*storedClause, int) bool) {
+	for i := range p.rules {
+		if !visit(&p.rules[i], -1) {
 			return
 		}
 	}

@@ -28,24 +28,29 @@ func (b Budget) withDefaults() Budget {
 // DefaultBudget is a generous bound suitable for the bundled datasets.
 var DefaultBudget = Budget{MaxDepth: 64, MaxInferences: 1 << 20}
 
-// goalList is a persistent stack of pending goals; each carries its own
-// resolution depth so clause-body goals deepen while siblings do not.
-type goalList struct {
+// goalFrame is one pending goal on the machine's reusable goal stack. Each
+// frame carries its own resolution depth (clause-body goals deepen while
+// siblings do not) and the variable-renaming offset of the clause instance
+// the literal came from, so program clauses are never copied to be renamed
+// apart: the offset is threaded through unification instead.
+type goalFrame struct {
 	lit   logic.Literal
-	depth int
-	next  *goalList
-}
-
-func pushGoals(body []logic.Literal, depth int, rest *goalList) *goalList {
-	for i := len(body) - 1; i >= 0; i-- {
-		rest = &goalList{lit: body[i], depth: depth, next: rest}
-	}
-	return rest
+	off   int32 // variable-renaming offset for lit's variables
+	depth int32
+	// ground marks a statically ground goal atom (no variables in the
+	// literal as written), enabling the equality-only match against ground
+	// facts without any per-candidate groundness probing.
+	ground bool
 }
 
 // Machine is a single-goroutine SLD resolution engine over a shared KB.
 // Total inferences accumulate across queries; this counter is the work
 // measure that drives the simulated cluster's virtual clocks.
+//
+// The engine allocates nothing in steady state: pending goals live on a
+// machine-owned stack whose backing array is reused across queries, clause
+// renaming is an arithmetic offset rather than a term copy, and builtin
+// arguments are materialized into a scratch buffer.
 type Machine struct {
 	kb     *KB
 	bs     *logic.Bindings
@@ -56,6 +61,10 @@ type Machine struct {
 	totalInf   int64 // inferences spent since construction/reset
 	budgetHit  bool  // current query hit its budget
 	anyCutoffs int64 // queries that hit a budget since construction
+
+	stack   []goalFrame  // pending goals; the top is the last element
+	base    int          // stack bottom of the current (sub)proof
+	binArgs []logic.Term // scratch for builtin argument materialization
 }
 
 // NewMachine returns a machine over kb with the given budget.
@@ -91,6 +100,8 @@ func (m *Machine) beginQuery(nVars int) {
 	m.nextVar = nVars
 	m.queryInf = 0
 	m.budgetHit = false
+	m.stack = m.stack[:0]
+	m.base = 0
 }
 
 func (m *Machine) endQuery() {
@@ -111,6 +122,26 @@ func (m *Machine) charge() bool {
 	return true
 }
 
+// pushGoals pushes body in reverse so the leftmost literal is popped first.
+// ground carries the per-literal static groundness flags (may be nil).
+func (m *Machine) pushGoals(body []logic.Literal, ground []bool, off, depth int32) {
+	for i := len(body) - 1; i >= 0; i-- {
+		fr := goalFrame{lit: body[i], off: off, depth: depth}
+		if ground != nil && ground[i] {
+			fr.ground = true
+		}
+		m.stack = append(m.stack, fr)
+	}
+}
+
+// pushQueryGoals pushes caller-supplied goals, computing their static
+// groundness once per query.
+func (m *Machine) pushQueryGoals(goals []logic.Literal) {
+	for i := len(goals) - 1; i >= 0; i-- {
+		m.stack = append(m.stack, goalFrame{lit: goals[i], ground: goals[i].Atom.IsGround()})
+	}
+}
+
 // Solve enumerates solutions of the conjunction goals, whose variables are
 // numbered below nVars. For each solution it calls yield with the machine's
 // bindings (valid only during the call); yield returns false to stop the
@@ -118,8 +149,9 @@ func (m *Machine) charge() bool {
 func (m *Machine) Solve(goals []logic.Literal, nVars int, yield func(*logic.Bindings) bool) bool {
 	m.beginQuery(nVars)
 	defer m.endQuery()
+	m.pushQueryGoals(goals)
 	found := false
-	m.solve(pushGoals(goals, 0, nil), func() bool {
+	m.solve(func() bool {
 		found = true
 		return yield(m.bs)
 	})
@@ -130,8 +162,9 @@ func (m *Machine) Solve(goals []logic.Literal, nVars int, yield func(*logic.Bind
 func (m *Machine) Prove(goals []logic.Literal, nVars int) bool {
 	m.beginQuery(nVars)
 	defer m.endQuery()
+	m.pushQueryGoals(goals)
 	found := false
-	m.solve(pushGoals(goals, 0, nil), func() bool {
+	m.solve(func() bool {
 		found = true
 		return false
 	})
@@ -153,77 +186,112 @@ func (m *Machine) CoversExample(rule *logic.Clause, example logic.Term) bool {
 	if !m.bs.Unify(rule.Head, example) {
 		return false
 	}
+	m.pushQueryGoals(rule.Body)
 	found := false
-	m.solve(pushGoals(rule.Body, 0, nil), func() bool {
+	m.solve(func() bool {
 		found = true
 		return false
 	})
 	return found
 }
 
-// solve runs the SLD search over the pending goal list. The continuation k
+// solve runs the SLD search over the pending goal stack. The continuation k
 // is invoked at each solution and returns whether to keep searching.
 // solve's own return value has the same meaning (false = stop everything).
-func (m *Machine) solve(goals *goalList, k func() bool) bool {
-	if goals == nil {
+// solve leaves the stack exactly as it found it.
+func (m *Machine) solve(k func() bool) bool {
+	top := len(m.stack)
+	if top == m.base {
 		return k()
 	}
-	g := goals.lit
-	rest := goals.next
+	top--
+	fr := m.stack[top]
+	m.stack = m.stack[:top]
+	cont := m.step(fr, k)
+	m.stack = append(m.stack[:top], fr)
+	return cont
+}
+
+// step resolves one popped goal frame against builtins or the KB.
+func (m *Machine) step(fr goalFrame, k func() bool) bool {
 	if !m.charge() {
 		return true // budget: abandon this branch, enumeration "completes"
 	}
+	g := fr.lit
 	if g.Neg {
 		// Negation as failure: succeed iff the positive goal has no proof.
-		proved := false
-		m.solve(&goalList{lit: logic.Lit(g.Atom), depth: goals.depth + 1}, func() bool {
-			proved = true
-			return false
-		})
-		if proved {
+		if m.subProve(g.Atom, fr.off, fr.depth+1, fr.ground) {
 			return true
 		}
-		return m.solve(rest, k)
+		return m.solve(k)
 	}
-	goal := m.resolveShallow(g.Atom)
-	if fn, ok := builtins[goal.Pred()]; ok {
+	atom := g.Atom
+	off := int(fr.off)
+	if atom.Kind == logic.Var {
+		// A variable goal must be bound to something callable to be provable.
+		// WalkOff consumes the offset at the first dereference and slots are
+		// stored offset-free, so the walked term needs no further renaming.
+		t, _ := m.bs.WalkOff(atom, off)
+		if t.Kind == logic.Var {
+			return true
+		}
+		atom, off = t, 0
+	}
+	if fn := builtinFor(atom); fn != nil {
+		goal := m.builtinGoal(atom, off)
 		mark := m.bs.Mark()
-		ok := fn(m, goal)
-		if ok {
-			if !m.solve(rest, k) {
+		if fn(m, goal) {
+			if !m.solve(k) {
 				return false
 			}
 		}
 		m.bs.Undo(mark)
 		return true
 	}
-	if goals.depth >= m.budget.MaxDepth {
+	if fr.depth >= int32(m.budget.MaxDepth) {
 		m.budgetHit = true
 		return true
 	}
+	restTop := len(m.stack)
 	cont := true
-	m.kb.lookup(goal, func(sc storedClause) bool {
+	m.kb.lookup(m.bs, atom, off, func(sc *storedClause, skip int) bool {
 		if !m.charge() {
 			cont = true
 			return false
 		}
-		base := m.nextVar
-		rc := sc.clause
-		if sc.numVars > 0 {
-			// Rename the clause apart; ground clauses (the vast majority
-			// of ILP background facts) need no copy.
-			rc = sc.clause.OffsetVars(base)
+		if sc.ground && fr.ground {
+			// Ground fact, ground goal: matching is plain equality — no
+			// renaming, no trail, nothing to undo.
+			if m.groundMatch(atom, off, &sc.clause.Head, skip) {
+				if !m.solve(k) {
+					cont = false
+					return false
+				}
+			}
+			return true
 		}
+		base := m.nextVar
 		m.nextVar += sc.numVars
 		mark := m.bs.Mark()
-		if m.bs.Unify(goal, rc.Head) {
-			sub := pushGoals(rc.Body, goals.depth+1, rest)
-			if !m.solve(sub, k) {
+		var matched bool
+		if sc.numVars == 0 {
+			// Var-free clause: head arguments are ground, so they need no
+			// walking, no renaming offset, and can only be bound to — the
+			// dominant case for ILP background facts.
+			matched = m.matchGroundHead(atom, off, &sc.clause.Head, skip)
+		} else {
+			matched = m.unifyHead(atom, off, &sc.clause.Head, base, skip)
+		}
+		if matched {
+			m.pushGoals(sc.clause.Body, sc.bodyGround, int32(base), fr.depth+1)
+			if !m.solve(k) {
 				cont = false
+				m.stack = m.stack[:restTop]
 				m.bs.Undo(mark)
 				m.nextVar = base
 				return false
 			}
+			m.stack = m.stack[:restTop]
 		}
 		m.bs.Undo(mark)
 		m.nextVar = base
@@ -232,17 +300,101 @@ func (m *Machine) solve(goals *goalList, k func() bool) bool {
 	return cont
 }
 
-// resolveShallow dereferences the goal's top level and its immediate
-// arguments enough for indexing and builtin dispatch, without deep-copying
-// nested structure.
-func (m *Machine) resolveShallow(t logic.Term) logic.Term {
-	t = m.bs.Walk(t)
-	if t.Kind != logic.Compound {
-		return t
+// unifyHead unifies a goal with a clause head of the same predicate,
+// skipping the argument position the fact index already proved equal.
+func (m *Machine) unifyHead(goal logic.Term, off int, head *logic.Term, hoff, skip int) bool {
+	for i := range goal.Args {
+		if i == skip {
+			continue
+		}
+		if !m.bs.UnifyOff(goal.Args[i], off, head.Args[i], hoff) {
+			return false
+		}
 	}
-	args := make([]logic.Term, len(t.Args))
-	for i := range t.Args {
-		args[i] = m.bs.Walk(t.Args[i])
+	return true
+}
+
+// matchGroundHead unifies a goal with the head of a var-free clause: every
+// head argument is ground, so per argument the goal side walks once and is
+// then either bound (if unbound) or compared.
+func (m *Machine) matchGroundHead(goal logic.Term, off int, head *logic.Term, skip int) bool {
+	bs := m.bs
+	for i := range goal.Args {
+		if i == skip {
+			continue
+		}
+		ha := head.Args[i]
+		ga, go_ := bs.WalkOff(goal.Args[i], off)
+		switch ga.Kind {
+		case logic.Var:
+			bs.Bind(int(ga.Sym), ha)
+		case logic.Atom:
+			if ha.Kind != logic.Atom || ga.Sym != ha.Sym {
+				return false
+			}
+		case logic.Int, logic.Float:
+			if !ha.IsNumber() || ga.Num != ha.Num {
+				return false
+			}
+		default:
+			if !bs.UnifyOff(ga, go_, ha, 0) {
+				return false
+			}
+		}
 	}
-	return logic.Term{Kind: logic.Compound, Sym: t.Sym, Args: args}
+	return true
+}
+
+// groundMatch compares a ground goal with a ground fact head argument-wise,
+// skipping the index-proved position.
+func (m *Machine) groundMatch(goal logic.Term, off int, head *logic.Term, skip int) bool {
+	for i := range goal.Args {
+		if i == skip {
+			continue
+		}
+		if !m.bs.EqualGroundOff(goal.Args[i], off, head.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// subProve runs an isolated subproof of a single goal (used for negation as
+// failure): the goals pending below the current stack top must not be
+// touched, so the proof runs above a raised stack base.
+func (m *Machine) subProve(atom logic.Term, off, depth int32, ground bool) bool {
+	savedBase := m.base
+	m.base = len(m.stack)
+	m.stack = append(m.stack, goalFrame{lit: logic.Lit(atom), off: off, depth: depth, ground: ground})
+	proved := false
+	m.solve(func() bool {
+		proved = true
+		return false
+	})
+	m.stack = m.stack[:m.base]
+	m.base = savedBase
+	return proved
+}
+
+// builtinGoal materializes a builtin goal's arguments offset-free into the
+// machine's scratch buffer. Builtins read their arguments and return before
+// any further resolution happens, so one reusable buffer suffices; bindings
+// only ever store value copies of its elements, never the buffer itself.
+func (m *Machine) builtinGoal(atom logic.Term, off int) logic.Term {
+	if atom.Kind != logic.Compound {
+		return atom
+	}
+	n := len(atom.Args)
+	if cap(m.binArgs) < n {
+		m.binArgs = make([]logic.Term, n, 2*n+4)
+	}
+	args := m.binArgs[:n]
+	for i := range atom.Args {
+		t, o := m.bs.WalkOff(atom.Args[i], off)
+		if o != 0 && t.Kind == logic.Compound && !t.IsGround() {
+			t = t.OffsetVars(o)
+		}
+		args[i] = t
+	}
+	return logic.Term{Kind: logic.Compound, Sym: atom.Sym, Args: args}
 }
