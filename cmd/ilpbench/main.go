@@ -37,6 +37,7 @@ func main() {
 		shape    = flag.Bool("shape", false, "print the qualitative shape checks after the tables")
 		chart    = flag.Bool("chart", false, "draw a text speedup-vs-processors chart after the tables")
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); results are identical, wall-clock drops")
+		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
 		quiet    = flag.Bool("q", false, "suppress per-fold progress output")
 	)
 	flag.Parse()
@@ -51,6 +52,12 @@ func main() {
 	}
 
 	dss := datasets.PaperScaled(*scale, *seed)
+	if *noBatch {
+		// Applied at the dataset level so the ablations inherit it too.
+		for _, ds := range dss {
+			ds.Search.NoBatchEval = true
+		}
+	}
 	if *only != "" {
 		var filtered []*datasets.Dataset
 		for _, ds := range dss {
@@ -76,7 +83,7 @@ func main() {
 		runRepartitionAblation(dss, *folds, *seed, *quiet)
 		return
 	case "noise":
-		runNoiseAblation(*scale, *folds, *seed, *quiet)
+		runNoiseAblation(*scale, *folds, *seed, *noBatch, *quiet)
 		return
 	default:
 		fail(fmt.Errorf("unknown ablation %q (have width, parcov, repartition, noise)", *ablation))
@@ -93,6 +100,7 @@ func main() {
 		Folds:            *folds,
 		Seed:             *seed,
 		CoverParallelism: *coverPar,
+		NoBatchEval:      *noBatch,
 	}
 	progress := os.Stderr
 	if *quiet {
@@ -151,7 +159,7 @@ func runRepartitionAblation(dss []*datasets.Dataset, folds int, seed int64, quie
 	}
 }
 
-func runNoiseAblation(scale float64, folds int, seed int64, quiet bool) {
+func runNoiseAblation(scale float64, folds int, seed int64, noBatch, quiet bool) {
 	progress := os.Stderr
 	if quiet {
 		progress = nil
@@ -163,7 +171,7 @@ func runNoiseAblation(scale float64, folds int, seed int64, quiet bool) {
 		}
 		return v
 	}
-	ab, err := harness.RunNoiseAblation(n(848), n(764), 4, folds, nil, seed, progress)
+	ab, err := harness.RunNoiseAblation(n(848), n(764), 4, folds, nil, seed, noBatch, progress)
 	if err != nil {
 		fail(err)
 	}

@@ -30,6 +30,7 @@ func main() {
 		width    = flag.Int("width", 10, "pipeline width W (0 = unlimited, the paper's 'nolimit')")
 		strategy = flag.String("strategy", "bfs", "search strategy: bfs (paper) or bestfirst")
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); with -workers > 0 the pool is per worker, so total concurrency is workers*N")
+		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
 		verbose  = flag.Bool("v", false, "print the learned theory")
 		quiet    = flag.Bool("q", false, "suppress everything except the metrics line")
 	)
@@ -55,6 +56,7 @@ func main() {
 	} else {
 		ds.Search.Strategy = st
 	}
+	ds.Search.NoBatchEval = *noBatch
 	if !*quiet {
 		fmt.Println(ds.String())
 	}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+// TestP2BatchedMatchesUnbatched pins batching as a pure performance change
+// in the full pipelined algorithm: per-node frontier batches in the stage
+// searches plus whole-bag batches in evaluate_rules must leave every
+// simulated observable — theory, epochs, virtual time, communication,
+// generated-rule and inference totals — bit-for-bit identical, with the
+// evaluator serial or pooled.
+func TestP2BatchedMatchesUnbatched(t *testing.T) {
+	ds := datasets.CarcinogenesisSized(24, 20, 1)
+	run := func(noBatch bool, parallelism int) *Metrics {
+		cfg := Config{
+			Workers: 4, Width: 10, Seed: 1,
+			Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget,
+			CoverParallelism: parallelism,
+		}
+		cfg.Search.NoBatchEval = noBatch
+		met, err := Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	want := run(true, 0) // the pre-batch reference path
+	for _, c := range []struct {
+		name        string
+		noBatch     bool
+		parallelism int
+	}{
+		{"batched-serial", false, 0},
+		{"batched-pool", false, 2},
+	} {
+		got := run(c.noBatch, c.parallelism)
+		if len(got.Theory) != len(want.Theory) {
+			t.Fatalf("%s: theory size %d, want %d", c.name, len(got.Theory), len(want.Theory))
+		}
+		for i := range want.Theory {
+			if got.Theory[i].String() != want.Theory[i].String() {
+				t.Fatalf("%s: rule %d: %s, want %s", c.name, i, got.Theory[i], want.Theory[i])
+			}
+		}
+		if got.Epochs != want.Epochs || got.VirtualTime != want.VirtualTime ||
+			got.CommBytes != want.CommBytes || got.CommMessages != want.CommMessages {
+			t.Fatalf("%s: simulation diverged: epochs %d/%d, virtual %v/%v, bytes %d/%d, msgs %d/%d",
+				c.name, got.Epochs, want.Epochs, got.VirtualTime, want.VirtualTime,
+				got.CommBytes, want.CommBytes, got.CommMessages, want.CommMessages)
+		}
+		if got.GeneratedRules != want.GeneratedRules || got.TotalInferences != want.TotalInferences {
+			t.Fatalf("%s: work diverged: generated %d/%d, inferences %d/%d",
+				c.name, got.GeneratedRules, want.GeneratedRules, got.TotalInferences, want.TotalInferences)
+		}
+	}
+}

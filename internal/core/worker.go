@@ -34,14 +34,24 @@ type worker struct {
 	// covCache memoises intrinsic rule coverage over the local partition
 	// (coverage over a fixed example set never changes; only the alive
 	// mask does). It makes the repeated rules-bag evaluations of Fig. 5's
-	// consumption loop nearly free after the first pass.
-	covCache map[string]covEntry
+	// consumption loop nearly free after the first pass. Keyed by the
+	// clause's structural hash (bag rules arrive canonicalised, so
+	// structural equality is alpha-equivalence here) with an EqualClause
+	// check on the bucket — no canonical-string key allocation per lookup.
+	covCache map[uint64][]covCacheEntry
 }
 
 // covEntry is a memoised local evaluation of one rule.
 type covEntry struct {
 	pos search.Bitset // over all local positives, retracted or not
 	neg int           // negatives never retract, so a count suffices
+}
+
+// covCacheEntry pairs a cached rule with its evaluation for hash-bucket
+// verification.
+type covCacheEntry struct {
+	rule logic.Clause
+	cov  covEntry
 }
 
 func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) *worker {
@@ -58,7 +68,7 @@ func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples,
 		ms:       ms,
 		m:        m,
 		ex:       ex,
-		covCache: make(map[string]covEntry),
+		covCache: make(map[uint64][]covCacheEntry),
 	}
 	w.ev = w.newEvaluator()
 	return w
@@ -77,19 +87,77 @@ func (w *worker) totalInf() int64 {
 	return w.m.TotalInferences() + w.ev.OwnInferences() + w.retiredInf
 }
 
+// cachedCoverage returns the memoised evaluation of rule, or nil.
+func (w *worker) cachedCoverage(rule *logic.Clause) *covEntry {
+	bucket := w.covCache[rule.Hash64()]
+	for i := range bucket {
+		if logic.EqualClause(&bucket[i].rule, rule) {
+			return &bucket[i].cov
+		}
+	}
+	return nil
+}
+
+// storeCoverage memoises one rule's evaluation.
+func (w *worker) storeCoverage(rule *logic.Clause, e covEntry) {
+	h := rule.Hash64()
+	w.covCache[h] = append(w.covCache[h], covCacheEntry{rule: *rule, cov: e})
+}
+
 // ruleCoverage returns the memoised intrinsic coverage of rule on this
 // worker's partition, computing and charging it on first sight.
 func (w *worker) ruleCoverage(rule *logic.Clause) covEntry {
-	key := rule.Key()
-	if e, ok := w.covCache[key]; ok {
-		return e
+	if e := w.cachedCoverage(rule); e != nil {
+		return *e
 	}
 	before := w.totalInf()
 	pos, neg := w.ev.CoverageFull(rule)
 	w.chargeWork(before)
 	e := covEntry{pos: pos, neg: neg.Count()}
-	w.covCache[key] = e
+	w.storeCoverage(rule, e)
 	return e
+}
+
+// primeCoverage batch-evaluates every bag rule missing from the coverage
+// cache in a single CoverageFullBatch call — one pool synchronisation for
+// the whole bag instead of one per rule — charging the SLD work once. The
+// total inference count equals rule-at-a-time evaluation exactly; the
+// virtual-clock charge coincides too under any integral NsPerInference
+// (all bundled cost models), while a fractional model could differ by up
+// to one truncated nanosecond per rule versus per-rule charging.
+func (w *worker) primeCoverage(rules []logic.Clause) {
+	var missing []*logic.Clause
+	var pending map[uint64][]*logic.Clause // lazily built: re-sent bags usually hit the cache in full
+	for i := range rules {
+		r := &rules[i]
+		if w.cachedCoverage(r) != nil {
+			continue
+		}
+		if pending == nil {
+			pending = make(map[uint64][]*logic.Clause)
+		}
+		h := r.Hash64()
+		dup := false
+		for _, m := range pending[h] {
+			if logic.EqualClause(m, r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pending[h] = append(pending[h], r)
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	before := w.totalInf()
+	results := w.ev.CoverageFullBatch(missing)
+	w.chargeWork(before)
+	for i, r := range missing {
+		w.storeCoverage(r, covEntry{pos: results[i].Pos, neg: results[i].Neg.Count()})
+	}
 }
 
 // nextWorker computes the successor on the ring (Fig. 7 next_worker()):
@@ -109,6 +177,8 @@ func (w *worker) chargeWork(before int64) {
 
 // run is the worker event loop; it exits on kindStop or network shutdown.
 func (w *worker) run() error {
+	// Stop the evaluator's shard pool (if any) when the worker retires.
+	defer func() { w.ev.Close() }()
 	for {
 		msg, ok := w.node.Receive()
 		if !ok {
@@ -245,6 +315,11 @@ func (w *worker) forwardEmpty(st *stageMsg) error {
 // the re-evaluations of the consumption loop only recount bitset
 // intersections with the current alive mask.
 func (w *worker) evaluateBag(em *evaluateMsg) error {
+	if !w.cfg.Search.NoBatchEval {
+		// One pool synchronisation for the whole bag; the NoBatchEval A/B
+		// baseline falls through to rule-at-a-time evaluation below.
+		w.primeCoverage(em.Rules)
+	}
 	out := evalResultMsg{
 		Worker: w.id,
 		Pos:    make([]int32, len(em.Rules)),
@@ -252,9 +327,7 @@ func (w *worker) evaluateBag(em *evaluateMsg) error {
 	}
 	for i := range em.Rules {
 		e := w.ruleCoverage(&em.Rules[i])
-		alivePos := e.pos.Clone()
-		alivePos.AndWith(w.ex.PosAlive)
-		out.Pos[i] = int32(alivePos.Count())
+		out.Pos[i] = int32(search.AndCount(e.pos, w.ex.PosAlive))
 		out.Neg[i] = int32(e.neg)
 	}
 	return w.node.Send(0, kindEvalResult, out)
@@ -286,9 +359,10 @@ func (w *worker) gatherAlive() error {
 // rebuilt from scratch.
 func (w *worker) installPartition(pos []logic.Term) {
 	w.retiredInf += w.ev.OwnInferences()
+	w.ev.Close()
 	w.ex = search.NewExamples(pos, w.ex.Neg)
 	w.ev = w.newEvaluator()
-	w.covCache = make(map[string]covEntry)
+	w.covCache = make(map[uint64][]covCacheEntry)
 	w.node.Compute(int64(len(pos)))
 }
 

@@ -1,0 +1,65 @@
+package covering
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/search"
+)
+
+// TestBatchedSearchMatchesUnbatchedOnPaperDatasets pins the PR's acceptance
+// invariant at the covering level: whole-frontier batched candidate
+// evaluation must be a pure performance change. The full covering loop runs
+// on each paper dataset with batching on and off, serial and pooled, and
+// every observable — theory, rule/fact counts, generated-rule counts, total
+// inference charge — must be bit-for-bit identical.
+func TestBatchedSearchMatchesUnbatchedOnPaperDatasets(t *testing.T) {
+	for _, ds := range datasets.PaperScaled(0.1, 7) {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			run := func(noBatch bool, parallelism int) *Result {
+				cfg := Config{
+					Search:           ds.Search,
+					Bottom:           ds.Bottom,
+					Budget:           ds.Budget,
+					CoverParallelism: parallelism,
+				}
+				cfg.Search.NoBatchEval = noBatch
+				ex := search.NewExamples(ds.Pos, ds.Neg)
+				res, err := Learn(ds.KB, ex, ds.Modes, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := run(true, 0) // the pre-batch reference path
+			for _, c := range []struct {
+				name        string
+				noBatch     bool
+				parallelism int
+			}{
+				{"batched-serial", false, 0},
+				{"batched-pool", false, 4},
+			} {
+				got := run(c.noBatch, c.parallelism)
+				if len(got.Theory) != len(want.Theory) {
+					t.Fatalf("%s: theory size %d, want %d", c.name, len(got.Theory), len(want.Theory))
+				}
+				for i := range want.Theory {
+					if got.Theory[i].String() != want.Theory[i].String() {
+						t.Fatalf("%s: rule %d: %s, want %s", c.name, i, got.Theory[i], want.Theory[i])
+					}
+				}
+				if got.RulesLearned != want.RulesLearned || got.GroundFactsAdopted != want.GroundFactsAdopted ||
+					got.Searches != want.Searches || got.GeneratedRules != want.GeneratedRules {
+					t.Fatalf("%s: counts (%d,%d,%d,%d), want (%d,%d,%d,%d)", c.name,
+						got.RulesLearned, got.GroundFactsAdopted, got.Searches, got.GeneratedRules,
+						want.RulesLearned, want.GroundFactsAdopted, want.Searches, want.GeneratedRules)
+				}
+				if got.Inferences != want.Inferences {
+					t.Fatalf("%s: inferences %d, want %d", c.name, got.Inferences, want.Inferences)
+				}
+			}
+		})
+	}
+}

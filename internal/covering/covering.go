@@ -73,6 +73,7 @@ func Learn(kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) (*Result
 	start := time.Now()
 	m := solve.NewMachine(kb, cfg.Budget)
 	ev := search.NewFullCoverer(m, ex, cfg.Budget, cfg.CoverParallelism)
+	defer ev.Close()
 	res := &Result{}
 
 	for ex.NumPosAlive() > 0 && len(res.Theory) < cfg.MaxRules {

@@ -1,6 +1,9 @@
 package logic
 
-import "strings"
+import (
+	"math"
+	"strings"
+)
 
 // Literal is a (possibly negated) callable term appearing in a clause body.
 // Negation is negation-as-failure.
@@ -92,6 +95,55 @@ func (c Clause) Canonical() Clause {
 func (c Clause) Key() string {
 	canon := c.Canonical()
 	return canon.String()
+}
+
+// Hash64 returns an FNV-1a structural hash of the clause (variables hash by
+// index, so it distinguishes only up to structural equality, not renaming).
+// Pair with EqualClause to build allocation-free clause-keyed caches:
+// structurally equal clauses hash equally.
+func (c *Clause) Hash64() uint64 {
+	const fnvOffset uint64 = 14695981039346656037
+	h := hashTerm(fnvOffset, c.Head)
+	for i := range c.Body {
+		if c.Body[i].Neg {
+			h = hashByte(h, 1)
+		} else {
+			h = hashByte(h, 0)
+		}
+		h = hashTerm(h, c.Body[i].Atom)
+	}
+	return h
+}
+
+func hashByte(h uint64, b byte) uint64 {
+	const fnvPrime uint64 = 1099511628211
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func hashU64(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = hashByte(h, byte(v>>s))
+	}
+	return h
+}
+
+func hashTerm(h uint64, t Term) uint64 {
+	h = hashByte(h, byte(t.Kind))
+	switch t.Kind {
+	case Int, Float:
+		num := t.Num
+		if num == 0 {
+			num = 0 // normalize -0.0 so Equal terms hash equally
+		}
+		h = hashU64(h, math.Float64bits(num))
+	default:
+		h = hashU64(h, uint64(t.Sym))
+	}
+	h = hashByte(h, byte(len(t.Args)))
+	for i := range t.Args {
+		h = hashTerm(h, t.Args[i])
+	}
+	return h
 }
 
 // EqualClause reports structural equality (not up to renaming; use Key or

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bottom"
 	"repro/internal/logic"
+	"repro/internal/mode"
 	"repro/internal/solve"
 )
 
@@ -90,7 +92,7 @@ func BenchmarkCoverageFullSerial(b *testing.B) {
 // benchWideExamples builds a molecular task large enough that sharding the
 // example set matters: n molecules, alternating positive (oxygen-bonded)
 // and negative.
-func benchWideExamples(b *testing.B, n int) (*solve.KB, *Examples, logic.Clause) {
+func benchWideExamples(b testing.TB, n int) (*solve.KB, *Examples, logic.Clause) {
 	b.Helper()
 	kb := solve.NewKB()
 	var pos, neg []logic.Term
@@ -131,6 +133,7 @@ func BenchmarkCoverageFullWideSerial(b *testing.B) {
 func BenchmarkCoverageFullWideParallel(b *testing.B) {
 	kb, ex, rule := benchWideExamples(b, 2048)
 	pe := NewParallelEvaluator(kb, ex, solve.DefaultBudget, 0)
+	defer pe.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -138,5 +141,86 @@ func BenchmarkCoverageFullWideParallel(b *testing.B) {
 		if pos.Empty() {
 			b.Fatal("no coverage")
 		}
+	}
+}
+
+// benchRichExamples builds a molecular task whose bottom clause is rich
+// enough that LearnRule expands hundreds of candidates: n molecules of five
+// atoms in a bond chain, positive iff some bond reaches an oxygen.
+func benchRichExamples(b testing.TB, n int) (*solve.KB, *Examples, *bottom.Bottom) {
+	b.Helper()
+	elements := [...]string{"carbon", "nitrogen", "sulfur", "carbon", "hydrogen", "carbon", "phosphorus"}
+	kb := solve.NewKB()
+	var pos, neg []logic.Term
+	for i := 0; i < n; i++ {
+		mol := fmt.Sprintf("r%d", i)
+		for a := 0; a < 5; a++ {
+			el := elements[(i*5+a*3)%len(elements)]
+			if a == 3 && i%2 == 0 {
+				el = "oxygen"
+			}
+			kb.AddFact(logic.MustParseTerm(fmt.Sprintf("atm(%s, r%da%d, %s)", mol, i, a, el)))
+		}
+		for a := 0; a < 4; a++ {
+			kb.AddFact(logic.MustParseTerm(fmt.Sprintf("bondx(%s, r%da%d, r%da%d)", mol, i, a, i, a+1)))
+		}
+		ex := logic.MustParseTerm(fmt.Sprintf("active(%s)", mol))
+		if i%2 == 0 {
+			pos = append(pos, ex)
+		} else {
+			neg = append(neg, ex)
+		}
+	}
+	ex := NewExamples(pos, neg)
+	m := solve.NewMachine(kb, solve.DefaultBudget)
+	ms := mode.MustParseSet(fixtureModes)
+	bot, err := bottom.Construct(m, ms, pos[0], bottom.Options{VarDepth: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return kb, ex, bot
+}
+
+// BenchmarkLearnRule is the end-to-end search benchmark the batch path is
+// judged on: a full LearnRule over a wide example set, batched (one pool
+// synchronisation per expanded node) versus per-candidate evaluation (one
+// per generated rule), on the serial evaluator and on a 4-shard pool. The
+// ns/node metric is search time per generated rule.
+func BenchmarkLearnRule(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+		noBatch bool
+	}{
+		{"batched/serial", 0, false},
+		{"percand/serial", 0, true},
+		{"batched/pool4", 4, false},
+		{"percand/pool4", 4, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			kb, ex, bot := benchRichExamples(b, 256)
+			m := solve.NewMachine(kb, solve.DefaultBudget)
+			var ev Coverer = NewEvaluator(m, ex)
+			if bc.workers > 0 {
+				pe := NewParallelEvaluator(kb, ex, solve.DefaultBudget, bc.workers)
+				defer pe.Close()
+				ev = pe
+			}
+			st := Settings{MaxClauseLen: 3, MinPrec: 0.9, NoBatchEval: bc.noBatch}
+			generated := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := LearnRule(ev, bot, nil, st)
+				if res.Best() == nil {
+					b.Fatal("no rule found")
+				}
+				generated += res.Generated
+			}
+			b.StopTimer()
+			if generated > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(generated), "ns/node")
+			}
+		})
 	}
 }

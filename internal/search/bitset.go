@@ -69,6 +69,16 @@ func (b Bitset) OrWith(o Bitset) {
 	}
 }
 
+// AndCount returns the population count of a ∧ b without materializing the
+// intersection (lengths must match).
+func AndCount(a, b Bitset) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
 // IntersectInto writes a ∧ b into dst (resizing it if needed) and returns
 // the buffer, so callers can reuse a scratch bitset across calls.
 func IntersectInto(dst, a, b Bitset) Bitset {

@@ -19,6 +19,55 @@ type Coverer interface {
 	NegLen() int
 }
 
+// CoverResult is one rule's evaluation within a batch: the bitsets of
+// covered positives and negatives, exactly as Coverage would return them.
+type CoverResult struct {
+	Pos, Neg Bitset
+}
+
+// BatchCoverer extends Coverer with whole-frontier evaluation: all candidate
+// rules of one search-node expansion scored in a single call, so a parallel
+// implementation pays one pool synchronisation per node instead of one
+// goroutine fan-out per candidate. Coverers that cannot batch (the
+// distributed parcov coverer) are adapted via CoverageBatchOf.
+type BatchCoverer interface {
+	Coverer
+	// CoverageBatch evaluates rules[i] under posCands[i]/negCands[i]
+	// (candidate masks, nil entries meaning "test everything", same
+	// semantics as Coverage) and returns one CoverResult per rule, in
+	// order. posCands/negCands may themselves be nil, meaning all-nil.
+	// Results are bit-for-bit identical to len(rules) Coverage calls.
+	CoverageBatch(rules []*logic.Clause, posCands, negCands []Bitset) []CoverResult
+}
+
+// CoverageBatchOf evaluates a batch through ev, using its native
+// CoverageBatch when available and falling back to a per-rule Coverage loop
+// otherwise. This keeps interface growth compatible: plain Coverers (such as
+// parcov's distributed coverer) work unchanged.
+func CoverageBatchOf(ev Coverer, rules []*logic.Clause, posCands, negCands []Bitset) []CoverResult {
+	if bc, ok := ev.(BatchCoverer); ok {
+		return bc.CoverageBatch(rules, posCands, negCands)
+	}
+	return coverageLoop(ev, rules, posCands, negCands)
+}
+
+// coverageLoop is the shared per-rule batch fallback: one Coverage call per
+// rule, nil mask slices meaning all-nil.
+func coverageLoop(ev Coverer, rules []*logic.Clause, posCands, negCands []Bitset) []CoverResult {
+	out := make([]CoverResult, len(rules))
+	for i, r := range rules {
+		var pc, nc Bitset
+		if posCands != nil {
+			pc = posCands[i]
+		}
+		if negCands != nil {
+			nc = negCands[i]
+		}
+		out[i].Pos, out[i].Neg = ev.Coverage(r, pc, nc)
+	}
+	return out
+}
+
 // FullCoverer extends Coverer with whole-set evaluation and inference
 // accounting, the surface the p²-mdie workers need from their local
 // evaluator regardless of whether it is serial or multicore.
@@ -27,11 +76,17 @@ type FullCoverer interface {
 	// CoverageFull evaluates over every positive (retracted or not) and
 	// every negative; callers memoise the result.
 	CoverageFull(rule *logic.Clause) (pos, neg Bitset)
+	// CoverageFullBatch is CoverageFull over a whole rules bag in one
+	// call (one pool synchronisation on a parallel implementation).
+	CoverageFullBatch(rules []*logic.Clause) []CoverResult
 	// OwnInferences reports the SLD work done by machines the evaluator
 	// owns. The serial Evaluator borrows its caller's machine — which the
 	// caller already accounts for — so it reports 0; the parallel
 	// evaluator owns one machine per shard and reports their sum.
 	OwnInferences() int64
+	// Close releases evaluator-owned resources (a parallel evaluator's
+	// persistent shard pool). The evaluator must not be used afterwards.
+	Close()
 }
 
 // Evaluator computes rule coverage over an example store using an SLD
@@ -55,6 +110,9 @@ func (ev *Evaluator) NegLen() int { return len(ev.Ex.Neg) }
 
 // OwnInferences reports 0: the Evaluator borrows its caller's machine.
 func (ev *Evaluator) OwnInferences() int64 { return 0 }
+
+// Close is a no-op: the Evaluator owns no goroutines or machines.
+func (ev *Evaluator) Close() {}
 
 // NewEvaluator pairs a machine with an example store.
 func NewEvaluator(m *solve.Machine, ex *Examples) *Evaluator {
@@ -95,6 +153,22 @@ func (ev *Evaluator) Coverage(rule *logic.Clause, posCand, negCand Bitset) (pos,
 		}
 	}
 	return pos, neg
+}
+
+// CoverageBatch evaluates a batch of rules serially, one Coverage call per
+// rule. The serial evaluator gains nothing from batching; the method exists
+// so the search layer can issue whole-frontier calls against any FullCoverer.
+func (ev *Evaluator) CoverageBatch(rules []*logic.Clause, posCands, negCands []Bitset) []CoverResult {
+	return coverageLoop(ev, rules, posCands, negCands)
+}
+
+// CoverageFullBatch evaluates a rules bag serially (see CoverageFull).
+func (ev *Evaluator) CoverageFullBatch(rules []*logic.Clause) []CoverResult {
+	out := make([]CoverResult, len(rules))
+	for i, r := range rules {
+		out[i].Pos, out[i].Neg = ev.CoverageFull(r)
+	}
+	return out
 }
 
 // CoverageCounts evaluates rule over all alive positives and all negatives

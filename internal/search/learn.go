@@ -11,8 +11,6 @@ package search
 import (
 	"container/heap"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/bottom"
 	"repro/internal/logic"
@@ -26,16 +24,32 @@ type openList interface {
 	empty() bool
 }
 
-// fifoOpen is the breadth-first frontier.
-type fifoOpen struct{ q []*Candidate }
+// fifoOpen is the breadth-first frontier. Popping advances a head index
+// instead of re-slicing (q = q[1:] would keep every popped candidate — and
+// its coverage bitsets — reachable through the backing array for the whole
+// search); popped slots are nilled out and the queue compacts once the dead
+// prefix dominates, so long breadth-first searches release their tail.
+type fifoOpen struct {
+	q    []*Candidate
+	head int
+}
 
 func (f *fifoOpen) push(c *Candidate) { f.q = append(f.q, c) }
 func (f *fifoOpen) pop() *Candidate {
-	c := f.q[0]
-	f.q = f.q[1:]
+	c := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head >= 64 && f.head*2 >= len(f.q) {
+		n := copy(f.q, f.q[f.head:])
+		for i := n; i < len(f.q); i++ {
+			f.q[i] = nil // the copy left stale duplicates in the tail
+		}
+		f.q = f.q[:n]
+		f.head = 0
+	}
 	return c
 }
-func (f *fifoOpen) empty() bool { return len(f.q) == 0 }
+func (f *fifoOpen) empty() bool { return f.head >= len(f.q) }
 
 // heapOpen is the best-first frontier: highest score first, ties broken by
 // insertion order for determinism.
@@ -103,15 +117,55 @@ func (c *Candidate) Materialize(bot *bottom.Bottom) logic.Clause {
 	return bot.Materialize(c.Indices)
 }
 
-func indicesKey(ix []int32) string {
-	var b strings.Builder
-	for i, v := range ix {
-		if i > 0 {
-			b.WriteByte(',')
+// candKeyWords is the occupancy-bitmap capacity of a candKey; bottom clauses
+// of up to candKeyWords*64 literals get exact, allocation-free keys.
+const candKeyWords = 4
+
+// candKey is an allocation-free dedup key for a candidate's literal set. For
+// bottom clauses of at most 256 literals (MaxLiterals defaults to 128) it is
+// the exact occupancy bitmap over literal positions; beyond that it falls
+// back to a pair of FNV-1a hashes over the index list, tagged so bitmap and
+// hash keys can never collide.
+type candKey [candKeyWords]uint64
+
+// makeCandKey builds the key for a sorted (ascending) index list over a
+// bottom clause of nLits literals. Lists containing duplicates — impossible
+// for the search's own children, but legal in caller-supplied seeds — take
+// the hash path, which encodes the full sequence, so they keep keys
+// distinct from their deduplicated forms exactly as the old string keys
+// did.
+func makeCandKey(ix []int32, nLits int) candKey {
+	var k candKey
+	if nLits <= candKeyWords*64 && !hasAdjacentDup(ix) {
+		for _, v := range ix {
+			k[v/64] |= 1 << (v % 64)
 		}
-		b.WriteString(strconv.Itoa(int(v)))
+		return k
 	}
-	return b.String()
+	const (
+		fnvOffset uint64 = 14695981039346656037
+		fnvPrime  uint64 = 1099511628211
+	)
+	h1, h2 := fnvOffset, fnvOffset^0x9E3779B97F4A7C15
+	for _, v := range ix {
+		u := uint64(uint32(v))
+		for s := 0; s < 32; s += 8 {
+			h1 = (h1 ^ (u >> s & 0xff)) * fnvPrime
+			h2 = (h2 ^ (u >> s & 0xff)) * fnvPrime
+		}
+	}
+	k[0], k[1], k[2], k[3] = h1, h2, uint64(len(ix)), ^uint64(0)
+	return k
+}
+
+// hasAdjacentDup reports whether a sorted index list repeats a value.
+func hasAdjacentDup(ix []int32) bool {
+	for i := 1; i < len(ix); i++ {
+		if ix[i] == ix[i-1] {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is the outcome of one rule search.
@@ -139,20 +193,29 @@ func (r *Result) Best() *Candidate {
 // With seeds == nil the search starts from the empty-bodied rule (Fig. 2);
 // otherwise the open set and initial Good are the seed rules (Fig. 7), each
 // re-evaluated on the local examples. The best W good rules are returned.
+//
+// Node expansion is batched: all admissible children of a popped node are
+// collected first (dedup, input-variable check) and evaluated in a single
+// CoverageBatch call, so a batching Coverer pays one synchronisation per
+// expanded node rather than one per candidate. Candidate ordering,
+// Generated counts and NodesLimit semantics are identical to per-candidate
+// evaluation (Settings.NoBatchEval selects the per-candidate path for A/B
+// comparison).
 func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Result {
 	st = st.WithDefaults()
 	res := &Result{}
-	seen := make(map[string]bool)
+	seen := make(map[candKey]bool)
 	open := newOpenList(st.Strategy)
 	var good []*Candidate
+	nLits := len(bot.Lits)
 
 	addInitial := func(ix []int32, forceGood bool) {
-		if !validIndices(ix, len(bot.Lits)) {
+		if !validIndices(ix, nLits) {
 			return
 		}
 		sorted := append([]int32(nil), ix...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		key := indicesKey(sorted)
+		key := makeCandKey(sorted, nLits)
 		if seen[key] {
 			return
 		}
@@ -174,6 +237,13 @@ func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Re
 		}
 	}
 
+	// bound is the search-owned variable bitset reused across expansions
+	// (one word per 64 bottom-clause variables instead of a map allocation
+	// per popped node); children and fe are the reusable frontier buffers.
+	bound := NewBitset(bot.NumVars)
+	var children [][]int32
+	var fe frontierBufs
+
 	for !open.empty() && res.Generated < st.NodesLimit {
 		node := open.pop()
 		if len(node.Indices) >= st.MaxClauseLen {
@@ -185,8 +255,9 @@ func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Re
 		if node.Neg == 0 && len(node.Indices) > 0 {
 			continue // consistent already; refining only loses coverage
 		}
-		bound := boundVars(bot, node.Indices)
-		for j := int32(0); int(j) < len(bot.Lits); j++ {
+		fillBoundVars(bound, bot, node.Indices)
+		children = children[:0]
+		for j := int32(0); int(j) < nLits; j++ {
 			if containsIndex(node.Indices, j) {
 				continue
 			}
@@ -194,22 +265,27 @@ func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Re
 				continue
 			}
 			child := insertSorted(node.Indices, j)
-			key := indicesKey(child)
+			key := makeCandKey(child, nLits)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			cand := evaluate(ev, bot, child, node.posCov, node.negCov, st)
+			children = append(children, child)
+		}
+		// NodesLimit truncation before evaluation preserves the
+		// per-candidate path's semantics exactly: a child past the limit
+		// was never evaluated there either, and the search stops right
+		// after the limit is reached.
+		if remaining := st.NodesLimit - res.Generated; len(children) > remaining {
+			children = children[:remaining]
+		}
+		for _, cand := range fe.evaluateFrontier(ev, bot, children, node, st) {
 			res.Generated++
 			if st.IsGood(cand.Pos, cand.Neg) {
 				good = append(good, cand)
 			}
 			if cand.Pos >= st.MinPos {
 				open.push(cand)
-			}
-			if res.Generated >= st.NodesLimit {
-				res.ExhaustedNodes = true
-				break
 			}
 		}
 	}
@@ -223,6 +299,62 @@ func LearnRule(ev Coverer, bot *bottom.Bottom, seeds [][]int32, st Settings) *Re
 	}
 	res.Good = good
 	return res
+}
+
+// frontierBufs holds the per-search scratch slices of batched frontier
+// evaluation, reused across node expansions so the batch path adds no
+// steady-state allocations over the per-candidate one.
+type frontierBufs struct {
+	cands    []*Candidate
+	clauses  []logic.Clause
+	rules    []*logic.Clause
+	posCands []Bitset
+	negCands []Bitset
+}
+
+// evaluateFrontier scores all children of one expanded node. The batched
+// path issues a single CoverageBatch call (every child re-tests only the
+// examples the shared parent covered); the NoBatchEval path evaluates each
+// child with its own Coverage call. Both return candidates in child order
+// with identical coverage bitsets and scores. The returned slice is valid
+// until the next call.
+func (fe *frontierBufs) evaluateFrontier(ev Coverer, bot *bottom.Bottom, children [][]int32, parent *Candidate, st Settings) []*Candidate {
+	if len(children) == 0 {
+		return nil
+	}
+	if cap(fe.cands) < len(children) {
+		n := 2 * len(children)
+		fe.cands = make([]*Candidate, 0, n)
+		fe.clauses = make([]logic.Clause, 0, n)
+		fe.rules = make([]*logic.Clause, 0, n)
+		fe.posCands = make([]Bitset, 0, n)
+		fe.negCands = make([]Bitset, 0, n)
+	}
+	fe.cands = fe.cands[:len(children)]
+	if st.NoBatchEval {
+		for i, ix := range children {
+			fe.cands[i] = evaluate(ev, bot, ix, parent.posCov, parent.negCov, st)
+		}
+		return fe.cands
+	}
+	fe.clauses = fe.clauses[:len(children)]
+	fe.rules = fe.rules[:len(children)]
+	fe.posCands = fe.posCands[:len(children)]
+	fe.negCands = fe.negCands[:len(children)]
+	for i, ix := range children {
+		fe.clauses[i] = bot.Materialize(ix)
+		fe.rules[i] = &fe.clauses[i]
+		fe.posCands[i] = parent.posCov
+		fe.negCands[i] = parent.negCov
+	}
+	for i, r := range CoverageBatchOf(ev, fe.rules, fe.posCands, fe.negCands) {
+		c := &Candidate{Indices: children[i], posCov: r.Pos, negCov: r.Neg}
+		c.Pos = r.Pos.Count()
+		c.Neg = r.Neg.Count()
+		c.Score = st.Score(c.Pos, c.Neg, len(children[i]))
+		fe.cands[i] = c
+	}
+	return fe.cands
 }
 
 // evaluate scores one candidate; parent coverage masks (may be nil) restrict
@@ -251,8 +383,70 @@ func sortCandidates(cs []*Candidate) {
 		if len(a.Indices) != len(b.Indices) {
 			return len(a.Indices) < len(b.Indices)
 		}
-		return indicesKey(a.Indices) < indicesKey(b.Indices)
+		return lessIndices(a.Indices, b.Indices)
 	})
+}
+
+// lessIndices orders index lists by their comma-joined decimal rendering —
+// the ordering the old string-key tie-break produced — without building the
+// strings. The rendering order is pinned (rather than numeric order)
+// because final-tie order decides which W rules a pipeline stage forwards,
+// and changing it would change downstream searches.
+func lessIndices(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := cmpDecimal(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// cmpDecimal three-way-compares the decimal renderings of two non-negative
+// integers (so 10 sorts before 2, as strings do), using stack buffers.
+func cmpDecimal(x, y int32) int {
+	if x == y {
+		return 0
+	}
+	var bx, by [12]byte
+	dx := renderDecimal(&bx, x)
+	dy := renderDecimal(&by, y)
+	n := len(dx)
+	if len(dy) < n {
+		n = len(dy)
+	}
+	for i := 0; i < n; i++ {
+		if dx[i] != dy[i] {
+			if dx[i] < dy[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	// One rendering is a prefix of the other. In the joined key the shorter
+	// element is followed by ',' or end-of-string, both below any digit.
+	if len(dx) < len(dy) {
+		return -1
+	}
+	return 1
+}
+
+// renderDecimal writes v's decimal digits into buf and returns the slice.
+func renderDecimal(buf *[12]byte, v int32) []byte {
+	i := len(buf)
+	u := uint32(v)
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	return buf[i:]
 }
 
 func validIndices(ix []int32, n int) bool {
@@ -289,26 +483,28 @@ func insertSorted(ix []int32, j int32) []int32 {
 	return out
 }
 
-// boundVars returns the variables bound by the head plus the chosen literals.
-func boundVars(bot *bottom.Bottom, ix []int32) map[int32]bool {
-	bound := make(map[int32]bool, len(bot.HeadVars)+2*len(ix))
+// fillBoundVars resets bound and marks the variables bound by the head plus
+// the chosen literals.
+func fillBoundVars(bound Bitset, bot *bottom.Bottom, ix []int32) {
+	for i := range bound {
+		bound[i] = 0
+	}
 	for _, v := range bot.HeadVars {
-		bound[v] = true
+		bound.Set(int(v))
 	}
 	for _, i := range ix {
 		for _, v := range bot.Info[i].InVars {
-			bound[v] = true
+			bound.Set(int(v))
 		}
 		for _, v := range bot.Info[i].OutVars {
-			bound[v] = true
+			bound.Set(int(v))
 		}
 	}
-	return bound
 }
 
-func inputsBound(in []int32, bound map[int32]bool) bool {
+func inputsBound(in []int32, bound Bitset) bool {
 	for _, v := range in {
-		if !bound[v] {
+		if !bound.Get(int(v)) {
 			return false
 		}
 	}

@@ -7,6 +7,19 @@ import (
 	"repro/internal/logic"
 )
 
+// equalIndices reports element-wise equality of two index lists.
+func equalIndices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestSettingsDefaults(t *testing.T) {
 	s := Settings{}.WithDefaults()
 	if s.MaxClauseLen != 4 || s.NodesLimit != 2000 || s.MinPos != 1 || s.MinPrec != 0.7 {
@@ -175,7 +188,7 @@ func TestLearnRuleSeedsRetained(t *testing.T) {
 	res := LearnRule(fx.ev, fx.bot, [][]int32{seed}, Settings{MaxClauseLen: 3, MinPrec: 0.99, MinPos: 4})
 	found := false
 	for _, g := range res.Good {
-		if indicesKey(g.Indices) == indicesKey(seed) {
+		if equalIndices(g.Indices, seed) {
 			found = true
 		}
 	}
@@ -227,7 +240,7 @@ func TestLearnRuleDeterministic(t *testing.T) {
 		t.Fatalf("different good counts: %d vs %d", len(r1.Good), len(r2.Good))
 	}
 	for i := range r1.Good {
-		if indicesKey(r1.Good[i].Indices) != indicesKey(r2.Good[i].Indices) {
+		if !equalIndices(r1.Good[i].Indices, r2.Good[i].Indices) {
 			t.Fatalf("rule %d differs between runs", i)
 		}
 	}

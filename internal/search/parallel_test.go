@@ -11,6 +11,7 @@ func TestParallelEvaluatorMatchesSerial(t *testing.T) {
 	subsets := [][]int32{nil, {0}, {1}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
 	for _, workers := range []int{1, 2, 3, 8} {
 		pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, workers)
+		defer pe.Close()
 		if pe.Workers() != workers {
 			t.Fatalf("workers = %d, want %d", pe.Workers(), workers)
 		}
@@ -42,6 +43,7 @@ func TestParallelEvaluatorMatchesSerial(t *testing.T) {
 func TestParallelEvaluatorRespectsAliveMask(t *testing.T) {
 	fx := newFixture(t)
 	pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 3)
+	defer pe.Close()
 	rule := fx.bot.Materialize([]int32{0, 1, 2})
 	// Retract half the positives; Coverage must honor the alive mask while
 	// CoverageFull ignores it.
@@ -67,6 +69,7 @@ func TestParallelEvaluatorDeterministicAccounting(t *testing.T) {
 	run := func() int64 {
 		fx := newFixture(t)
 		pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 4)
+		defer pe.Close()
 		for _, ix := range [][]int32{nil, {0}, {0, 1}, {0, 1, 2}} {
 			rule := fx.bot.Materialize(ix)
 			pe.Coverage(&rule, nil, nil)
@@ -90,6 +93,7 @@ func TestLearnRuleSameWithParallelCoverer(t *testing.T) {
 	st := Settings{MaxClauseLen: 3, MinPrec: 0.9}
 	serial := LearnRule(fx.ev, fx.bot, nil, st)
 	pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, 4)
+	defer pe.Close()
 	par := LearnRule(pe, fx.bot, nil, st)
 	if serial.Generated != par.Generated {
 		t.Fatalf("generated: serial %d, parallel %d", serial.Generated, par.Generated)

@@ -109,6 +109,11 @@ type Settings struct {
 	// PosPrior is the positive class prior for HeurMEstimate; set by the
 	// caller from the dataset. ≤0 means 0.5.
 	PosPrior float64
+	// NoBatchEval disables whole-frontier batched candidate evaluation and
+	// reverts LearnRule to one Coverage call per candidate (the pre-batch
+	// hot path, kept for A/B benchmarking). Search results are identical
+	// either way; only synchronisation cost changes.
+	NoBatchEval bool
 }
 
 // WithDefaults returns s with zero fields replaced by defaults.

@@ -57,7 +57,7 @@ func TestBestFirstDeterministic(t *testing.T) {
 		t.Fatalf("nondeterministic good counts: %d vs %d", len(r1.Good), len(r2.Good))
 	}
 	for i := range r1.Good {
-		if indicesKey(r1.Good[i].Indices) != indicesKey(r2.Good[i].Indices) {
+		if !equalIndices(r1.Good[i].Indices, r2.Good[i].Indices) {
 			t.Fatalf("rule %d differs between runs", i)
 		}
 	}
