@@ -1,20 +1,46 @@
 // Command p2mdie learns a theory from one of the bundled datasets, either
-// sequentially (the paper's Fig. 1 baseline) or with the pipelined
-// data-parallel p²-mdie algorithm on the simulated cluster.
+// sequentially (the paper's Fig. 1 baseline), with the pipelined
+// data-parallel p²-mdie algorithm on the simulated cluster, or — deployed
+// as separate processes — over real TCP (the paper's Beowulf setting).
 //
-// Examples:
+// Single-process examples:
 //
 //	p2mdie -dataset trains
 //	p2mdie -dataset carcinogenesis -workers 8 -width 10
 //	p2mdie -dataset pyrimidines -scale 0.25 -workers 4 -width 10 -v
+//
+// Multi-process deployment (every process must load the same dataset, i.e.
+// be started with the same -dataset/-scale/-seed or -file flags; the join
+// handshake rejects mismatches):
+//
+//	p2mdie -dataset pyrimidines -serve 127.0.0.1:7771            # worker 1
+//	p2mdie -dataset pyrimidines -serve 127.0.0.1:7772            # worker 2
+//	p2mdie -dataset pyrimidines -master \
+//	       -workers 127.0.0.1:7771,127.0.0.1:7772 -width 10 -v   # master
+//
+// The master ships each worker its example partition and the search
+// settings over the wire (kindLoad), so only the master's -width,
+// -strategy and -nobatch matter; -seed is part of the dataset identity
+// (it shapes the generated examples, and so the fingerprint) and must
+// match on every process, with the master's copy also driving the
+// partitioning; a worker's -coverpar stays local to that worker. With the
+// same dataset and seed, the TCP run learns a theory byte-identical to
+// the simulated run's.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/netcluster"
 	"repro/internal/search"
 
 	ilp "repro"
@@ -26,11 +52,14 @@ func main() {
 		file     = flag.String("file", "", "load the dataset from a text file (ilpgen format) instead")
 		scale    = flag.Float64("scale", 1.0, "scale factor for dataset example counts (paper sizes at 1.0)")
 		seed     = flag.Int64("seed", 1, "generator / partition seed")
-		workers  = flag.Int("workers", 0, "p²-mdie worker count (0 = run the sequential baseline)")
+		workers  = flag.String("workers", "0", "p²-mdie workers: a count on the simulated cluster (0 = sequential baseline), or with -master a comma-separated worker address list")
 		width    = flag.Int("width", 10, "pipeline width W (0 = unlimited, the paper's 'nolimit')")
 		strategy = flag.String("strategy", "bfs", "search strategy: bfs (paper) or bestfirst")
-		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); with -workers > 0 the pool is per worker, so total concurrency is workers*N")
+		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); with workers the pool is per worker, so total concurrency is workers*N; in -serve mode this applies to the local worker only")
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
+		serve    = flag.String("serve", "", "run as a TCP worker: listen on this address, join the master, receive a partition (use host:0 for an ephemeral port; the listen address and a final status line always print so orchestrators can scrape them)")
+		masterMd = flag.Bool("master", false, "run as the TCP master over the workers listed in -workers")
+		traffic  = flag.String("traffic", "", "after a parallel run, dump the per-link byte/message table: 'json' or 'text' (both transports use the same accounting)")
 		verbose  = flag.Bool("v", false, "print the learned theory")
 		quiet    = flag.Bool("q", false, "suppress everything except the metrics line")
 	)
@@ -47,48 +76,169 @@ func main() {
 		ds, err = loadDataset(*dataset, *scale, *seed)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "p2mdie:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if st, serr := search.ParseStrategy(*strategy); serr != nil {
-		fmt.Fprintln(os.Stderr, "p2mdie:", serr)
-		os.Exit(1)
+		fail(serr)
 	} else {
 		ds.Search.Strategy = st
 	}
 	ds.Search.NoBatchEval = *noBatch
+	if *traffic != "" && *traffic != "json" && *traffic != "text" {
+		fail(fmt.Errorf("unknown -traffic mode %q (want json or text)", *traffic))
+	}
+
+	if *serve != "" {
+		runServe(ds, *serve, *coverPar, *quiet)
+		return
+	}
+	if *masterMd {
+		runTCPMaster(ds, *workers, *width, *seed, *traffic, *verbose, *quiet)
+		return
+	}
+
+	workerCount, err := strconv.Atoi(*workers)
+	if err != nil {
+		fail(fmt.Errorf("-workers %q: need a worker count (or add -master for an address list)", *workers))
+	}
 	if !*quiet {
 		fmt.Println(ds.String())
 	}
 
 	var theory []ilp.Clause
-	if *workers <= 0 {
+	if workerCount <= 0 {
 		res, err := ilp.LearnSequential(ds, ilp.SequentialOptions{CoverParallelism: *coverPar})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "p2mdie:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		theory = res.Theory
 		fmt.Printf("sequential: %d rules (%d adopted facts), %d searches, %d generated rules, %d inferences, %.2fs wall\n",
 			res.RulesLearned, res.GroundFactsAdopted, res.Searches, res.GeneratedRules,
 			res.Inferences, res.Duration.Seconds())
 	} else {
-		met, err := ilp.LearnParallel(ds, *workers, *width, ilp.ParallelOptions{Seed: *seed, CoverParallelism: *coverPar})
+		met, err := ilp.LearnParallel(ds, workerCount, *width, ilp.ParallelOptions{Seed: *seed, CoverParallelism: *coverPar})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "p2mdie:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		theory = met.Theory
-		fmt.Printf("p2-mdie p=%d w=%s: %d rules (%d adopted facts), %d epochs, %.2fs simulated (%.2fs wall), %.2f MB / %d msgs\n",
-			met.Workers, widthLabel(*width), met.RulesLearned, met.GroundFactsAdopted, met.Epochs,
-			met.VirtualTime.Seconds(), met.WallTime.Seconds(),
-			float64(met.CommBytes)/1e6, met.CommMessages)
+		printParallelMetrics("sim", met, *width)
+		dumpTraffic(*traffic, "sim", met.Traffic)
 	}
 	fmt.Printf("training accuracy: %.2f%%\n", 100*ilp.Accuracy(ds, theory, ds.Pos, ds.Neg))
 	if *verbose {
 		fmt.Println("theory:")
 		fmt.Print(ilp.TheoryString(theory))
 	}
+}
+
+// runServe is the TCP worker mode: listen, join, receive the partition via
+// the protocol, serve the run, report, exit.
+func runServe(ds *ilp.Dataset, addr string, coverPar int, quiet bool) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("p2mdie: worker listening on %s\n", ln.Addr())
+	node, err := netcluster.ServeOn(ln, netcluster.Config{
+		Fingerprint: core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+	})
+	if err != nil {
+		fail(err)
+	}
+	if !quiet {
+		fmt.Printf("p2mdie: joined as node %d of %d\n", node.ID(), node.Size())
+	}
+	err = core.RunWorker(node, ds.KB, ds.Modes, core.Config{CoverParallelism: coverPar})
+	if err != nil {
+		// Slam the links shut so peers see a failure, not an orderly exit.
+		node.Abort()
+		fail(err)
+	}
+	node.Close()
+	fmt.Printf("p2mdie: worker %d done, %.2fs simulated\n", node.ID(), node.Clock().Seconds())
+}
+
+// runTCPMaster drives a multi-process run over the given worker addresses.
+func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, trafficMode string, verbose, quiet bool) {
+	if _, err := strconv.Atoi(addrList); err == nil {
+		fail(fmt.Errorf("-master needs -workers host:port,... (got the count %q)", addrList))
+	}
+	addrs := strings.Split(addrList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			fail(fmt.Errorf("-master needs -workers host:port,... with no empty entries (got %q)", addrList))
+		}
+	}
+	if !quiet {
+		fmt.Println(ds.String())
+	}
+	node, err := netcluster.Connect(addrs, netcluster.Config{
+		Fingerprint: core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+	})
+	if err != nil {
+		fail(err)
+	}
+	met, err := core.RunMaster(node, ds.Pos, ds.Neg, core.Config{
+		Workers: len(addrs),
+		Width:   width,
+		Seed:    seed,
+		Search:  ds.Search,
+		Bottom:  ds.Bottom,
+		Budget:  ds.Budget,
+	})
+	if err != nil {
+		node.Abort()
+		fail(err)
+	}
+	node.Close()
+	printParallelMetrics("tcp", met, width)
+	dumpTraffic(trafficMode, "tcp", met.Traffic)
+	fmt.Printf("training accuracy: %.2f%%\n", 100*ilp.Accuracy(ds, met.Theory, ds.Pos, ds.Neg))
+	if verbose {
+		fmt.Println("theory:")
+		fmt.Print(ilp.TheoryString(met.Theory))
+	}
+}
+
+func printParallelMetrics(transport string, met *ilp.ParallelMetrics, width int) {
+	fmt.Printf("p2-mdie[%s] p=%d w=%s: %d rules (%d adopted facts), %d epochs, %.2fs simulated (%.2fs wall), %.2f MB / %d msgs\n",
+		transport, met.Workers, widthLabel(width), met.RulesLearned, met.GroundFactsAdopted, met.Epochs,
+		met.VirtualTime.Seconds(), met.WallTime.Seconds(),
+		float64(met.CommBytes)/1e6, met.CommMessages)
+}
+
+// trafficDump is the JSON shape of -traffic json.
+type trafficDump struct {
+	Transport  string         `json:"transport"`
+	Nodes      int            `json:"nodes"`
+	TotalBytes int64          `json:"total_bytes"`
+	TotalMsgs  int64          `json:"total_msgs"`
+	Links      []cluster.Link `json:"links"`
+}
+
+func dumpTraffic(mode, transport string, tr cluster.Traffic) {
+	switch mode {
+	case "json":
+		out, err := json.MarshalIndent(trafficDump{
+			Transport:  transport,
+			Nodes:      tr.N,
+			TotalBytes: tr.TotalBytes(),
+			TotalMsgs:  tr.TotalMsgs(),
+			Links:      tr.Links(),
+		}, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(out))
+	case "text":
+		fmt.Print(tr.String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "p2mdie:", err)
+	os.Exit(1)
 }
 
 func widthLabel(w int) string {

@@ -20,6 +20,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -68,6 +69,14 @@ func (c CostModel) withDefaults() CostModel {
 	}
 	return c
 }
+
+// WithDefaults returns the model with zero fields replaced by defaults.
+func (c CostModel) WithDefaults() CostModel { return c.withDefaults() }
+
+// TransferTime returns the virtual duration to move n payload bytes — the
+// fixed latency plus the bandwidth term. Exported so other transports
+// charge message delivery identically to the simulation.
+func (c CostModel) TransferTime(n int) VTime { return c.transferTime(n) }
 
 // transferTime returns the virtual duration to move n payload bytes.
 func (c CostModel) transferTime(n int) VTime {
@@ -133,6 +142,28 @@ func (mb *mailbox) take() (Message, bool) {
 	return m, true
 }
 
+// takeCtx is take with a failure path: it returns ErrClosed when the
+// mailbox is closed with nothing queued, and the context error when ctx
+// expires first. A queued message always wins over an expired context, so
+// no delivered message is lost to a deadline race.
+func (mb *mailbox) takeCtx(ctx context.Context) (Message, error) {
+	defer WakeOnDone(ctx, mb.cond)()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed && ctx.Err() == nil {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		if err := ctx.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{}, ErrClosed
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, nil
+}
+
 func (mb *mailbox) close() {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -146,16 +177,21 @@ type Network struct {
 	nodes []*Node
 	seq   atomic.Int64
 
-	msgs    atomic.Int64
-	bytes   atomic.Int64
-	perLink []atomic.Int64 // bytes, index = from*n + to
-	traceMu sync.Mutex
-	traceFn func(Event)
+	msgs        atomic.Int64
+	bytes       atomic.Int64
+	perLink     []atomic.Int64 // bytes, index = from*n + to
+	perLinkMsgs []atomic.Int64 // messages, same indexing
+	traceMu     sync.Mutex
+	traceFn     func(Event)
 }
 
 // NewNetwork creates n nodes (ids 0..n-1) sharing one cost model.
 func NewNetwork(n int, model CostModel) *Network {
-	nw := &Network{model: model.withDefaults(), perLink: make([]atomic.Int64, n*n)}
+	nw := &Network{
+		model:       model.withDefaults(),
+		perLink:     make([]atomic.Int64, n*n),
+		perLinkMsgs: make([]atomic.Int64, n*n),
+	}
 	nw.nodes = make([]*Node, n)
 	for i := range nw.nodes {
 		nw.nodes[i] = &Node{id: i, nw: nw, mbox: newMailbox()}
@@ -193,6 +229,16 @@ func (nw *Network) Stats() Stats {
 // LinkBytes returns bytes sent from node a to node b.
 func (nw *Network) LinkBytes(a, b int) int64 {
 	return nw.perLink[a*len(nw.nodes)+b].Load()
+}
+
+// Traffic snapshots the per-link byte/message table (Table-4 accounting).
+func (nw *Network) Traffic() Traffic {
+	t := NewTraffic(len(nw.nodes))
+	for i := range nw.perLink {
+		t.Bytes[i] = nw.perLink[i].Load()
+		t.Msgs[i] = nw.perLinkMsgs[i].Load()
+	}
+	return t
 }
 
 // Makespan returns the maximum node clock; call it after all node
@@ -278,8 +324,14 @@ type Node struct {
 	clock atomic.Int64 // VTime; atomic so Makespan can read cross-goroutine
 }
 
+// Node implements the Transport abstraction over the simulated machine.
+var _ Transport = (*Node)(nil)
+
 // ID returns the node id.
 func (n *Node) ID() int { return n.id }
+
+// Size returns the number of nodes in the network.
+func (n *Node) Size() int { return len(n.nw.nodes) }
 
 // Clock returns the node's current virtual time.
 func (n *Node) Clock() VTime { return VTime(n.clock.Load()) }
@@ -348,6 +400,7 @@ func (n *Node) deliver(to int, kind int, payload []byte) {
 	nw.msgs.Add(1)
 	nw.bytes.Add(int64(len(payload)))
 	nw.perLink[n.id*len(nw.nodes)+to].Add(int64(len(payload)))
+	nw.perLinkMsgs[n.id*len(nw.nodes)+to].Add(1)
 	nw.emit(Event{Type: EvSend, Node: n.id, Peer: to, Kind: kind, Bytes: len(payload), Clock: sendTime, Seq: seq})
 	nw.nodes[to].mbox.put(msg)
 }
@@ -363,6 +416,27 @@ func (n *Node) Receive() (Message, bool) {
 	n.advanceTo(msg.Arrive)
 	n.nw.emit(Event{Type: EvReceive, Node: n.id, Peer: msg.From, Kind: msg.Kind, Bytes: len(msg.Payload), Clock: n.Clock(), Seq: msg.Seq})
 	return msg, true
+}
+
+// ReceiveCtx is Receive with a failure path: it unblocks with ErrClosed
+// after Shutdown, or with the context error when ctx expires first — so a
+// crashed peer (whose failure handler shuts the network down) or a deadline
+// surfaces as an error instead of a deadlock.
+func (n *Node) ReceiveCtx(ctx context.Context) (Message, error) {
+	msg, err := n.mbox.takeCtx(ctx)
+	if err != nil {
+		return Message{}, err
+	}
+	n.advanceTo(msg.Arrive)
+	n.nw.emit(Event{Type: EvReceive, Node: n.id, Peer: msg.From, Kind: msg.Kind, Bytes: len(msg.Payload), Clock: n.Clock(), Seq: msg.Seq})
+	return msg, nil
+}
+
+// Encode gob-encodes a message payload exactly as Send does. netcluster
+// uses it so wire payloads — and therefore the per-link byte accounting —
+// are byte-identical to the simulation's for identical protocol messages.
+func Encode(v any) ([]byte, error) {
+	return encode(v)
 }
 
 func encode(v any) ([]byte, error) {

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by ReceiveCtx when the transport has been shut down
+// and no pending message remains. Node loops treat it as a clean exit.
+var ErrClosed = errors.New("cluster: transport closed")
+
+// Transport is one node's port onto a message-passing substrate: the
+// communication model of the paper's §2.2 (non-blocking send/broadcast,
+// blocking receive) plus the work/clock accounting that makes runs
+// quantitatively comparable across substrates.
+//
+// Two implementations exist: *cluster.Node (the in-process simulated
+// machine, one goroutine per node, virtual clocks) and *netcluster.Node
+// (real TCP between processes, same virtual-clock and per-link byte
+// accounting). The p²-mdie protocol in internal/core and the
+// coverage-farming baseline in internal/parcov run unchanged on either.
+type Transport interface {
+	// ID is this node's id: 0 is the master, workers are 1..p.
+	ID() int
+	// Size is the total number of nodes, p+1.
+	Size() int
+	// Send gob-encodes v and delivers it to node to without blocking.
+	Send(to int, kind int, v any) error
+	// Broadcast sends v to every node in targets (encoded once).
+	Broadcast(targets []int, kind int, v any) error
+	// ReceiveCtx blocks until a message is available, the context is done,
+	// or the transport fails. It returns ErrClosed after an orderly
+	// shutdown, the context error on expiry, and a transport-specific
+	// error when a peer is unreachable — a crashed peer surfaces here
+	// instead of hanging the caller forever.
+	ReceiveCtx(ctx context.Context) (Message, error)
+	// Compute advances the node's virtual clock by units of work (SLD
+	// inferences) under the transport's cost model.
+	Compute(units int64)
+	// Clock returns the node's current virtual time.
+	Clock() VTime
+}
+
+// WakeOnDone bridges context cancellation into a sync.Cond wait loop: when
+// ctx fires, cond is broadcast under its own locker, so a loop of the form
+//
+//	for <no progress> && ctx.Err() == nil { cond.Wait() }
+//
+// observes the expiry. The returned stop releases the watcher (defer it).
+// Both transports' receive queues use this; they also share the guarantee
+// that a queued message wins over an expired context, which their wait
+// loops implement by checking the queue before the error states on exit.
+func WakeOnDone(ctx context.Context, cond *sync.Cond) (stop func() bool) {
+	if ctx.Done() == nil {
+		return func() bool { return false }
+	}
+	return context.AfterFunc(ctx, func() {
+		cond.L.Lock()
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+}
+
+// TrafficReporter is implemented by transports that keep per-link traffic
+// counters (the Table-4 accounting). For the simulated Network the report
+// covers the whole cluster; a netcluster node reports its own outgoing
+// links, and the master assembles the global table from workers' final
+// reports.
+type TrafficReporter interface {
+	Traffic() Traffic
+}
+
+// Link is one directed edge of a traffic table.
+type Link struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Bytes int64 `json:"bytes"`
+	Msgs  int64 `json:"msgs"`
+}
+
+// Traffic is a per-link snapshot of protocol traffic over an n-node
+// cluster. Counts cover protocol payload bytes only (the gob-encoded
+// message bodies), exactly as the simulated Network counts them; transport
+// framing and heartbeats are excluded so both transports report through
+// the same accounting.
+type Traffic struct {
+	N     int     `json:"nodes"`
+	Bytes []int64 `json:"-"` // from*N + to
+	Msgs  []int64 `json:"-"`
+}
+
+// NewTraffic returns an empty table over n nodes.
+func NewTraffic(n int) Traffic {
+	return Traffic{N: n, Bytes: make([]int64, n*n), Msgs: make([]int64, n*n)}
+}
+
+// Add records msgs messages totalling bytes payload bytes on link from→to.
+func (t *Traffic) Add(from, to int, bytes, msgs int64) {
+	t.Bytes[from*t.N+to] += bytes
+	t.Msgs[from*t.N+to] += msgs
+}
+
+// Merge accumulates another table over the same node count into t.
+func (t *Traffic) Merge(o Traffic) error {
+	if o.N != t.N {
+		return fmt.Errorf("cluster: traffic table size mismatch: %d vs %d nodes", o.N, t.N)
+	}
+	for i := range t.Bytes {
+		t.Bytes[i] += o.Bytes[i]
+		t.Msgs[i] += o.Msgs[i]
+	}
+	return nil
+}
+
+// LinkBytes returns payload bytes sent from node a to node b.
+func (t Traffic) LinkBytes(a, b int) int64 { return t.Bytes[a*t.N+b] }
+
+// LinkMsgs returns messages sent from node a to node b.
+func (t Traffic) LinkMsgs(a, b int) int64 { return t.Msgs[a*t.N+b] }
+
+// TotalBytes sums payload bytes over all links.
+func (t Traffic) TotalBytes() int64 {
+	var s int64
+	for _, b := range t.Bytes {
+		s += b
+	}
+	return s
+}
+
+// TotalMsgs sums messages over all links.
+func (t Traffic) TotalMsgs() int64 {
+	var s int64
+	for _, m := range t.Msgs {
+		s += m
+	}
+	return s
+}
+
+// Links returns the non-empty directed links in (from, to) order — the
+// JSON-friendly form dumped by `p2mdie -traffic json`.
+func (t Traffic) Links() []Link {
+	var out []Link
+	for from := 0; from < t.N; from++ {
+		for to := 0; to < t.N; to++ {
+			i := from*t.N + to
+			if t.Msgs[i] != 0 || t.Bytes[i] != 0 {
+				out = append(out, Link{From: from, To: to, Bytes: t.Bytes[i], Msgs: t.Msgs[i]})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the table, one non-empty link per line.
+func (t Traffic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link     msgs      bytes\n")
+	for _, l := range t.Links() {
+		fmt.Fprintf(&b, "%d->%d %8d %10d\n", l.From, l.To, l.Msgs, l.Bytes)
+	}
+	fmt.Fprintf(&b, "total %7d %10d\n", t.TotalMsgs(), t.TotalBytes())
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The simulated transport's failure paths: ReceiveCtx must unblock on
+// shutdown (ErrClosed) and on context expiry, never deadlock.
+
+func TestReceiveCtxDeliversAndAdvancesClock(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	if err := nw.Node(0).Send(1, 3, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := nw.Node(1).ReceiveCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != 3 || msg.From != 0 {
+		t.Fatalf("got %+v", msg)
+	}
+	if nw.Node(1).Clock() != msg.Arrive {
+		t.Fatalf("clock %d, want arrival %d", nw.Node(1).Clock(), msg.Arrive)
+	}
+}
+
+func TestReceiveCtxDeadline(t *testing.T) {
+	nw := NewNetwork(1, CostModel{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := nw.Node(0).ReceiveCtx(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestReceiveCtxShutdown(t *testing.T) {
+	nw := NewNetwork(1, CostModel{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.Node(0).ReceiveCtx(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	nw.Shutdown()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReceiveCtx did not unblock on shutdown")
+	}
+}
+
+func TestReceiveCtxPrefersQueuedMessageOverExpiredContext(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	if err := nw.Node(0).Send(1, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	msg, err := nw.Node(1).ReceiveCtx(ctx)
+	if err != nil {
+		t.Fatalf("queued message lost to expired context: %v", err)
+	}
+	var v int
+	if err := msg.Decode(&v); err != nil || v != 42 {
+		t.Fatalf("decode: %v %d", err, v)
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	nw := NewNetwork(3, CostModel{})
+	nw.Node(0).Send(1, 0, "x")
+	nw.Node(0).Send(1, 0, "x")
+	nw.Node(1).Send(2, 0, "longer payload")
+	tr := nw.Traffic()
+	if tr.LinkMsgs(0, 1) != 2 || tr.LinkMsgs(1, 2) != 1 || tr.LinkMsgs(2, 0) != 0 {
+		t.Fatalf("per-link msgs wrong: %v", tr.Links())
+	}
+	if tr.TotalBytes() != nw.Stats().Bytes || tr.TotalMsgs() != nw.Stats().Messages {
+		t.Fatalf("traffic totals disagree with Stats: %v vs %v", tr, nw.Stats())
+	}
+	var merged Traffic
+	merged = NewTraffic(3)
+	if err := merged.Merge(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(NewTraffic(2)); err == nil {
+		t.Fatal("merge accepted a mismatched table")
+	}
+	if merged.LinkBytes(0, 1) != tr.LinkBytes(0, 1) {
+		t.Fatal("merge lost bytes")
+	}
+}

@@ -50,6 +50,13 @@ type Config struct {
 	// for the repartitioning ablation: expect balanced partitions but a
 	// large jump in exchanged bytes.
 	RepartitionEachEpoch bool
+	// RecvTimeout bounds every blocking protocol receive (master and
+	// workers). 0 means no deadline: the transport's own failure paths —
+	// shutdown in the simulation, link errors and heartbeat timeouts on
+	// TCP — already unblock a receiver whose peer died; a timeout adds a
+	// guard against protocol-level stalls where all peers stay healthy
+	// but none ever sends.
+	RecvTimeout time.Duration
 	// CoverParallelism shards each worker's coverage tests across this many
 	// goroutines (>1), serially on the worker's machine (≤1), or across
 	// GOMAXPROCS (<0). This is real multicore parallelism inside one
@@ -88,6 +95,9 @@ type Metrics struct {
 	CommBytes int64
 	// CommMessages is the total number of messages.
 	CommMessages int64
+	// Traffic is the per-link byte/message table behind CommBytes — the
+	// same accounting on both transports (`p2mdie -traffic json` dumps it).
+	Traffic cluster.Traffic
 	// RulesLearned counts searched rules accepted into the theory.
 	RulesLearned int
 	// GroundFactsAdopted counts fallback adoptions of bare examples.
@@ -98,6 +108,31 @@ type Metrics struct {
 	TotalInferences int64
 	// Workers and Width echo the configuration.
 	Workers, Width int
+}
+
+// splitExamples materialises Fig. 5 step 2 — the seeded shuffle +
+// round-robin deal of E+ and E− over p workers — as term slices. It is the
+// single source of truth for both the simulated master (Learn) and the
+// remote one (RunMaster): the cross-transport byte-identical-theory
+// guarantee rests on the two producing identical partitions, so neither
+// may reimplement this.
+func splitExamples(pos, neg []logic.Term, p int, seed int64) (posParts, negParts [][]logic.Term) {
+	rng := newRng(seed)
+	pi := partition(len(pos), p, rng)
+	ni := partition(len(neg), p, rng)
+	posParts = make([][]logic.Term, p)
+	negParts = make([][]logic.Term, p)
+	for k := 0; k < p; k++ {
+		posParts[k] = make([]logic.Term, 0, len(pi[k]))
+		for _, i := range pi[k] {
+			posParts[k] = append(posParts[k], pos[i])
+		}
+		negParts[k] = make([]logic.Term, 0, len(ni[k]))
+		for _, i := range ni[k] {
+			negParts[k] = append(negParts[k], neg[i])
+		}
+	}
+	return posParts, negParts
 }
 
 // partition splits indices 0..n-1 into p groups by seeded shuffle plus

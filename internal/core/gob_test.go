@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bottom"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// TestMessageGobRoundTrip pins the wire format: every payload type of
+// every p²-mdie message kind must survive a gob round trip unchanged.
+// The simulated transport re-decodes each message anyway (that is what
+// makes its byte accounting real), but a regression here would otherwise
+// only surface as corrupted state on the TCP path between processes.
+func TestMessageGobRoundTrip(t *testing.T) {
+	mustTerm := logic.MustParseTerm
+	rule := logic.Clause{
+		Head: mustTerm("active(X)"),
+		Body: []logic.Literal{
+			logic.Lit(mustTerm("atm(X, Y, oxygen)")),
+			logic.NegLit(mustTerm("charged(Y)")),
+		},
+	}
+	bot := bottom.Bottom{
+		Example:  mustTerm("active(m1)"),
+		Head:     mustTerm("active(A)"),
+		Lits:     []logic.Literal{logic.Lit(mustTerm("atm(A, B, oxygen)"))},
+		Info:     []bottom.LitInfo{{InVars: []int32{0}, OutVars: []int32{1}, Depth: 1}},
+		HeadVars: []int32{0},
+		NumVars:  2,
+	}
+
+	// One representative payload per message kind, keyed by the kind that
+	// carries it, so adding a kind without extending this table fails the
+	// length check below.
+	payloads := map[int]any{
+		kindLoad: loadDataMsg{
+			Round:   1,
+			HasData: true,
+			Pos:     []logic.Term{mustTerm("active(m1)"), mustTerm("active(m2)")},
+			Neg:     []logic.Term{mustTerm("active(m3)")},
+			Width:   10,
+			Search:  search.Settings{MaxClauseLen: 3, NodesLimit: 500, MinPos: 1, MinPrec: 0.7, W: 10, MEstimateM: 2, PosPrior: 0.5}.WithDefaults(),
+			Bottom:  bottom.Options{VarDepth: 2, MaxLiterals: 64, MaxRecall: 32},
+			Budget:  solve.Budget{MaxDepth: 32, MaxInferences: 1 << 16},
+		},
+		kindStartPipeline: startMsg{Width: 10},
+		kindStage: stageMsg{
+			Origin: 2,
+			Step:   3,
+			Bottom: bot,
+			Seeds:  []wireRule{{Indices: []int32{0}}, {Indices: []int32{0, 0}}},
+		},
+		kindRules:       rulesMsg{Origin: 1, Rules: []logic.Clause{rule}},
+		kindEvaluate:    evaluateMsg{Rules: []logic.Clause{rule}},
+		kindEvalResult:  evalResultMsg{Worker: 2, Pos: []int32{3, 0}, Neg: []int32{1, 2}},
+		kindMarkCovered: markCoveredMsg{Rule: rule},
+		kindAdopt:       adoptMsg{},
+		kindAdopted:     adoptedMsg{Worker: 1, Ok: true, Example: mustTerm("active(m9)")},
+		kindStop:        stopMsg{},
+		kindGather:      gatherMsg{},
+		kindGathered:    gatheredMsg{Worker: 2, Pos: []logic.Term{mustTerm("active(m4)")}},
+		kindRepartition: repartitionMsg{Pos: []logic.Term{mustTerm("active(m5)")}},
+		kindFinal: finalMsg{
+			Worker:     2,
+			Inferences: 12345,
+			Generated:  67,
+			Clock:      987654321,
+			Traffic: cluster.Traffic{
+				N:     3,
+				Bytes: []int64{0, 1, 2, 3, 4, 5, 6, 7, 8},
+				Msgs:  []int64{0, 0, 1, 1, 0, 2, 2, 0, 3},
+			},
+		},
+	}
+	if got, want := len(payloads), kindFinal+1; got != want {
+		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
+	}
+
+	for kind, v := range payloads {
+		enc, err := cluster.Encode(v)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", kind, err)
+		}
+		msg := cluster.Message{Kind: kind, Payload: enc}
+		out := reflect.New(reflect.TypeOf(v)) // decode into a fresh zero value
+		if err := msg.Decode(out.Interface()); err != nil {
+			t.Fatalf("kind %d: decode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(out.Elem().Interface(), v) {
+			t.Errorf("kind %d round trip mismatch:\n got: %#v\nwant: %#v", kind, out.Elem().Interface(), v)
+		}
+	}
+}
+
+// TestSimLoadMsgDecodesAsLoadData pins the cross-shape compatibility the
+// remote worker relies on being ABSENT: the simulation's loadMsg and the
+// network loadDataMsg share the kindLoad tag, distinguished by the
+// worker's remote flag, and gob happily decodes one into the other by
+// field names — HasData stays false, which loadRemote rejects.
+func TestSimLoadMsgDecodesAsLoadData(t *testing.T) {
+	enc, err := cluster.Encode(loadMsg{Round: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := cluster.Message{Kind: kindLoad, Payload: enc}
+	var ld loadDataMsg
+	if err := msg.Decode(&ld); err != nil {
+		t.Fatal(err)
+	}
+	if ld.Round != 3 || ld.HasData {
+		t.Fatalf("decoded %+v, want Round=3 HasData=false", ld)
+	}
+	w := &worker{id: 1, remote: true}
+	if err := w.loadRemote(&ld); err == nil {
+		t.Fatal("loadRemote accepted a partitionless load")
+	}
+}
+
+// TestSimLoadMessageShapeUnchanged pins the simulated transport's kindLoad
+// wire shape: gob transmits a descriptor naming every exported field, so
+// adding a field to loadMsg — rather than to the network-only
+// loadDataMsg — would grow every simulated run's kindLoad bytes and shift
+// its byte and virtual-time accounting, which are part of the reproduced
+// results. (The absolute encoded size is not asserted: gob's global type
+// registry makes it depend on what else the process encoded first.)
+func TestSimLoadMessageShapeUnchanged(t *testing.T) {
+	typ := reflect.TypeOf(loadMsg{})
+	if typ.NumField() != 1 || typ.Field(0).Name != "Round" || typ.Field(0).Type.Kind() != reflect.Int {
+		t.Fatalf("loadMsg shape changed (%d fields) — partition shipping belongs in loadDataMsg", typ.NumField())
+	}
+}

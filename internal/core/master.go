@@ -24,10 +24,18 @@ type bagEntry struct {
 
 // master drives the epochs of Fig. 5.
 type master struct {
-	node    *cluster.Node
+	node    cluster.Transport
 	p       int
 	cfg     Config
 	targets []int // worker node ids 1..p
+
+	// parts, when non-nil, holds the per-worker kindLoad payloads of a
+	// remote (multi-process) run; nil selects the simulation's
+	// shared-filesystem model where workers were constructed with their
+	// partitions and kindLoad is a bare signal.
+	parts []loadDataMsg
+	// finals collects the workers' kindFinal reports of a remote run.
+	finals []finalMsg
 
 	theory    []logic.Clause
 	metrics   *Metrics
@@ -39,9 +47,9 @@ type master struct {
 func (ma *master) collect(kind, n int) ([]cluster.Message, error) {
 	out := make([]cluster.Message, 0, n)
 	for len(out) < n {
-		msg, ok := ma.node.Receive()
-		if !ok {
-			return nil, fmt.Errorf("core: master: network shut down waiting for kind %d", kind)
+		msg, err := receiveWithTimeout(ma.node, ma.cfg.RecvTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("core: master: waiting for kind %d: %w", kind, err)
 		}
 		if msg.Kind != kind {
 			return nil, fmt.Errorf("core: master: expected kind %d, got %d from node %d", kind, msg.Kind, msg.From)
@@ -259,7 +267,15 @@ func (ma *master) repartition() error {
 
 // run executes the epochs until every positive is covered (Fig. 5).
 func (ma *master) run() error {
-	if err := ma.node.Broadcast(ma.targets, kindLoad, loadMsg{}); err != nil {
+	if ma.parts != nil {
+		// Remote workers have no shared filesystem: each load ships the
+		// worker's partition (and the semantics-bearing settings).
+		for i, k := range ma.targets {
+			if err := ma.node.Send(k, kindLoad, ma.parts[i]); err != nil {
+				return err
+			}
+		}
+	} else if err := ma.node.Broadcast(ma.targets, kindLoad, loadMsg{}); err != nil {
 		return err
 	}
 	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
@@ -292,7 +308,30 @@ func (ma *master) run() error {
 			}
 		}
 	}
-	return ma.node.Broadcast(ma.targets, kindStop, stopMsg{})
+	if err := ma.node.Broadcast(ma.targets, kindStop, stopMsg{}); err != nil {
+		return err
+	}
+	if ma.parts == nil {
+		return nil
+	}
+	// Remote runs: collect the workers' final reports (work totals,
+	// clocks, outgoing traffic) — the data Learn reads off the worker
+	// structs directly in the simulation.
+	msgs, err := ma.collect(kindFinal, ma.p)
+	if err != nil {
+		return err
+	}
+	for _, msg := range msgs {
+		var fm finalMsg
+		if err := msg.Decode(&fm); err != nil {
+			return err
+		}
+		if fm.Worker < 1 || fm.Worker > ma.p {
+			return fmt.Errorf("core: master: bad final report origin %d", fm.Worker)
+		}
+		ma.finals = append(ma.finals, fm)
+	}
+	return nil
 }
 
 // Learn runs p²-mdie over the background kb and the labelled examples under
@@ -310,9 +349,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	}
 
 	// Fig. 5 step 2: random even partition of E+ and E−.
-	rng := newRng(cfg.Seed)
-	posParts := partition(len(pos), p, rng)
-	negParts := partition(len(neg), p, rng)
+	posParts, negParts := splitExamples(pos, neg, p, cfg.Seed)
 
 	nw := cluster.NewNetwork(p+1, cfg.Cost)
 	if cfg.Trace != nil {
@@ -321,15 +358,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 
 	workers := make([]*worker, p)
 	for k := 1; k <= p; k++ {
-		wpos := make([]logic.Term, 0, len(posParts[k-1]))
-		for _, i := range posParts[k-1] {
-			wpos = append(wpos, pos[i])
-		}
-		wneg := make([]logic.Term, 0, len(negParts[k-1]))
-		for _, i := range negParts[k-1] {
-			wneg = append(wneg, neg[i])
-		}
-		workers[k-1] = newWorker(k, p, nw.Node(k), kb, search.NewExamples(wpos, wneg), ms, cfg)
+		workers[k-1] = newWorker(k, p, nw.Node(k), kb, search.NewExamples(posParts[k-1], negParts[k-1]), ms, cfg)
 	}
 
 	metrics := &Metrics{Workers: p, Width: cfg.Width}
@@ -351,6 +380,15 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	for _, w := range workers {
 		go func(w *worker) {
 			defer wg.Done()
+			// A panicking worker must surface as an error at the master,
+			// not hang it forever (or, unrecovered, kill the whole
+			// process): convert the panic and release everyone blocked.
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("core: worker %d panicked: %v", w.id, r)
+					nw.Shutdown()
+				}
+			}()
 			if err := w.run(); err != nil {
 				errCh <- err
 				nw.Shutdown() // release anyone blocked, including the master
@@ -380,6 +418,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	st := nw.Stats()
 	metrics.CommBytes = st.Bytes
 	metrics.CommMessages = st.Messages
+	metrics.Traffic = nw.Traffic()
 	for _, w := range workers {
 		metrics.TotalInferences += w.totalInf()
 		metrics.GeneratedRules += w.generated

@@ -2,7 +2,10 @@ package core
 
 import (
 	"repro/internal/bottom"
+	"repro/internal/cluster"
 	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
 )
 
 // Message kinds of the p²-mdie protocol. Master is node 0; workers are
@@ -48,11 +51,41 @@ const (
 	kindGathered
 	// kindRepartition (master→worker) installs a fresh positive partition.
 	kindRepartition
+	// kindFinal (worker→master) closes a remote run: after kindStop a
+	// network worker reports its work totals, clock and outgoing traffic so
+	// the master can assemble the same Metrics the simulation reads off the
+	// worker structs directly. Never sent on the simulated transport.
+	kindFinal
 )
 
-// loadMsg signals partition loading; Round distinguishes reloads.
+// loadMsg signals partition loading; Round distinguishes reloads. The
+// simulation sends exactly this shape (the partition was handed to the
+// worker at construction, modelling the paper's shared filesystem), so its
+// serialised size — and with it the Table-4 byte accounting and the
+// virtual-time transfer charges — is unchanged by the network transport's
+// richer loadDataMsg below.
 type loadMsg struct {
 	Round int
+}
+
+// loadDataMsg is the network-transport load (same kindLoad tag): separate
+// processes share no address space, so the partition travels in the
+// message, together with every setting that affects search semantics —
+// a worker whose knobs diverged from the master's would silently learn a
+// different theory. Local-only knobs (CoverParallelism, cost model) stay
+// with the worker. Gob decodes a loadMsg payload into this struct too
+// (fields match by name), but the simulation never takes that path.
+type loadDataMsg struct {
+	Round   int
+	HasData bool
+	Pos     []logic.Term
+	Neg     []logic.Term
+
+	Width          int
+	Search         search.Settings
+	Bottom         bottom.Options
+	Budget         solve.Budget
+	AddLearnedToBK bool
 }
 
 // startMsg starts a pipeline at its owning worker.
@@ -129,4 +162,13 @@ type gatheredMsg struct {
 // move: they are never retracted, so their initial split stays balanced).
 type repartitionMsg struct {
 	Pos []logic.Term
+}
+
+// finalMsg is a network worker's end-of-run report (see kindFinal).
+type finalMsg struct {
+	Worker     int
+	Inferences int64
+	Generated  int64
+	Clock      int64 // the worker's final virtual time
+	Traffic    cluster.Traffic
 }

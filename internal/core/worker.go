@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bottom"
@@ -13,13 +14,22 @@ import (
 
 // worker is one pipeline node (Figures 6 and 7). It owns a partition of the
 // examples, an SLD machine over the (shared) background knowledge and an
-// event loop dispatching protocol messages.
+// event loop dispatching protocol messages. The transport behind node may
+// be the simulated machine or a netcluster TCP node; the worker cannot
+// tell the difference except through the remote flag, which switches the
+// partition source (construction vs kindLoad) and the end-of-run report.
 type worker struct {
 	id   int // 1-based worker id; node id on the cluster
 	p    int // number of workers
-	node *cluster.Node
+	node cluster.Transport
 	cfg  Config
 	ms   *mode.Set
+
+	// remote marks a multi-process worker: the partition and the
+	// semantics-bearing config arrive via kindLoad, and kindStop is
+	// answered with a kindFinal report.
+	remote bool
+	kb     *solve.KB // retained for remote (re)loads
 
 	m  *solve.Machine
 	ex *search.Examples
@@ -54,7 +64,7 @@ type covCacheEntry struct {
 	cov  covEntry
 }
 
-func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) *worker {
+func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) *worker {
 	machineKB := kb
 	if cfg.AddLearnedToBK {
 		machineKB = kb.Clone()
@@ -66,12 +76,75 @@ func newWorker(id, p int, node *cluster.Node, kb *solve.KB, ex *search.Examples,
 		node:     node,
 		cfg:      cfg,
 		ms:       ms,
+		kb:       kb,
 		m:        m,
 		ex:       ex,
 		covCache: make(map[uint64][]covCacheEntry),
 	}
 	w.ev = w.newEvaluator()
 	return w
+}
+
+// newRemoteWorker builds a multi-process worker: id, worker count and —
+// via kindLoad — the partition and search configuration all come from the
+// master, so only the background knowledge and the language bias (the
+// paper's shared-filesystem data) are needed up front.
+func newRemoteWorker(node cluster.Transport, kb *solve.KB, ms *mode.Set, cfg Config) *worker {
+	return &worker{
+		id:       node.ID(),
+		p:        node.Size() - 1,
+		node:     node,
+		cfg:      cfg,
+		ms:       ms,
+		remote:   true,
+		kb:       kb,
+		covCache: make(map[uint64][]covCacheEntry),
+	}
+}
+
+// loadRemote installs the partition and the master's semantics-bearing
+// settings, building the machine and evaluator (a remote worker has none
+// until its first kindLoad).
+func (w *worker) loadRemote(lm *loadDataMsg) error {
+	if !lm.HasData {
+		return fmt.Errorf("core: worker %d: remote load carried no partition", w.id)
+	}
+	w.cfg.Width = lm.Width
+	w.cfg.Search = lm.Search
+	w.cfg.Bottom = lm.Bottom
+	w.cfg.Budget = lm.Budget
+	w.cfg.AddLearnedToBK = lm.AddLearnedToBK
+	w.cfg = w.cfg.withDefaults()
+	if w.ev != nil {
+		w.retiredInf += w.m.TotalInferences() + w.ev.OwnInferences()
+		w.ev.Close()
+	}
+	machineKB := w.kb
+	if w.cfg.AddLearnedToBK {
+		machineKB = w.kb.Clone()
+	}
+	w.m = solve.NewMachine(machineKB, w.cfg.Budget)
+	w.ex = search.NewExamples(lm.Pos, lm.Neg)
+	w.ev = w.newEvaluator()
+	w.covCache = make(map[uint64][]covCacheEntry)
+	return nil
+}
+
+// sendFinal reports the worker's totals to the master (remote runs only).
+func (w *worker) sendFinal() error {
+	fm := finalMsg{
+		Worker:     w.id,
+		Inferences: w.totalInf(),
+		Generated:  w.generated,
+		Clock:      int64(w.node.Clock()),
+	}
+	if tr, ok := w.node.(cluster.TrafficReporter); ok {
+		// Snapshotted before the send, so the report excludes itself: the
+		// p final messages are run bookkeeping, not protocol traffic, and
+		// the simulation's Table-4 numbers have no counterpart for them.
+		fm.Traffic = tr.Traffic()
+	}
+	return w.node.Send(0, kindFinal, fm)
 }
 
 // newEvaluator builds the worker's coverage evaluator over its current
@@ -84,6 +157,9 @@ func (w *worker) newEvaluator() search.FullCoverer {
 // totalInf is the worker's total SLD work: its own machine plus any
 // evaluator-owned shard machines, plus totals retired on repartition.
 func (w *worker) totalInf() int64 {
+	if w.m == nil { // remote worker stopped before its first load
+		return w.retiredInf
+	}
 	return w.m.TotalInferences() + w.ev.OwnInferences() + w.retiredInf
 }
 
@@ -178,14 +254,35 @@ func (w *worker) chargeWork(before int64) {
 // run is the worker event loop; it exits on kindStop or network shutdown.
 func (w *worker) run() error {
 	// Stop the evaluator's shard pool (if any) when the worker retires.
-	defer func() { w.ev.Close() }()
+	defer func() {
+		if w.ev != nil {
+			w.ev.Close()
+		}
+	}()
 	for {
-		msg, ok := w.node.Receive()
-		if !ok {
+		msg, err := receiveWithTimeout(w.node, w.cfg.RecvTimeout)
+		if errors.Is(err, cluster.ErrClosed) {
 			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: worker %d: receive: %w", w.id, err)
+		}
+		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindStop {
+			return fmt.Errorf("core: worker %d got kind %d before its partition was loaded", w.id, msg.Kind)
 		}
 		switch msg.Kind {
 		case kindLoad:
+			if w.remote {
+				var lm loadDataMsg
+				if err := msg.Decode(&lm); err != nil {
+					return err
+				}
+				if err := w.loadRemote(&lm); err != nil {
+					return err
+				}
+				w.node.Compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
+				continue
+			}
 			var lm loadMsg
 			if err := msg.Decode(&lm); err != nil {
 				return err
@@ -238,6 +335,9 @@ func (w *worker) run() error {
 			}
 			w.installPartition(rm.Pos)
 		case kindStop:
+			if w.remote {
+				return w.sendFinal()
+			}
 			return nil
 		default:
 			return fmt.Errorf("core: worker %d got unknown message kind %d", w.id, msg.Kind)

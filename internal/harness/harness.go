@@ -91,6 +91,12 @@ type Results struct {
 	Epochs map[Key][]float64
 	Acc    map[Key][]float64
 	Wall   map[Key][]float64 // real seconds (simulation cost; not a paper table)
+
+	// Links keeps the first fold's per-link traffic table per cell — the
+	// drill-down behind Table 4's averages. The same accounting backs a
+	// TCP deployment's tables (core.Metrics.Traffic), so these numbers are
+	// directly comparable to a real cluster run's.
+	Links map[Key]cluster.Traffic
 }
 
 func newResults(cfg Config) *Results {
@@ -103,6 +109,7 @@ func newResults(cfg Config) *Results {
 		Epochs:  map[Key][]float64{},
 		Acc:     map[Key][]float64{},
 		Wall:    map[Key][]float64{},
+		Links:   map[Key]cluster.Traffic{},
 	}
 }
 
@@ -158,6 +165,9 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 						return nil, fmt.Errorf("harness: %s fold %d p=%d w=%d: %w", ds.Name, fi, p, w, err)
 					}
 					key := Key{Dataset: ds.Name, Width: w, Procs: p}
+					if _, seen := res.Links[key]; !seen {
+						res.Links[key] = met.Traffic
+					}
 					parSecs := met.VirtualTime.Seconds()
 					res.Time[key] = append(res.Time[key], parSecs)
 					res.Comm[key] = append(res.Comm[key], float64(met.CommBytes)/1e6)
@@ -289,6 +299,21 @@ func (r *Results) RenderTable4(w io.Writer) {
 		func(k Key) string { return fmt.Sprintf("%.2f", stats.Mean(r.Comm[k])) }, nil)
 }
 
+// RenderLinkTraffic prints the per-link byte/message breakdown behind
+// Table 4 for one (dataset, width, procs) cell, first fold. Node 0 is the
+// master; 1..p are the pipeline workers, so the worker→worker rows are the
+// kindStage hand-offs the width limit bounds.
+func (r *Results) RenderLinkTraffic(w io.Writer, k Key) {
+	tr, ok := r.Links[k]
+	if !ok {
+		fmt.Fprintf(w, "no traffic recorded for %s w=%s p=%d\n", k.Dataset, widthLabel(k.Width), k.Procs)
+		return
+	}
+	fmt.Fprintf(w, "Per-link traffic, %s w=%s p=%d (fold 1; node 0 = master)\n",
+		k.Dataset, widthLabel(k.Width), k.Procs)
+	fmt.Fprint(w, tr.String())
+}
+
 // RenderTable5 prints average epoch counts.
 func (r *Results) RenderTable5(w io.Writer) {
 	r.renderCellTable(w,
@@ -327,6 +352,16 @@ func (r *Results) RenderAll(w io.Writer) {
 	fmt.Fprintln(w)
 	r.RenderTable4(w)
 	fmt.Fprintln(w)
+	// Table 4 drill-down: per-link traffic of each dataset's largest
+	// configuration.
+	if len(r.Cfg.Procs) > 0 && len(r.Cfg.Widths) > 0 {
+		wmax := r.Cfg.Widths[len(r.Cfg.Widths)-1]
+		pmax := r.Cfg.Procs[len(r.Cfg.Procs)-1]
+		for _, name := range r.datasetOrder() {
+			r.RenderLinkTraffic(w, Key{Dataset: name, Width: wmax, Procs: pmax})
+			fmt.Fprintln(w)
+		}
+	}
 	r.RenderTable5(w)
 	fmt.Fprintln(w)
 	r.RenderTable6(w)

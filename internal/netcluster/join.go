@@ -1,0 +1,259 @@
+package netcluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Connect dials the given worker addresses and assembles the cluster: the
+// caller becomes the master (node 0) and workerAddrs[k-1] becomes node k.
+// Each dial is retried until JoinTimeout so workers may still be starting.
+// The welcome exchange assigns ids, distributes the address book and the
+// cost model, and cross-checks dataset fingerprints.
+func Connect(workerAddrs []string, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	p := len(workerAddrs)
+	if p < 1 {
+		return nil, fmt.Errorf("netcluster: no worker addresses")
+	}
+	n := &Node{
+		id:      0,
+		size:    p + 1,
+		cfg:     cfg,
+		inbox:   newInbox(),
+		links:   make(map[int]*link),
+		peers:   append([]string{""}, workerAddrs...),
+		tr:      cluster.NewTraffic(p + 1),
+		pending: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	for k := 1; k <= p; k++ {
+		conn, err := dialRetry(workerAddrs[k-1], cfg.JoinTimeout)
+		if err != nil {
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d at %s: %w", k, workerAddrs[k-1], err)
+		}
+		welcome := &frame{
+			Ctrl:        ctrlWelcome,
+			NodeID:      int32(k),
+			Nodes:       int32(p + 1),
+			Peers:       n.peers,
+			Fingerprint: cfg.Fingerprint,
+			Model:       cfg.Model,
+		}
+		if err := writeFrame(conn, welcome); err != nil {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: welcome to worker %d: %w", k, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.JoinTimeout))
+		ack, err := readFrame(conn, cfg.MaxFrameBytes)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d join ack: %w", k, err)
+		}
+		if ack.Ctrl != ctrlWelcomeAck {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d: unexpected join reply ctrl %d", k, ack.Ctrl)
+		}
+		if ack.Err != "" {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d rejected join: %s", k, ack.Err)
+		}
+		if ack.Fingerprint != cfg.Fingerprint {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d fingerprint %x does not match master %x (different dataset or settings loaded)",
+				k, ack.Fingerprint, cfg.Fingerprint)
+		}
+		if _, err := n.registerLink(k, conn, true); err != nil {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Serve listens on addr, waits for the master's welcome (learning this
+// node's id, the cluster size, the address book and the cost model), and
+// returns the joined node. A fingerprint mismatch rejects the join on both
+// sides. After joining, the listener keeps accepting the lazily-dialed
+// worker-to-worker pipeline links.
+func Serve(addr string, cfg Config) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcluster: listen %s: %w", addr, err)
+	}
+	return ServeOn(ln, cfg)
+}
+
+// ServeOn is Serve over an already-bound listener, letting the caller bind
+// ":0" and publish the real address before the blocking join.
+func ServeOn(ln net.Listener, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		inbox:   newInbox(),
+		links:   make(map[int]*link),
+		pending: make(map[net.Conn]struct{}),
+		ln:      ln,
+		done:    make(chan struct{}),
+	}
+
+	// Join phase: accept until the master's welcome arrives. Peer hellos
+	// cannot legitimately precede it (peers dial only once the protocol is
+	// running), but a straggler is parked and registered after the join
+	// rather than dropped.
+	type parked struct {
+		conn net.Conn
+		f    *frame
+	}
+	var early []parked
+	joinDeadline := time.Now().Add(cfg.JoinTimeout)
+	for {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			dl.SetDeadline(joinDeadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("netcluster: waiting for master on %s: %w", ln.Addr(), err)
+		}
+		conn.SetReadDeadline(joinDeadline)
+		f, err := readFrame(conn, cfg.MaxFrameBytes)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			conn.Close()
+			continue // a port scan or a dead dial; keep waiting for the master
+		}
+		if f.Ctrl == ctrlHello {
+			early = append(early, parked{conn, f})
+			continue
+		}
+		if f.Ctrl != ctrlWelcome {
+			conn.Close()
+			continue
+		}
+		if f.Fingerprint != cfg.Fingerprint {
+			reject := &frame{Ctrl: ctrlWelcomeAck, Err: fmt.Sprintf(
+				"fingerprint %x does not match master %x (different dataset or settings loaded)",
+				cfg.Fingerprint, f.Fingerprint)}
+			writeFrame(conn, reject)
+			conn.Close()
+			ln.Close()
+			return nil, fmt.Errorf("netcluster: master fingerprint %x does not match ours %x", f.Fingerprint, cfg.Fingerprint)
+		}
+		n.id = int(f.NodeID)
+		n.size = int(f.Nodes)
+		n.peers = f.Peers
+		n.cfg.Model = f.Model.WithDefaults()
+		n.tr = cluster.NewTraffic(n.size)
+		if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint}); err != nil {
+			conn.Close()
+			ln.Close()
+			return nil, fmt.Errorf("netcluster: join ack: %w", err)
+		}
+		if _, err := n.registerLink(0, conn, true); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		break
+	}
+	if dl, ok := ln.(*net.TCPListener); ok {
+		dl.SetDeadline(time.Time{})
+	}
+	for _, e := range early {
+		n.acceptPeer(e.conn, e.f)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the worker's actual listen address (useful with ":0").
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// acceptLoop admits lazily-dialed peer links until the listener closes.
+// Each handshake runs in its own goroutine: a connection that never sends
+// its hello (a port scan, a stalled dialer) must not head-of-line-block
+// the admission of healthy peers behind it.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		n.mu.Lock()
+		if n.closing {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.pending[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.handshake(conn)
+	}
+}
+
+// handshake reads an accepted connection's first frame and registers the
+// peer. Shutdown closes pending connections, so the bounded read unblocks
+// promptly rather than holding Close for the full JoinTimeout.
+func (n *Node) handshake(conn net.Conn) {
+	defer n.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(n.cfg.JoinTimeout))
+	f, err := readFrame(conn, n.cfg.MaxFrameBytes)
+	conn.SetReadDeadline(time.Time{})
+	n.mu.Lock()
+	delete(n.pending, conn)
+	closing := n.closing
+	n.mu.Unlock()
+	if err != nil || closing {
+		conn.Close()
+		return
+	}
+	n.acceptPeer(conn, f)
+}
+
+func (n *Node) acceptPeer(conn net.Conn, f *frame) {
+	if f.Ctrl != ctrlHello || int(f.From) <= 0 || int(f.From) >= n.size {
+		conn.Close()
+		return
+	}
+	if f.Fingerprint != n.cfg.Fingerprint {
+		conn.Close()
+		n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d fingerprint %x does not match ours %x",
+			n.id, f.From, f.Fingerprint, n.cfg.Fingerprint))
+		return
+	}
+	// Receive-only: data to this peer goes out on a link we dial ourselves.
+	n.registerLink(int(f.From), conn, false)
+}

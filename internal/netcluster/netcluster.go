@@ -1,0 +1,489 @@
+// Package netcluster implements the cluster.Transport abstraction over
+// real TCP connections, turning the simulated p²-mdie cluster into a
+// multi-process deployment: one master process and p worker processes,
+// exchanging the same gob-encoded protocol messages the simulation
+// exchanges in memory (the paper's LAM/MPI Beowulf run, §5).
+//
+// Topology and handshake: every worker listens (`p2mdie -serve`); the
+// master dials each worker and sends a welcome frame assigning its node id
+// (1..p), the cluster size, the worker address book and the cost model.
+// Worker-to-worker pipeline links (the kindStage ring) are dialed lazily on
+// first send using the address book. Both ends of the join exchange
+// dataset fingerprints, so a worker loaded with different data — which
+// would silently desynchronise the interned symbol tables the gob payloads
+// reference — is rejected at join time instead of corrupting the run.
+//
+// Accounting matches the simulation exactly: payloads are encoded with the
+// same cluster.Encode, per-link byte/message counters cover payload bytes
+// only (framing and heartbeats excluded), and each node carries the same
+// cost-model virtual clock — Compute advances it by measured work, a
+// received message advances it to the sender's clock plus latency plus
+// bytes/bandwidth (the send time travels in the frame header). Makespan
+// and Table-4 traffic of a TCP run are therefore directly comparable to a
+// simulated run's.
+//
+// Failure model: every connection runs a heartbeater, so a dead or
+// partitioned peer is noticed within PeerTimeout even while both sides are
+// deep in computation; link errors and timeouts fail the node's inbox, so
+// a blocked ReceiveCtx surfaces the failure as an error instead of
+// deadlocking — satisfying the same contract as the simulated transport's
+// shutdown path.
+package netcluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Config parameterises a netcluster node.
+type Config struct {
+	// Model is the virtual-clock cost model. Workers adopt the master's
+	// model at join, so only the master's setting matters cluster-wide.
+	Model cluster.CostModel
+	// Fingerprint identifies the loaded dataset and settings. Master and
+	// workers must agree; see core.Fingerprint.
+	Fingerprint uint64
+	// HeartbeatEvery is the per-link keep-alive period. Default 500ms.
+	HeartbeatEvery time.Duration
+	// PeerTimeout declares a silent peer dead. Default 10s.
+	PeerTimeout time.Duration
+	// JoinTimeout bounds a worker's wait for the master's welcome and the
+	// master's dial retries. Default 60s.
+	JoinTimeout time.Duration
+	// MaxFrameBytes bounds one frame. Default 256 MiB.
+	MaxFrameBytes int
+}
+
+func (c Config) withDefaults() Config {
+	c.Model = c.Model.WithDefaults()
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * time.Second
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 60 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 256 << 20
+	}
+	return c
+}
+
+// inbox is the unbounded receive queue shared by all of a node's links,
+// mirroring the simulated mailbox plus a terminal failure state.
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []cluster.Message
+	err   error
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(m cluster.Message) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	ib.queue = append(ib.queue, m)
+	ib.cond.Signal()
+}
+
+// fail records the first terminal error and wakes all waiters. Later
+// failures are ignored, so an orderly Close after a peer error does not
+// mask the root cause.
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.err == nil {
+		ib.err = err
+	}
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) failed() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.err
+}
+
+// take returns the next queued message; queued messages win over both a
+// recorded failure and an expired context, so nothing delivered is lost.
+func (ib *inbox) take(ctx context.Context) (cluster.Message, error) {
+	defer cluster.WakeOnDone(ctx, ib.cond)()
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.queue) == 0 && ib.err == nil && ctx.Err() == nil {
+		ib.cond.Wait()
+	}
+	if len(ib.queue) > 0 {
+		m := ib.queue[0]
+		ib.queue = ib.queue[1:]
+		return m, nil
+	}
+	if ib.err != nil {
+		return cluster.Message{}, ib.err
+	}
+	return cluster.Message{}, ctx.Err()
+}
+
+// Node is one process's endpoint on a TCP cluster. It implements
+// cluster.Transport; all Transport methods must be called from the single
+// goroutine driving the protocol, as with the simulated *cluster.Node.
+type Node struct {
+	id    int
+	size  int
+	cfg   Config
+	clock atomic.Int64 // cluster.VTime
+
+	ln    net.Listener // workers: accepts master + peer dials
+	inbox *inbox
+
+	mu       sync.Mutex
+	links    map[int]*link         // send links by peer id
+	all      []*link               // every link, including receive-only accepted ones
+	pending  map[net.Conn]struct{} // accepted conns mid-handshake
+	peers    []string              // worker listen addresses by node id ("" for 0)
+	departed map[int]bool          // peers that said an orderly goodbye
+	closing  bool
+
+	trMu sync.Mutex
+	tr   cluster.Traffic // outgoing payload traffic, this node's rows
+
+	done chan struct{} // closed by Close; unblocks heartbeat loops
+	wg   sync.WaitGroup
+}
+
+var _ cluster.Transport = (*Node)(nil)
+var _ cluster.TrafficReporter = (*Node)(nil)
+
+// ID returns the node id (0 = master).
+func (n *Node) ID() int { return n.id }
+
+// Size returns the cluster size p+1.
+func (n *Node) Size() int { return n.size }
+
+// Clock returns the node's virtual time.
+func (n *Node) Clock() cluster.VTime { return cluster.VTime(n.clock.Load()) }
+
+// Model returns the cost model in force (the master's, cluster-wide).
+func (n *Node) Model() cluster.CostModel { return n.cfg.Model }
+
+// Compute advances the virtual clock by units of work, exactly as the
+// simulated node does.
+func (n *Node) Compute(units int64) {
+	if units <= 0 {
+		return
+	}
+	n.clock.Add(int64(cluster.VTime(float64(units) * n.cfg.Model.NsPerInference)))
+}
+
+// ComputeDuration advances the clock by a raw virtual duration.
+func (n *Node) ComputeDuration(d time.Duration) {
+	if d > 0 {
+		n.clock.Add(int64(d))
+	}
+}
+
+func (n *Node) advanceTo(t cluster.VTime) {
+	if t > n.Clock() {
+		n.clock.Store(int64(t))
+	}
+}
+
+// Traffic snapshots this node's outgoing per-link payload counters.
+func (n *Node) Traffic() cluster.Traffic {
+	n.trMu.Lock()
+	defer n.trMu.Unlock()
+	out := cluster.NewTraffic(n.tr.N)
+	copy(out.Bytes, n.tr.Bytes)
+	copy(out.Msgs, n.tr.Msgs)
+	return out
+}
+
+// Stats returns this node's outgoing payload totals.
+func (n *Node) Stats() cluster.Stats {
+	n.trMu.Lock()
+	defer n.trMu.Unlock()
+	return cluster.Stats{Messages: n.tr.TotalMsgs(), Bytes: n.tr.TotalBytes()}
+}
+
+func (n *Node) account(to int, payloadBytes int) {
+	n.trMu.Lock()
+	n.tr.Add(n.id, to, int64(payloadBytes), 1)
+	n.trMu.Unlock()
+}
+
+// Send gob-encodes v and ships it to node to. Sends to self loop through
+// the inbox without touching the network, as in the simulation.
+func (n *Node) Send(to int, kind int, v any) error {
+	payload, err := cluster.Encode(v)
+	if err != nil {
+		return fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
+	}
+	return n.sendPayload(to, kind, payload)
+}
+
+// Broadcast sends v to every node in targets, encoding once.
+func (n *Node) Broadcast(targets []int, kind int, v any) error {
+	payload, err := cluster.Encode(v)
+	if err != nil {
+		return fmt.Errorf("netcluster: broadcast from %d kind %d: %w", n.id, kind, err)
+	}
+	for _, to := range targets {
+		if err := n.sendPayload(to, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) sendPayload(to, kind int, payload []byte) error {
+	if to < 0 || to >= n.size {
+		return fmt.Errorf("netcluster: send to unknown node %d (cluster size %d)", to, n.size)
+	}
+	sendTime := n.Clock()
+	n.account(to, len(payload))
+	if to == n.id {
+		n.inbox.put(cluster.Message{
+			From: n.id, To: to, Kind: kind, Payload: payload,
+			SendTime: sendTime, Arrive: sendTime + n.cfg.Model.TransferTime(len(payload)),
+		})
+		return nil
+	}
+	l, err := n.linkTo(to)
+	if err != nil {
+		return err
+	}
+	f := &frame{
+		Ctrl: ctrlData, From: int32(n.id), To: int32(to), Kind: int32(kind),
+		SendTime: int64(sendTime), Payload: payload,
+	}
+	if err := l.write(f); err != nil {
+		err = fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
+		n.inbox.fail(err)
+		return err
+	}
+	return nil
+}
+
+// ReceiveCtx blocks until a protocol message arrives, the context is done,
+// or the transport fails (peer death, link error, Close). The receiver's
+// clock advances to the message's virtual arrival time.
+func (n *Node) ReceiveCtx(ctx context.Context) (cluster.Message, error) {
+	msg, err := n.inbox.take(ctx)
+	if err != nil {
+		return cluster.Message{}, err
+	}
+	n.advanceTo(msg.Arrive)
+	return msg, nil
+}
+
+// Close shuts the node down in an orderly way: a goodbye frame tells every
+// peer this departure is deliberate (their reader treats the following EOF
+// as a clean close), pending local receivers unblock with ErrClosed, and
+// every link closes. Use Abort when exiting on an error: an erroring
+// node's peers must see a failure, not an orderly departure, or they
+// could block forever waiting for protocol messages that will never come.
+func (n *Node) Close() error { return n.shutdown(true) }
+
+// Abort slams the node shut without goodbyes: peers observe a link
+// failure, exactly as if the process had crashed.
+func (n *Node) Abort() error { return n.shutdown(false) }
+
+func (n *Node) shutdown(orderly bool) error {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closing = true
+	links := append([]*link(nil), n.all...)
+	pending := make([]net.Conn, 0, len(n.pending))
+	for c := range n.pending {
+		pending = append(pending, c)
+	}
+	ln := n.ln
+	n.mu.Unlock()
+
+	close(n.done)
+	for _, c := range pending {
+		c.Close() // unblock handshakes so wg.Wait below returns promptly
+	}
+
+	n.inbox.fail(cluster.ErrClosed)
+	if ln != nil {
+		ln.Close()
+	}
+	for _, l := range links {
+		if orderly {
+			l.write(&frame{Ctrl: ctrlGoodbye, From: int32(n.id)})
+		}
+		l.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) isClosing() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closing
+}
+
+// noteDeparture records an orderly goodbye from peer and reports whether
+// this node's run is thereby over: for a worker, when the master departs;
+// for the master, when every worker has.
+func (n *Node) noteDeparture(peer int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.departed == nil {
+		n.departed = make(map[int]bool)
+	}
+	n.departed[peer] = true
+	if n.id != 0 {
+		return n.departed[0]
+	}
+	for k := 1; k < n.size; k++ {
+		if !n.departed[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// registerLink installs a link and starts its reader and heartbeater.
+func (n *Node) registerLink(peer int, conn net.Conn, sendable bool) (*link, error) {
+	l := newLink(peer, conn, n.cfg.PeerTimeout)
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, cluster.ErrClosed
+	}
+	if sendable {
+		if _, dup := n.links[peer]; dup {
+			n.mu.Unlock()
+			conn.Close()
+			return nil, fmt.Errorf("netcluster: duplicate link to node %d", peer)
+		}
+		n.links[peer] = l
+	}
+	n.all = append(n.all, l)
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go n.readLoop(l)
+	go n.heartbeatLoop(l)
+	return l, nil
+}
+
+// linkTo returns the send link for peer, dialing it on first use (the lazy
+// worker-to-worker ring edges).
+func (n *Node) linkTo(peer int) (*link, error) {
+	n.mu.Lock()
+	l, ok := n.links[peer]
+	addr := ""
+	if !ok && peer < len(n.peers) {
+		addr = n.peers[peer]
+	}
+	n.mu.Unlock()
+	if ok {
+		return l, nil
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("netcluster: no address for node %d", peer)
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.JoinTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netcluster: dial node %d at %s: %w", peer, addr, err)
+	}
+	hello := &frame{Ctrl: ctrlHello, From: int32(n.id), Fingerprint: n.cfg.Fingerprint}
+	if err := writeFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcluster: hello to node %d: %w", peer, err)
+	}
+	return n.registerLink(peer, conn, true)
+}
+
+// readLoop decodes frames off one link until it dies. Any frame refreshes
+// liveness; data frames join the shared inbox with their virtual arrival
+// time computed under the cost model.
+func (n *Node) readLoop(l *link) {
+	defer n.wg.Done()
+	for {
+		f, err := readFrame(l.conn, n.cfg.MaxFrameBytes)
+		if err != nil {
+			if !n.isClosing() && !l.isClosed() {
+				n.inbox.fail(fmt.Errorf("netcluster: node %d: link to node %d failed: %w", n.id, l.peer, err))
+			}
+			return
+		}
+		l.touch()
+		switch f.Ctrl {
+		case ctrlData:
+			sendTime := cluster.VTime(f.SendTime)
+			n.inbox.put(cluster.Message{
+				From: int(f.From), To: int(f.To), Kind: int(f.Kind), Payload: f.Payload,
+				SendTime: sendTime, Arrive: sendTime + n.cfg.Model.TransferTime(len(f.Payload)),
+			})
+		case ctrlHeartbeat:
+			// touch above is all a heartbeat does.
+		case ctrlGoodbye:
+			// Orderly peer departure: every protocol frame it sent was
+			// written (and, TCP being ordered, read) before the goodbye,
+			// so silencing this link loses nothing. A departed master —
+			// or, for the master, the departure of every worker — also
+			// ends this node's run cleanly: anything still queued is
+			// delivered first (the inbox drains before reporting closure).
+			l.close()
+			if n.noteDeparture(l.peer) {
+				n.inbox.fail(cluster.ErrClosed)
+			}
+			return
+		default:
+			n.inbox.fail(fmt.Errorf("netcluster: node %d: unexpected ctrl frame %d from node %d", n.id, f.Ctrl, l.peer))
+			return
+		}
+	}
+}
+
+// heartbeatLoop keeps the link observably alive and declares the peer dead
+// after PeerTimeout of silence — the only way a hung (rather than closed)
+// peer surfaces while this node is blocked in ReceiveCtx.
+func (n *Node) heartbeatLoop(l *link) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		if n.isClosing() || l.isClosed() {
+			return
+		}
+		if l.sinceSeen() > n.cfg.PeerTimeout {
+			n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d unresponsive for %s", n.id, l.peer, n.cfg.PeerTimeout))
+			l.close()
+			return
+		}
+		hb := &frame{Ctrl: ctrlHeartbeat, From: int32(n.id)}
+		if err := l.write(hb); err != nil {
+			if !n.isClosing() && !l.isClosed() {
+				n.inbox.fail(fmt.Errorf("netcluster: node %d: heartbeat to node %d: %w", n.id, l.peer, err))
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package netcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Frame control tags. Data frames carry protocol messages; the rest are
+// transport-level (handshake, liveness) and are excluded from the Table-4
+// traffic accounting.
+const (
+	ctrlData uint8 = iota
+	// ctrlHello opens a peer-dialed connection: From identifies the dialer,
+	// Fingerprint must match the accepter's.
+	ctrlHello
+	// ctrlWelcome is the master's join offer: node-id assignment, cluster
+	// size, the worker address book and the cost model every node must use.
+	ctrlWelcome
+	// ctrlWelcomeAck confirms (or, with Err set, rejects) a welcome.
+	ctrlWelcomeAck
+	// ctrlHeartbeat keeps a link observably alive while no data flows.
+	ctrlHeartbeat
+	// ctrlGoodbye announces an orderly departure, so the peer's reader
+	// treats the following EOF as a clean close rather than a failure —
+	// a worker that finished the protocol must not look like a crash to a
+	// master still collecting from its siblings.
+	ctrlGoodbye
+)
+
+// frame is the single on-the-wire record. Every frame is individually
+// gob-encoded and length-prefixed (4-byte big-endian), so a reader can
+// bound allocations and resynchronisation is trivial: a short read is a
+// dead link, never a half-parsed stream.
+type frame struct {
+	Ctrl     uint8
+	From     int32
+	To       int32
+	Kind     int32
+	SendTime int64
+	Payload  []byte
+
+	// Handshake fields (ctrlHello / ctrlWelcome / ctrlWelcomeAck).
+	NodeID      int32
+	Nodes       int32
+	Peers       []string
+	Fingerprint uint64
+	Model       cluster.CostModel
+	Err         string
+}
+
+const lenPrefixSize = 4
+
+// writeFrame length-prefix-writes one gob-encoded frame. Callers serialise
+// writes per connection via the owning link's mutex.
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, lenPrefixSize)) // reserve the prefix
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("netcluster: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:lenPrefixSize], uint32(len(b)-lenPrefixSize))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting frames larger than
+// maxBytes so a corrupt prefix cannot allocate unbounded memory.
+func readFrame(r io.Reader, maxBytes int) (*frame, error) {
+	var prefix [lenPrefixSize]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(prefix[:]))
+	if n <= 0 || n > maxBytes {
+		return nil, fmt.Errorf("netcluster: frame length %d out of range (max %d)", n, maxBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("netcluster: decode frame: %w", err)
+	}
+	return &f, nil
+}
+
+// link is one TCP connection to a peer. Data sends go out on links this
+// node dialed (plus, on workers, the master-dialed connection, which is
+// bidirectional); every link — dialed or accepted — runs a reader that
+// feeds the node's inbox and a heartbeater that keeps the reverse
+// direction's liveness tracking fed.
+type link struct {
+	peer int
+	conn net.Conn
+
+	// writeTimeout bounds every frame write. Without it, a peer that
+	// stops draining (SIGSTOP, blackholed route) would block a writer on
+	// a full TCP buffer while holding wmu — which would also block the
+	// heartbeater, whose timeout check is the only thing that could have
+	// broken the stall.
+	writeTimeout time.Duration
+
+	wmu sync.Mutex // serialises writeFrame calls
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	closed   bool
+}
+
+func newLink(peer int, conn net.Conn, writeTimeout time.Duration) *link {
+	return &link{peer: peer, conn: conn, writeTimeout: writeTimeout, lastSeen: time.Now()}
+}
+
+func (l *link) write(f *frame) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if l.writeTimeout > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+		defer l.conn.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(l.conn, f)
+}
+
+func (l *link) touch() {
+	l.mu.Lock()
+	l.lastSeen = time.Now()
+	l.mu.Unlock()
+}
+
+func (l *link) sinceSeen() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Since(l.lastSeen)
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if !already {
+		l.conn.Close()
+	}
+}
+
+func (l *link) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}

@@ -13,6 +13,8 @@
 package parcov
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -48,6 +50,7 @@ type Metrics struct {
 	WallTime           time.Duration
 	CommBytes          int64
 	CommMessages       int64
+	Traffic            cluster.Traffic
 	Searches           int
 	GeneratedRules     int
 	RulesLearned       int
@@ -63,6 +66,12 @@ const (
 	kindRetractRule
 	kindRetractOne
 	kindStop
+	// kindLoad (master→worker) ships a remote worker its partition; the
+	// simulation hands partitions at construction and never sends it.
+	kindLoad
+	// kindFinal (worker→master) reports work totals after kindStop on a
+	// remote run.
+	kindFinal
 )
 
 // evalMsg carries one rule plus optional per-worker candidate masks (local
@@ -88,22 +97,55 @@ type retractOneMsg struct{ Example logic.Term }
 
 type stopMsg struct{}
 
-// pcWorker owns one example partition and answers coverage queries.
+// loadMsg is the remote-transport partition shipment (see kindLoad).
+type loadMsg struct {
+	Pos, Neg []logic.Term
+	Budget   solve.Budget
+}
+
+// finalMsg is a remote worker's end-of-run report (see kindFinal).
+type finalMsg struct {
+	Worker     int
+	Inferences int64
+	Clock      int64
+	Traffic    cluster.Traffic
+}
+
+// pcWorker owns one example partition and answers coverage queries. Like
+// core's worker it is transport-agnostic: remote workers receive their
+// partition via kindLoad and answer kindStop with a final report.
 type pcWorker struct {
-	id   int
-	node *cluster.Node
-	m    *solve.Machine
-	ex   *search.Examples
-	ev   *search.Evaluator
+	id     int
+	node   cluster.Transport
+	remote bool
+	kb     *solve.KB
+	m      *solve.Machine
+	ex     *search.Examples
+	ev     *search.Evaluator
 }
 
 func (w *pcWorker) run() error {
 	for {
-		msg, ok := w.node.Receive()
-		if !ok {
+		msg, err := w.node.ReceiveCtx(context.Background())
+		if errors.Is(err, cluster.ErrClosed) {
 			return nil
 		}
+		if err != nil {
+			return fmt.Errorf("parcov: worker %d: receive: %w", w.id, err)
+		}
+		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindStop {
+			return fmt.Errorf("parcov: worker %d got kind %d before its partition was loaded", w.id, msg.Kind)
+		}
 		switch msg.Kind {
+		case kindLoad:
+			var lm loadMsg
+			if err := msg.Decode(&lm); err != nil {
+				return err
+			}
+			w.m = solve.NewMachine(w.kb, lm.Budget)
+			w.ex = search.NewExamples(lm.Pos, lm.Neg)
+			w.ev = search.NewEvaluator(w.m, w.ex)
+			w.node.Compute(int64(len(lm.Pos) + len(lm.Neg)))
 		case kindEval:
 			var em evalMsg
 			if err := msg.Decode(&em); err != nil {
@@ -144,6 +186,16 @@ func (w *pcWorker) run() error {
 			}
 			w.node.Compute(1)
 		case kindStop:
+			if w.remote {
+				fm := finalMsg{Worker: w.id, Clock: int64(w.node.Clock())}
+				if w.m != nil {
+					fm.Inferences = w.m.TotalInferences()
+				}
+				if tr, ok := w.node.(cluster.TrafficReporter); ok {
+					fm.Traffic = tr.Traffic()
+				}
+				return w.node.Send(0, kindFinal, fm)
+			}
 			return nil
 		default:
 			return fmt.Errorf("parcov: worker %d: unknown kind %d", w.id, msg.Kind)
@@ -154,7 +206,7 @@ func (w *pcWorker) run() error {
 // distCoverer satisfies search.Coverer by broadcasting each rule to the
 // workers and stitching their local bitsets into the global index space.
 type distCoverer struct {
-	node    *cluster.Node
+	node    cluster.Transport
 	p       int
 	targets []int
 	posMap  [][]int // worker (0-based) → local index → global index
@@ -188,9 +240,13 @@ func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitse
 		}
 	}
 	for k := 0; k < d.p; k++ {
-		msg, ok := d.node.Receive()
-		if !ok || msg.Kind != kindEvalResult {
-			d.err = fmt.Errorf("parcov: master: bad evaluation reply (ok=%v kind=%d)", ok, msg.Kind)
+		msg, err := d.node.ReceiveCtx(context.Background())
+		if err != nil {
+			d.err = fmt.Errorf("parcov: master: waiting for evaluation reply: %w", err)
+			return pos, neg
+		}
+		if msg.Kind != kindEvalResult {
+			d.err = fmt.Errorf("parcov: master: bad evaluation reply (kind=%d)", msg.Kind)
 			return pos, neg
 		}
 		var er evalResultMsg
@@ -264,7 +320,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 		}
 		m := solve.NewMachine(kb, cfg.Budget)
 		ex := search.NewExamples(wpos, wneg)
-		workers[k] = &pcWorker{id: k + 1, node: nw.Node(k + 1), m: m, ex: ex, ev: search.NewEvaluator(m, ex)}
+		workers[k] = &pcWorker{id: k + 1, node: nw.Node(k + 1), kb: kb, m: m, ex: ex, ev: search.NewEvaluator(m, ex)}
 	}
 
 	masterNode := nw.Node(0)
@@ -282,6 +338,12 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	for _, w := range workers {
 		go func(w *pcWorker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("parcov: worker %d panicked: %v", w.id, r)
+					nw.Shutdown()
+				}
+			}()
 			if err := w.run(); err != nil {
 				errCh <- err
 				nw.Shutdown()
@@ -315,6 +377,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	st := nw.Stats()
 	met.CommBytes = st.Bytes
 	met.CommMessages = st.Messages
+	met.Traffic = nw.Traffic()
 	for _, w := range workers {
 		met.TotalInferences += w.m.TotalInferences()
 	}
@@ -322,7 +385,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 }
 
 // runMaster is the serial covering loop with distributed coverage tests.
-func runMaster(node *cluster.Node, kb *solve.KB, pos []logic.Term, ms *mode.Set, cfg Config, dc *distCoverer, met *Metrics) error {
+func runMaster(node cluster.Transport, kb *solve.KB, pos []logic.Term, ms *mode.Set, cfg Config, dc *distCoverer, met *Metrics) error {
 	m := solve.NewMachine(kb, cfg.Budget) // master machine: saturation only
 	alive := search.FullBitset(len(pos))
 	targets := dc.targets

@@ -1,0 +1,129 @@
+package parcov
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/solve"
+)
+
+// RunWorker drives one multi-process coverage-testing worker over an
+// established transport: it waits for its partition in kindLoad, answers
+// coverage queries, and reports totals on kindStop. The coverage-farming
+// baseline thus runs on the same netcluster substrate as p²-mdie, which
+// is what makes their Table-4 traffic directly comparable.
+func RunWorker(t cluster.Transport, kb *solve.KB, cfg Config) (err error) {
+	if t.ID() < 1 {
+		return fmt.Errorf("parcov: RunWorker needs a worker node id (≥ 1), got %d", t.ID())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parcov: worker %d panicked: %v", t.ID(), r)
+		}
+	}()
+	w := &pcWorker{id: t.ID(), node: t, remote: true, kb: kb}
+	return w.run()
+}
+
+// RunMaster drives the serial covering loop over remote coverage workers,
+// partitioning the examples exactly as the simulated Learn does and
+// shipping each worker its share. The learned theory is identical to the
+// simulated run's for the same inputs. On error the caller should Abort
+// the underlying transport (a best-effort stop is broadcast, but a peer
+// behind a broken link only unblocks when its link dies).
+func RunMaster(t cluster.Transport, kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metrics, error) {
+	if t.ID() != 0 {
+		return nil, fmt.Errorf("parcov: RunMaster needs node id 0, got %d", t.ID())
+	}
+	p := t.Size() - 1
+	if p < 1 {
+		return nil, fmt.Errorf("parcov: RunMaster needs ≥ 1 worker, transport has %d nodes", t.Size())
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("parcov: no positive examples")
+	}
+	if cfg.MaxRules <= 0 {
+		cfg.MaxRules = 1000
+	}
+	cfg.Workers = p
+
+	// Same seeded partitioning as the simulation.
+	posParts := dealOut(len(pos), p, cfg.Seed)
+	negParts := dealOut(len(neg), p, cfg.Seed+1)
+	posMap := make([][]int, p)
+	negMap := make([][]int, p)
+	targets := make([]int, p)
+	for k := 0; k < p; k++ {
+		targets[k] = k + 1
+		lm := loadMsg{Budget: cfg.Budget}
+		for _, gi := range posParts[k] {
+			posMap[k] = append(posMap[k], gi)
+			lm.Pos = append(lm.Pos, pos[gi])
+		}
+		for _, gi := range negParts[k] {
+			negMap[k] = append(negMap[k], gi)
+			lm.Neg = append(lm.Neg, neg[gi])
+		}
+		if err := t.Send(k+1, kindLoad, lm); err != nil {
+			return nil, err
+		}
+	}
+
+	dc := &distCoverer{node: t, p: p, targets: targets, posMap: posMap, negMap: negMap, nPos: len(pos), nNeg: len(neg)}
+	met := &Metrics{Workers: p}
+	start := time.Now()
+	masterErr := runMaster(t, kb, pos, ms, cfg, dc, met)
+	if masterErr == nil {
+		masterErr = dc.err
+	}
+	if masterErr != nil {
+		// Best-effort release: without a stop, healthy remote workers
+		// would block forever in their receive loop (their links stay
+		// heartbeat-alive as long as this process runs). Callers should
+		// still Abort the transport so broken peers see a failure.
+		t.Broadcast(targets, kindStop, stopMsg{})
+		return nil, masterErr
+	}
+	if err := t.Broadcast(targets, kindStop, stopMsg{}); err != nil {
+		return nil, err
+	}
+
+	// Collect the final reports.
+	traffic := cluster.NewTraffic(p + 1)
+	if tr, ok := t.(cluster.TrafficReporter); ok {
+		if mt := tr.Traffic(); mt.N == traffic.N {
+			traffic.Merge(mt)
+		}
+	}
+	makespan := t.Clock()
+	for k := 0; k < p; k++ {
+		msg, err := t.ReceiveCtx(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("parcov: master: waiting for final reports: %w", err)
+		}
+		if msg.Kind != kindFinal {
+			return nil, fmt.Errorf("parcov: master: expected final report, got kind %d", msg.Kind)
+		}
+		var fm finalMsg
+		if err := msg.Decode(&fm); err != nil {
+			return nil, err
+		}
+		met.TotalInferences += fm.Inferences
+		if c := cluster.VTime(fm.Clock); c > makespan {
+			makespan = c
+		}
+		if fm.Traffic.N == traffic.N {
+			traffic.Merge(fm.Traffic)
+		}
+	}
+	met.WallTime = time.Since(start)
+	met.VirtualTime = makespan.Duration()
+	met.Traffic = traffic
+	met.CommBytes = traffic.TotalBytes()
+	met.CommMessages = traffic.TotalMsgs()
+	return met, nil
+}

@@ -1,0 +1,130 @@
+package parcov
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/mode"
+	"repro/internal/netcluster"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+func remoteTask(t *testing.T) (*solve.KB, []logic.Term, []logic.Term, *mode.Set) {
+	t.Helper()
+	kb := solve.NewKB()
+	var pos, neg []logic.Term
+	add := func(mol, el string, isPos bool) {
+		kb.AddFact(logic.MustParseTerm("atm(" + mol + ", " + mol + "_a, " + el + ")"))
+		e := logic.MustParseTerm("active(" + mol + ")")
+		if isPos {
+			pos = append(pos, e)
+		} else {
+			neg = append(neg, e)
+		}
+	}
+	for i, m := range []string{"p1", "p2", "p3", "p4", "p5", "p6"} {
+		el := "oxygen"
+		if i%2 == 1 {
+			el = "sulfur"
+		}
+		add(m, el, true)
+	}
+	for _, m := range []string{"n1", "n2", "n3", "n4"} {
+		add(m, "carbon", false)
+	}
+	ms := mode.MustParseSet(`
+		modeh(1, active(+mol)).
+		modeb('*', atm(+mol, -atomid, #element)).
+	`)
+	return kb, pos, neg, ms
+}
+
+// TestRemoteCoverageMatchesSimulated runs the coverage-farming baseline on
+// both transports and requires identical theories: the parcov protocol is
+// transport-agnostic just like p²-mdie's.
+func TestRemoteCoverageMatchesSimulated(t *testing.T) {
+	kb, pos, neg, ms := remoteTask(t)
+	cfg := Config{
+		Workers: 2,
+		Seed:    7,
+		Search:  search.Settings{MaxClauseLen: 2, MinPrec: 0.8, NodesLimit: 200}.WithDefaults(),
+	}
+	sim, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := core.Fingerprint(kb, pos, neg)
+	ncfg := netcluster.Config{Fingerprint: fp}
+	p := 2
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for k := 0; k < p; k++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[k] = ln
+		addrs[k] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, p)
+	for k := 0; k < p; k++ {
+		ln := lns[k]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, err := netcluster.ServeOn(ln, ncfg)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer node.Close()
+			errCh <- RunWorker(node, kb, cfg)
+		}()
+	}
+	master, err := netcluster.Connect(addrs, ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := RunMaster(master, kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Close()
+	wg.Wait()
+	close(errCh)
+	for werr := range errCh {
+		if werr != nil {
+			t.Fatalf("worker error: %v", werr)
+		}
+	}
+
+	if len(met.Theory) != len(sim.Theory) {
+		t.Fatalf("theory sizes differ: net %d vs sim %d", len(met.Theory), len(sim.Theory))
+	}
+	for i := range met.Theory {
+		if met.Theory[i].String() != sim.Theory[i].String() {
+			t.Fatalf("rule %d differs:\nnet: %s\nsim: %s", i, met.Theory[i], sim.Theory[i])
+		}
+	}
+	if met.RulesLearned != sim.RulesLearned || met.GroundFactsAdopted != sim.GroundFactsAdopted {
+		t.Fatalf("run shape differs: net %+v vs sim %+v", met, sim)
+	}
+	// Worker-originated traffic is byte-identical; master rows carry the
+	// extra kindLoad partition shipping.
+	for from := 1; from <= p; from++ {
+		for to := 0; to <= p; to++ {
+			if got, want := met.Traffic.LinkBytes(from, to), sim.Traffic.LinkBytes(from, to); got != want {
+				t.Errorf("link %d->%d bytes: net %d vs sim %d", from, to, got, want)
+			}
+		}
+	}
+	if met.TotalInferences <= 0 || met.VirtualTime <= 0 {
+		t.Fatalf("work not accounted: %+v", met)
+	}
+}
