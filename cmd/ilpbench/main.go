@@ -38,6 +38,7 @@ func main() {
 		chart    = flag.Bool("chart", false, "draw a text speedup-vs-processors chart after the tables")
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); results are identical, wall-clock drops")
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
+		jsonOut  = flag.String("json", "", "also write the run's machine-readable per-dataset summary (fold means of the Table 2-6 quantities) to this file, or '-' for stdout")
 		quiet    = flag.Bool("q", false, "suppress per-fold progress output")
 	)
 	flag.Parse()
@@ -115,6 +116,18 @@ func main() {
 		res.RenderAll(os.Stdout)
 	} else if err := res.RenderTable(*table, os.Stdout); err != nil {
 		fail(err)
+	}
+	if *jsonOut != "" {
+		out, err := res.MarshalSummary(*scale)
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+			fail(err)
+		}
 	}
 	if *chart {
 		fmt.Println()

@@ -48,11 +48,37 @@ func binary(t *testing.T) string {
 	return binPath
 }
 
+// syncBuffer is a bytes.Buffer safe for the two writers a workerProc has:
+// the exec stderr copier and the stdout scanner goroutine (the suite runs
+// under -race in CI).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) WriteString(x string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.WriteString(x)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // workerProc is one spawned -serve process.
 type workerProc struct {
 	cmd  *exec.Cmd
 	addr string
-	out  *bytes.Buffer
+	out  *syncBuffer
 }
 
 // startWorker launches a worker on an ephemeral port and scrapes its
@@ -61,12 +87,12 @@ func startWorker(t *testing.T, ctx context.Context, bin string, datasetArgs []st
 	t.Helper()
 	args := append(append([]string{}, datasetArgs...), "-serve", "127.0.0.1:0", "-q")
 	cmd := exec.CommandContext(ctx, bin, args...)
-	var buf bytes.Buffer
+	buf := &syncBuffer{}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = &buf
+	cmd.Stderr = buf
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +108,7 @@ func startWorker(t *testing.T, ctx context.Context, bin string, datasetArgs []st
 		cmd.Process.Kill()
 		t.Fatalf("worker first line %q has no address", line)
 	}
-	w := &workerProc{cmd: cmd, addr: strings.TrimSpace(line[i+len(marker):]), out: &buf}
+	w := &workerProc{cmd: cmd, addr: strings.TrimSpace(line[i+len(marker):]), out: buf}
 	go func() {
 		for sc.Scan() {
 			buf.WriteString(sc.Text() + "\n")

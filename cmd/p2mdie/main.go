@@ -36,6 +36,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -60,6 +61,10 @@ func main() {
 		serve    = flag.String("serve", "", "run as a TCP worker: listen on this address, join the master, receive a partition (use host:0 for an ephemeral port; the listen address and a final status line always print so orchestrators can scrape them)")
 		masterMd = flag.Bool("master", false, "run as the TCP master over the workers listed in -workers")
 		traffic  = flag.String("traffic", "", "after a parallel run, dump the per-link byte/message table: 'json' or 'text' (both transports use the same accounting)")
+		recov    = flag.Bool("recover", false, "tolerate worker failures: exclude a dead worker, redistribute its partition over the survivors and re-issue the in-flight epoch instead of aborting (master flag; workers inherit it at load)")
+		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
+		hbEvery  = flag.Duration("heartbeat", 0, "TCP per-link heartbeat period (netcluster HeartbeatEvery); 0 = default 500ms")
+		joinTO   = flag.Duration("jointimeout", 0, "TCP join timeout: a worker's wait for the master's welcome and the master's dial retries (netcluster JoinTimeout); 0 = default 60s")
 		verbose  = flag.Bool("v", false, "print the learned theory")
 		quiet    = flag.Bool("q", false, "suppress everything except the metrics line")
 	)
@@ -88,12 +93,19 @@ func main() {
 		fail(fmt.Errorf("unknown -traffic mode %q (want json or text)", *traffic))
 	}
 
+	opts := runOptions{
+		recover:     *recov,
+		recvTimeout: *recvTO,
+		heartbeat:   *hbEvery,
+		joinTimeout: *joinTO,
+	}
+
 	if *serve != "" {
-		runServe(ds, *serve, *coverPar, *quiet)
+		runServe(ds, *serve, *coverPar, opts, *quiet)
 		return
 	}
 	if *masterMd {
-		runTCPMaster(ds, *workers, *width, *seed, *traffic, *verbose, *quiet)
+		runTCPMaster(ds, *workers, *width, *seed, *traffic, opts, *verbose, *quiet)
 		return
 	}
 
@@ -116,7 +128,12 @@ func main() {
 			res.RulesLearned, res.GroundFactsAdopted, res.Searches, res.GeneratedRules,
 			res.Inferences, res.Duration.Seconds())
 	} else {
-		met, err := ilp.LearnParallel(ds, workerCount, *width, ilp.ParallelOptions{Seed: *seed, CoverParallelism: *coverPar})
+		met, err := ilp.LearnParallel(ds, workerCount, *width, ilp.ParallelOptions{
+			Seed:             *seed,
+			CoverParallelism: *coverPar,
+			Recover:          opts.recover,
+			RecvTimeout:      opts.recvTimeout,
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -131,16 +148,28 @@ func main() {
 	}
 }
 
+// runOptions carries the fault-tolerance and timeout flags shared by the
+// deployment modes (README "Timeouts and fault tolerance" documents the
+// defaults).
+type runOptions struct {
+	recover     bool
+	recvTimeout time.Duration
+	heartbeat   time.Duration
+	joinTimeout time.Duration
+}
+
 // runServe is the TCP worker mode: listen, join, receive the partition via
 // the protocol, serve the run, report, exit.
-func runServe(ds *ilp.Dataset, addr string, coverPar int, quiet bool) {
+func runServe(ds *ilp.Dataset, addr string, coverPar int, opts runOptions, quiet bool) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("p2mdie: worker listening on %s\n", ln.Addr())
 	node, err := netcluster.ServeOn(ln, netcluster.Config{
-		Fingerprint: core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		HeartbeatEvery: opts.heartbeat,
+		JoinTimeout:    opts.joinTimeout,
 	})
 	if err != nil {
 		fail(err)
@@ -148,7 +177,12 @@ func runServe(ds *ilp.Dataset, addr string, coverPar int, quiet bool) {
 	if !quiet {
 		fmt.Printf("p2mdie: joined as node %d of %d\n", node.ID(), node.Size())
 	}
-	err = core.RunWorker(node, ds.KB, ds.Modes, core.Config{CoverParallelism: coverPar})
+	// The recovery regime arrives from the master in kindLoad; the
+	// worker-side flags only shape this node's transport timeouts.
+	err = core.RunWorker(node, ds.KB, ds.Modes, core.Config{
+		CoverParallelism: coverPar,
+		RecvTimeout:      opts.recvTimeout,
+	})
 	if err != nil {
 		// Slam the links shut so peers see a failure, not an orderly exit.
 		node.Abort()
@@ -159,7 +193,7 @@ func runServe(ds *ilp.Dataset, addr string, coverPar int, quiet bool) {
 }
 
 // runTCPMaster drives a multi-process run over the given worker addresses.
-func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, trafficMode string, verbose, quiet bool) {
+func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, trafficMode string, opts runOptions, verbose, quiet bool) {
 	if _, err := strconv.Atoi(addrList); err == nil {
 		fail(fmt.Errorf("-master needs -workers host:port,... (got the count %q)", addrList))
 	}
@@ -174,18 +208,22 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 		fmt.Println(ds.String())
 	}
 	node, err := netcluster.Connect(addrs, netcluster.Config{
-		Fingerprint: core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		HeartbeatEvery: opts.heartbeat,
+		JoinTimeout:    opts.joinTimeout,
 	})
 	if err != nil {
 		fail(err)
 	}
 	met, err := core.RunMaster(node, ds.Pos, ds.Neg, core.Config{
-		Workers: len(addrs),
-		Width:   width,
-		Seed:    seed,
-		Search:  ds.Search,
-		Bottom:  ds.Bottom,
-		Budget:  ds.Budget,
+		Workers:     len(addrs),
+		Width:       width,
+		Seed:        seed,
+		Search:      ds.Search,
+		Bottom:      ds.Bottom,
+		Budget:      ds.Budget,
+		Recover:     opts.recover,
+		RecvTimeout: opts.recvTimeout,
 	})
 	if err != nil {
 		node.Abort()
@@ -202,10 +240,14 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 }
 
 func printParallelMetrics(transport string, met *ilp.ParallelMetrics, width int) {
-	fmt.Printf("p2-mdie[%s] p=%d w=%s: %d rules (%d adopted facts), %d epochs, %.2fs simulated (%.2fs wall), %.2f MB / %d msgs\n",
+	line := fmt.Sprintf("p2-mdie[%s] p=%d w=%s: %d rules (%d adopted facts), %d epochs, %.2fs simulated (%.2fs wall), %.2f MB / %d msgs",
 		transport, met.Workers, widthLabel(width), met.RulesLearned, met.GroundFactsAdopted, met.Epochs,
 		met.VirtualTime.Seconds(), met.WallTime.Seconds(),
 		float64(met.CommBytes)/1e6, met.CommMessages)
+	if met.LostWorkers > 0 || met.Recoveries > 0 {
+		line += fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)
+	}
+	fmt.Println(line)
 }
 
 // trafficDump is the JSON shape of -traffic json.

@@ -29,6 +29,7 @@ package ilp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bottom"
 	"repro/internal/cluster"
@@ -181,6 +182,13 @@ type ParallelOptions struct {
 	// many goroutines (<0 = all cores, ≤1 = serial); real multicore
 	// speedup inside the simulation, identical results.
 	CoverParallelism int
+	// Recover enables worker-failure recovery: a dead worker is excluded,
+	// its examples are redistributed, and the run completes on the
+	// survivors (Metrics.Recoveries/LostWorkers count the events).
+	// Failure-free runs are identical with either setting.
+	Recover bool
+	// RecvTimeout bounds every blocking protocol receive; 0 = no deadline.
+	RecvTimeout time.Duration
 }
 
 // LearnParallel runs p²-mdie (the paper's pipelined data-parallel
@@ -206,6 +214,8 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 		Trace:                o.Trace,
 		RepartitionEachEpoch: o.Repartition,
 		CoverParallelism:     o.CoverParallelism,
+		Recover:              o.Recover,
+		RecvTimeout:          o.RecvTimeout,
 	})
 }
 

@@ -183,6 +183,9 @@ type Network struct {
 	perLinkMsgs []atomic.Int64 // messages, same indexing
 	traceMu     sync.Mutex
 	traceFn     func(Event)
+
+	deadMu sync.Mutex
+	dead   map[int]bool // nodes removed by Kill
 }
 
 // NewNetwork creates n nodes (ids 0..n-1) sharing one cost model.
@@ -213,6 +216,41 @@ func (nw *Network) Shutdown() {
 	for _, n := range nw.nodes {
 		n.mbox.close()
 	}
+}
+
+// Kill simulates the crash of node id: its mailbox closes (a goroutine
+// blocked in its ReceiveCtx unblocks with ErrClosed, and messages sent to
+// it disappear, as they would on a dead machine) and every surviving node
+// that opted into NotifyFailures receives a synthetic KindPeerDown event.
+// Nodes that did not opt in simply never hear from the dead peer again —
+// the silent-death behaviour a non-fault-tolerant protocol must already
+// guard against with timeouts. Killing a node twice is a no-op.
+func (nw *Network) Kill(id int) {
+	nw.deadMu.Lock()
+	if nw.dead == nil {
+		nw.dead = make(map[int]bool)
+	}
+	if nw.dead[id] {
+		nw.deadMu.Unlock()
+		return
+	}
+	nw.dead[id] = true
+	nw.deadMu.Unlock()
+	nw.nodes[id].mbox.close()
+	for _, n := range nw.nodes {
+		if n.id == id || nw.isDead(n.id) || !n.notify.Load() {
+			continue
+		}
+		// Synthetic event: no payload, no traffic accounting, no clock
+		// advance (Arrive zero never moves a receiver's clock forward).
+		n.mbox.put(Message{From: id, To: n.id, Kind: KindPeerDown})
+	}
+}
+
+func (nw *Network) isDead(id int) bool {
+	nw.deadMu.Lock()
+	defer nw.deadMu.Unlock()
+	return nw.dead[id]
 }
 
 // Stats is a snapshot of network traffic.
@@ -318,10 +356,11 @@ func (e Event) String() string {
 // Node is one simulated cluster node. All methods must be called from the
 // single goroutine that owns the node.
 type Node struct {
-	id    int
-	nw    *Network
-	mbox  *mailbox
-	clock atomic.Int64 // VTime; atomic so Makespan can read cross-goroutine
+	id     int
+	nw     *Network
+	mbox   *mailbox
+	clock  atomic.Int64 // VTime; atomic so Makespan can read cross-goroutine
+	notify atomic.Bool  // deliver KindPeerDown events on Kill
 }
 
 // Node implements the Transport abstraction over the simulated machine.
@@ -332,6 +371,23 @@ func (n *Node) ID() int { return n.id }
 
 // Size returns the number of nodes in the network.
 func (n *Node) Size() int { return len(n.nw.nodes) }
+
+// Members returns the other nodes not removed by Kill, ascending.
+func (n *Node) Members() []int {
+	n.nw.deadMu.Lock()
+	defer n.nw.deadMu.Unlock()
+	out := make([]int, 0, len(n.nw.nodes)-1)
+	for id := range n.nw.nodes {
+		if id != n.id && !n.nw.dead[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NotifyFailures opts this node into synthetic KindPeerDown events when a
+// peer is removed by Kill.
+func (n *Node) NotifyFailures(on bool) { n.notify.Store(on) }
 
 // Clock returns the node's current virtual time.
 func (n *Node) Clock() VTime { return VTime(n.clock.Load()) }
@@ -362,8 +418,16 @@ func (n *Node) ComputeDuration(d time.Duration) {
 
 // Send gob-encodes v and delivers it to node `to` without blocking.
 // The sender is charged no compute time (sends are asynchronous); the
-// receiver cannot observe the message before its arrival time.
+// receiver cannot observe the message before its arrival time. A
+// failure-notifying sender (NotifyFailures) gets ErrPeerDown for a
+// Kill-ed destination — the same contract as the TCP transport — while a
+// non-notifying sender keeps the lost-datagram model: the send silently
+// vanishes, as it would on a real network before the failure detector
+// fires.
 func (n *Node) Send(to int, kind int, v any) error {
+	if n.notify.Load() && n.nw.isDead(to) {
+		return fmt.Errorf("cluster: send from %d to %d kind %d: %w", n.id, to, kind, ErrPeerDown)
+	}
 	payload, err := encode(v)
 	if err != nil {
 		return fmt.Errorf("cluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
@@ -372,13 +436,18 @@ func (n *Node) Send(to int, kind int, v any) error {
 	return nil
 }
 
-// Broadcast sends v to every node in targets (gob-encoded once).
+// Broadcast sends v to every node in targets (gob-encoded once). Like
+// Send, a failure-notifying sender gets ErrPeerDown on the first dead
+// target (the live targets before it are delivered).
 func (n *Node) Broadcast(targets []int, kind int, v any) error {
 	payload, err := encode(v)
 	if err != nil {
 		return fmt.Errorf("cluster: broadcast from %d kind %d: %w", n.id, kind, err)
 	}
 	for _, to := range targets {
+		if n.notify.Load() && n.nw.isDead(to) {
+			return fmt.Errorf("cluster: broadcast from %d to %d kind %d: %w", n.id, to, kind, ErrPeerDown)
+		}
 		n.deliver(to, kind, payload)
 	}
 	return nil
@@ -386,6 +455,13 @@ func (n *Node) Broadcast(targets []int, kind int, v any) error {
 
 func (n *Node) deliver(to int, kind int, payload []byte) {
 	nw := n.nw
+	if nw.isDead(to) {
+		// A dead machine neither receives nor accounts traffic; the send
+		// itself stays non-blocking and error-free, exactly like a lost
+		// datagram. Fault-aware callers learn of the death via the
+		// KindPeerDown event, not the send.
+		return
+	}
 	seq := nw.seq.Add(1)
 	sendTime := n.Clock()
 	msg := Message{

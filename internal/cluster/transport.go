@@ -12,6 +12,19 @@ import (
 // and no pending message remains. Node loops treat it as a clean exit.
 var ErrClosed = errors.New("cluster: transport closed")
 
+// ErrPeerDown is returned (wrapped) by Send/Broadcast on a
+// failure-notifying transport when the destination has been declared dead.
+// Protocol code that can recover from peer loss treats it as "message
+// dropped": the corresponding KindPeerDown event carries the failure.
+var ErrPeerDown = errors.New("cluster: peer down")
+
+// KindPeerDown is the kind of the synthetic membership event a
+// failure-notifying transport delivers when it declares a peer dead: the
+// Message's From field names the dead peer and the payload is empty. The
+// kind is negative so it can never collide with an application protocol
+// kind (those are small non-negative constants).
+const KindPeerDown = -1
+
 // Transport is one node's port onto a message-passing substrate: the
 // communication model of the paper's §2.2 (non-blocking send/broadcast,
 // blocking receive) plus the work/clock accounting that makes runs
@@ -42,6 +55,19 @@ type Transport interface {
 	Compute(units int64)
 	// Clock returns the node's current virtual time.
 	Clock() VTime
+	// Members returns the ids of the peers currently believed alive
+	// (this node excluded), in ascending order. On a transport that has
+	// detected no failures this is every other node.
+	Members() []int
+	// NotifyFailures selects the failure-notification regime. Off (the
+	// default), a detected peer failure poisons the transport: every
+	// subsequent ReceiveCtx returns an error, which is the right contract
+	// for a protocol that cannot survive peer loss. On, a detected failure
+	// is delivered in-band as a synthetic Message{Kind: KindPeerDown,
+	// From: peer}, sends to the dead peer fail with ErrPeerDown, and the
+	// transport stays fully usable towards the survivors — the contract
+	// the fault-tolerant epoch engine builds on.
+	NotifyFailures(on bool)
 }
 
 // WakeOnDone bridges context cancellation into a sync.Cond wait loop: when

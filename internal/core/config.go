@@ -57,6 +57,14 @@ type Config struct {
 	// guard against protocol-level stalls where all peers stay healthy
 	// but none ever sends.
 	RecvTimeout time.Duration
+	// Recover enables worker-failure recovery: the transport delivers
+	// peer deaths as membership events, and the master — instead of
+	// aborting the run — excludes the dead worker, redistributes its
+	// assigned examples over the survivors (kindReassign), re-issues the
+	// in-flight epoch and continues on p−1 pipelines. Off, a worker
+	// failure fails the run (the original fail-stop contract). Failure-
+	// free runs are byte-identical with either setting. See DESIGN.md §6.
+	Recover bool
 	// CoverParallelism shards each worker's coverage tests across this many
 	// goroutines (>1), serially on the worker's machine (≤1), or across
 	// GOMAXPROCS (<0). This is real multicore parallelism inside one
@@ -108,6 +116,21 @@ type Metrics struct {
 	TotalInferences int64
 	// Workers and Width echo the configuration.
 	Workers, Width int
+	// Recoveries counts completed membership recoveries (each may absorb
+	// several simultaneous worker deaths); zero in a failure-free run.
+	Recoveries int
+	// LostWorkers counts workers that died during the run.
+	LostWorkers int
+	// WorkerErrors holds the errors of workers that failed but were
+	// recovered around (simulated runs; a TCP worker's error stays in its
+	// own process). A successful recovered run keeps them visible instead
+	// of silently converting a genuine worker-side bug into a crash.
+	WorkerErrors []string
+	// StaleDropped counts stale-epoch messages the master superseded by a
+	// re-issue — the in-flight residue of recoveries. (Late adoptions are
+	// counted here too, but still applied: the worker already retracted
+	// the example.)
+	StaleDropped int64
 }
 
 // splitExamples materialises Fig. 5 step 2 — the seeded shuffle +

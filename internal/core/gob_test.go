@@ -76,8 +76,17 @@ func TestMessageGobRoundTrip(t *testing.T) {
 				Msgs:  []int64{0, 0, 1, 1, 0, 2, 2, 0, 3},
 			},
 		},
+		kindReassign: reassignMsg{
+			Epoch:   7,
+			Seq:     42,
+			Members: []int{1, 3},
+			Pos:     []logic.Term{mustTerm("active(m6)")},
+			Neg:     []logic.Term{mustTerm("active(m7)")},
+		},
+		kindReassignAck: reassignAckMsg{Epoch: 7, Seq: 9, Worker: 3, Alive: 5},
+		kindSuspect:     suspectMsg{Epoch: 7, Seq: 10, Worker: 1, Peer: 2},
 	}
-	if got, want := len(payloads), kindFinal+1; got != want {
+	if got, want := len(payloads), kindSuspect+1; got != want {
 		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,12 +23,67 @@ type bagEntry struct {
 	neg  int // aggregate negative cover
 }
 
-// master drives the epochs of Fig. 5.
+// workerLostError aborts the phase that observed a worker failure; the
+// epoch loop catches it, recovers the membership and re-issues the epoch.
+type workerLostError struct {
+	id int
+}
+
+func (e *workerLostError) Error() string {
+	return fmt.Sprintf("core: master: worker %d lost", e.id)
+}
+
+func asWorkerLost(err error) *workerLostError {
+	var wl *workerLostError
+	if errors.As(err, &wl) {
+		return wl
+	}
+	return nil
+}
+
+// master drives the epochs of Fig. 5 as an event-driven state machine:
+// one receive loop (nextReply) dispatches on message kind, every phase
+// tracks which members still owe a current-epoch reply, stale-epoch
+// traffic is dropped, and a worker failure — delivered by the transport
+// as a KindPeerDown membership event — aborts the phase so the epoch loop
+// can redistribute the dead worker's examples and re-issue the epoch on
+// the survivors. See DESIGN.md §6 for the state machine.
 type master struct {
-	node    cluster.Transport
-	p       int
-	cfg     Config
-	targets []int // worker node ids 1..p
+	node cluster.Transport
+	p    int // initial worker count
+	cfg  Config
+
+	// targets is the live membership: surviving worker ids, ascending.
+	// It starts as 1..p and shrinks as failures are recovered.
+	targets []int
+
+	// epoch is the wire epoch: bumped for every pipeline round and for
+	// every recovery re-issue, so anything in flight from an abandoned
+	// attempt is recognisably stale. Distinct from Metrics.Epochs, which
+	// counts completed logical epochs only.
+	epoch int
+	// seq numbers the master's outbound protocol messages (one per
+	// logical message; broadcast copies share it).
+	seq int64
+
+	// assignedPos/assignedNeg track, per worker id (1-indexed), the
+	// examples the master has handed that worker — initial partition,
+	// repartitions and recovery shares. The sets are pairwise disjoint.
+	// When a worker dies this is what gets redistributed; it may include
+	// already-covered positives (the master cannot know local coverage),
+	// which survivors simply re-cover.
+	assignedPos [][]logic.Term
+	assignedNeg [][]logic.Term
+	// lostPos/lostNeg hold dead workers' assignments awaiting
+	// redistribution.
+	lostPos []logic.Term
+	lostNeg []logic.Term
+
+	// draining marks the post-stop phase: the result is complete, so a
+	// worker death no longer threatens the run — it only forfeits that
+	// worker's final report — and is tolerated even when it empties the
+	// membership or recovery is off.
+	draining bool
 
 	// parts, when non-nil, holds the per-worker kindLoad payloads of a
 	// remote (multi-process) run; nil selects the simulation's
@@ -42,44 +98,219 @@ type master struct {
 	remaining int
 }
 
-// collect receives exactly n messages, all required to be of the given
-// kind; the protocol phases guarantee no interleaving of other kinds.
-func (ma *master) collect(kind, n int) ([]cluster.Message, error) {
-	out := make([]cluster.Message, 0, n)
-	for len(out) < n {
-		msg, err := receiveWithTimeout(ma.node, ma.cfg.RecvTimeout)
-		if err != nil {
-			return nil, fmt.Errorf("core: master: waiting for kind %d: %w", kind, err)
-		}
-		if msg.Kind != kind {
-			return nil, fmt.Errorf("core: master: expected kind %d, got %d from node %d", kind, msg.Kind, msg.From)
-		}
-		out = append(out, msg)
-	}
-	return out, nil
+func (ma *master) nextSeq() int64 {
+	ma.seq++
+	return ma.seq
 }
 
-// gatherBag collects the p pipeline results and assembles the deduplicated
-// rules bag in deterministic (origin, position) order.
-func (ma *master) gatherBag() ([]bagEntry, error) {
-	msgs, err := ma.collect(kindRules, ma.p)
-	if err != nil {
-		return nil, err
+// isLive reports whether worker id is still a member.
+func (ma *master) isLive(id int) bool {
+	for _, k := range ma.targets {
+		if k == id {
+			return true
+		}
 	}
-	byOrigin := make([][]logic.Clause, ma.p+1)
-	for _, msg := range msgs {
-		var rm rulesMsg
-		if err := msg.Decode(&rm); err != nil {
+	return false
+}
+
+// pendingLive returns a fresh pending set over the live membership.
+func (ma *master) pendingLive() map[int]bool {
+	pending := make(map[int]bool, len(ma.targets))
+	for _, k := range ma.targets {
+		pending[k] = true
+	}
+	return pending
+}
+
+// send delivers one protocol message to a live worker, treating a peer
+// declared dead mid-send as a drop: the matching KindPeerDown event is (or
+// will be) in the inbox, and the receive loop recovers from there.
+func (ma *master) send(to, kind int, v any) error {
+	err := ma.node.Send(to, kind, v)
+	if err != nil && errors.Is(err, cluster.ErrPeerDown) {
+		return nil
+	}
+	return err
+}
+
+// bcastLive sends one protocol message to every live worker.
+func (ma *master) bcastLive(kind int, v any) error {
+	for _, k := range ma.targets {
+		if err := ma.send(k, kind, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteLost removes a failed worker from the membership and queues its
+// assignment for redistribution. It returns an error when the run cannot
+// continue: recovery disabled, or no survivors left.
+func (ma *master) noteLost(id int) error {
+	if id < 1 || id > ma.p || !ma.isLive(id) {
+		// Duplicate or out-of-range event; both transports deduplicate,
+		// so treat this as a protocol error rather than guessing.
+		return fmt.Errorf("core: master: failure event for unknown worker %d", id)
+	}
+	live := ma.targets[:0]
+	for _, k := range ma.targets {
+		if k != id {
+			live = append(live, k)
+		}
+	}
+	ma.targets = live
+	ma.metrics.LostWorkers++
+	ma.lostPos = append(ma.lostPos, ma.assignedPos[id]...)
+	ma.lostNeg = append(ma.lostNeg, ma.assignedNeg[id]...)
+	ma.assignedPos[id], ma.assignedNeg[id] = nil, nil
+	if ma.draining {
+		return nil
+	}
+	if !ma.cfg.Recover {
+		return fmt.Errorf("core: master: worker %d failed and recovery is disabled (run with Recover to continue on survivors)", id)
+	}
+	if len(ma.targets) == 0 {
+		return fmt.Errorf("core: master: worker %d failed and no workers survive", id)
+	}
+	return nil
+}
+
+// acceptStale consumes a stale-epoch message. Almost all stale traffic is
+// droppable residue of an abandoned epoch attempt, with one exception:
+// kindAdopted. An adoption has already retracted the example on the
+// worker — exactly like a markCovered — so a reply orphaned by a phase
+// abort must still enter the theory, or the example would end up neither
+// covered nor adopted. `remaining` is deliberately untouched: a stale
+// adopted implies a recovery ran (or is completing), and its ack-count
+// rebase is authoritative — the survivor's count already excludes the
+// retracted example, while a dead worker's adoptee is redistributed and
+// recounted alive (it may then be covered twice; harmless).
+func (ma *master) acceptStale(msg cluster.Message) error {
+	ma.metrics.StaleDropped++
+	if msg.Kind != kindAdopted {
+		return nil
+	}
+	var am adoptedMsg
+	if err := msg.Decode(&am); err != nil {
+		return fmt.Errorf("core: master: garbled stale adoption from node %d: %w", msg.From, err)
+	}
+	if am.Ok {
+		ma.theory = append(ma.theory, logic.Fact(am.Example))
+		ma.metrics.GroundFactsAdopted++
+	}
+	return nil
+}
+
+// nextReply is the master's event dispatch: it returns the next
+// current-epoch reply of kind want whose key (worker id, or pipeline
+// origin for kindRules) is still pending, decoded into a payload from
+// newDst, and removes the key from pending. Along the way it
+//
+//   - converts KindPeerDown membership events into a workerLostError
+//     (after updating the membership), so the caller's phase aborts and
+//     the epoch loop can recover;
+//   - silently drops stale-epoch traffic of any kind — the residue of an
+//     abandoned epoch attempt (counted in Metrics.StaleDropped);
+//   - fails on same-epoch protocol violations: unexpected kinds,
+//     duplicate replies, replies from unknown members, garbled payloads.
+func (ma *master) nextReply(want int, pending map[int]bool, newDst func() replyHdr) (replyHdr, error) {
+	for {
+		msg, err := receiveWithTimeout(ma.node, ma.cfg.RecvTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("core: master: waiting for kind %d: %w", want, err)
+		}
+		if msg.Kind == cluster.KindPeerDown {
+			if !ma.isLive(msg.From) {
+				// Already excluded — a sibling's suspicion can beat the
+				// master's own link failure to the same death.
+				continue
+			}
+			if err := ma.noteLost(msg.From); err != nil {
+				return nil, err
+			}
+			return nil, &workerLostError{id: msg.From}
+		}
+		if msg.Kind == kindSuspect {
+			// A worker's transport observed a sibling die. Usually the
+			// master's own link noticed first and the peer is already
+			// excluded; but link failures are per-link, so a one-sided
+			// break (possibly having swallowed an in-flight kindStage)
+			// may be visible only to the reporter — without acting on it
+			// the master would wait forever for a pipeline nobody owns.
+			// Epoch-independent: the observation is about link state now.
+			var sm suspectMsg
+			if err := msg.Decode(&sm); err != nil {
+				return nil, fmt.Errorf("core: master: garbled suspicion from node %d: %w", msg.From, err)
+			}
+			if !ma.cfg.Recover || ma.draining || !ma.isLive(sm.Worker) || !ma.isLive(sm.Peer) {
+				continue // moot, or from an excluded (untrusted) reporter
+			}
+			if err := ma.noteLost(sm.Peer); err != nil {
+				return nil, err
+			}
+			return nil, &workerLostError{id: sm.Peer}
+		}
+		if msg.Kind != want {
+			var eo epochOnly
+			if err := msg.Decode(&eo); err != nil {
+				return nil, fmt.Errorf("core: master: garbled kind-%d payload from node %d: %w", msg.Kind, msg.From, err)
+			}
+			if eo.Epoch < ma.epoch {
+				if err := ma.acceptStale(msg); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("core: master: expected kind %d, got kind %d from node %d (epoch %d)", want, msg.Kind, msg.From, eo.Epoch)
+		}
+		dst := newDst()
+		if err := msg.Decode(dst); err != nil {
+			return nil, fmt.Errorf("core: master: truncated or garbled kind-%d payload from node %d: %w", msg.Kind, msg.From, err)
+		}
+		epoch, key := dst.hdr()
+		if epoch < ma.epoch {
+			if err := ma.acceptStale(msg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if epoch > ma.epoch {
+			return nil, fmt.Errorf("core: master: kind-%d reply from future epoch %d (current %d) from node %d", msg.Kind, epoch, ma.epoch, msg.From)
+		}
+		if !pending[key] {
+			if ma.draining {
+				// A reply from a member excluded mid-drain: its death
+				// event can win the race into the inbox against its last
+				// frame (two transport goroutines feed it). The run is
+				// complete; the report is simply forfeited. Draining is
+				// the one phase that never bumps the epoch, so the stale
+				// check above cannot shield it. Not counted as stale —
+				// the message is current-epoch, just moot.
+				continue
+			}
+			return nil, fmt.Errorf("core: master: duplicate or unexpected kind-%d reply for member %d from node %d", msg.Kind, key, msg.From)
+		}
+		delete(pending, key)
+		return dst, nil
+	}
+}
+
+// gatherBag collects the live pipelines' results and assembles the
+// deduplicated rules bag in deterministic (origin, position) order.
+func (ma *master) gatherBag() ([]bagEntry, error) {
+	pending := ma.pendingLive()
+	byOrigin := make(map[int][]logic.Clause, len(pending))
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindRules, pending, func() replyHdr { return new(rulesMsg) })
+		if err != nil {
 			return nil, err
 		}
-		if rm.Origin < 1 || rm.Origin > ma.p {
-			return nil, fmt.Errorf("core: master: bad pipeline origin %d", rm.Origin)
-		}
+		rm := r.(*rulesMsg)
 		byOrigin[rm.Origin] = rm.Rules
 	}
 	seen := make(map[string]bool)
 	var bag []bagEntry
-	for origin := 1; origin <= ma.p; origin++ {
+	for _, origin := range ma.targets {
 		for _, r := range byOrigin[origin] {
 			key := r.Key()
 			if seen[key] {
@@ -99,21 +330,19 @@ func (ma *master) evaluateBag(bag []bagEntry) error {
 	for i := range bag {
 		rules[i] = bag[i].rule
 	}
-	if err := ma.node.Broadcast(ma.targets, kindEvaluate, evaluateMsg{Rules: rules}); err != nil {
-		return err
-	}
-	msgs, err := ma.collect(kindEvalResult, ma.p)
-	if err != nil {
+	if err := ma.bcastLive(kindEvaluate, evaluateMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Rules: rules}); err != nil {
 		return err
 	}
 	for i := range bag {
 		bag[i].pos, bag[i].neg = 0, 0
 	}
-	for _, msg := range msgs {
-		var er evalResultMsg
-		if err := msg.Decode(&er); err != nil {
+	pending := ma.pendingLive()
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindEvalResult, pending, func() replyHdr { return new(evalResultMsg) })
+		if err != nil {
 			return err
 		}
+		er := r.(*evalResultMsg)
 		if len(er.Pos) != len(bag) || len(er.Neg) != len(bag) {
 			return fmt.Errorf("core: master: evaluation result size mismatch from worker %d", er.Worker)
 		}
@@ -139,25 +368,42 @@ func (ma *master) filterGood(bag []bagEntry) []bagEntry {
 	return out
 }
 
-// pickBest removes and returns the best entry by global score (Fig. 5
-// step 13; the paper orders the bag by aggregate coverage).
+// better reports whether a (with score sa) outranks b (with score sb)
+// under the consumption order (Fig. 5 step 13: global score, then
+// coverage, then brevity, then canonical key). The key tie-break makes
+// this a strict total order over distinct rules.
+func (ma *master) better(a *bagEntry, sa float64, b *bagEntry, sb float64) bool {
+	if sa != sb {
+		return sa > sb
+	}
+	if a.pos != b.pos {
+		return a.pos > b.pos
+	}
+	if len(a.rule.Body) != len(b.rule.Body) {
+		return len(a.rule.Body) < len(b.rule.Body)
+	}
+	return a.key < b.key
+}
+
+// pickBest removes and returns the best entry by global score. The
+// comparator is a strict total order, so a single-pass max — scoring each
+// entry once and carrying the incumbent's score — finds the same pick the
+// stable sort used to, at O(n) per accepted rule instead of O(n·log n),
+// and the consumption sequence is unchanged (pinned by
+// TestPickBestMatchesSortReference).
 func (ma *master) pickBest(bag []bagEntry) (bagEntry, []bagEntry) {
-	sort.SliceStable(bag, func(i, j int) bool {
-		a, b := bag[i], bag[j]
-		sa := ma.cfg.Search.Score(a.pos, a.neg, len(a.rule.Body))
-		sb := ma.cfg.Search.Score(b.pos, b.neg, len(b.rule.Body))
-		if sa != sb {
-			return sa > sb
+	score := func(e *bagEntry) float64 {
+		return ma.cfg.Search.Score(e.pos, e.neg, len(e.rule.Body))
+	}
+	best, bestScore := 0, score(&bag[0])
+	for i := 1; i < len(bag); i++ {
+		if s := score(&bag[i]); ma.better(&bag[i], s, &bag[best], bestScore) {
+			best, bestScore = i, s
 		}
-		if a.pos != b.pos {
-			return a.pos > b.pos
-		}
-		if len(a.rule.Body) != len(b.rule.Body) {
-			return len(a.rule.Body) < len(b.rule.Body)
-		}
-		return a.key < b.key
-	})
-	return bag[0], bag[1:]
+	}
+	picked := bag[best]
+	rest := append(bag[:best], bag[best+1:]...)
+	return picked, rest
 }
 
 // consumeBag implements the sequential consumption loop of Fig. 5 steps
@@ -178,7 +424,7 @@ func (ma *master) consumeBag(bag []bagEntry) (int, error) {
 		ma.metrics.RulesLearned++
 		accepted++
 		ma.remaining -= best.pos
-		if err := ma.node.Broadcast(ma.targets, kindMarkCovered, markCoveredMsg{Rule: best.rule}); err != nil {
+		if err := ma.bcastLive(kindMarkCovered, markCoveredMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Rule: best.rule}); err != nil {
 			return accepted, err
 		}
 		if len(bag) == 0 {
@@ -195,24 +441,22 @@ func (ma *master) consumeBag(bag []bagEntry) (int, error) {
 // adoptFallback retires one uncovered positive per worker when an epoch
 // yields no acceptable rule, guaranteeing progress.
 func (ma *master) adoptFallback() error {
-	if err := ma.node.Broadcast(ma.targets, kindAdopt, adoptMsg{}); err != nil {
+	if err := ma.bcastLive(kindAdopt, adoptMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
 		return err
 	}
-	msgs, err := ma.collect(kindAdopted, ma.p)
-	if err != nil {
-		return err
-	}
-	// Sort by worker for deterministic theory order.
+	pending := ma.pendingLive()
 	var adopted []adoptedMsg
-	for _, msg := range msgs {
-		var am adoptedMsg
-		if err := msg.Decode(&am); err != nil {
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindAdopted, pending, func() replyHdr { return new(adoptedMsg) })
+		if err != nil {
 			return err
 		}
+		am := r.(*adoptedMsg)
 		if am.Ok {
-			adopted = append(adopted, am)
+			adopted = append(adopted, *am)
 		}
 	}
+	// Sort by worker for deterministic theory order.
 	sort.Slice(adopted, func(i, j int) bool { return adopted[i].Worker < adopted[j].Worker })
 	for _, am := range adopted {
 		ma.theory = append(ma.theory, logic.Fact(am.Example))
@@ -231,84 +475,163 @@ func (ma *master) adoptFallback() error {
 // examples make two network trips, which is exactly the communication cost
 // the paper avoided.
 func (ma *master) repartition() error {
-	if err := ma.node.Broadcast(ma.targets, kindGather, gatherMsg{}); err != nil {
+	if err := ma.bcastLive(kindGather, gatherMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
 		return err
 	}
-	msgs, err := ma.collect(kindGathered, ma.p)
-	if err != nil {
-		return err
-	}
-	byWorker := make([][]logic.Term, ma.p+1)
-	for _, msg := range msgs {
-		var gm gatheredMsg
-		if err := msg.Decode(&gm); err != nil {
+	byWorker := make(map[int][]logic.Term, len(ma.targets))
+	pending := ma.pendingLive()
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindGathered, pending, func() replyHdr { return new(gatheredMsg) })
+		if err != nil {
 			return err
 		}
-		if gm.Worker < 1 || gm.Worker > ma.p {
-			return fmt.Errorf("core: master: bad gather origin %d", gm.Worker)
-		}
+		gm := r.(*gatheredMsg)
 		byWorker[gm.Worker] = gm.Pos
 	}
 	var all []logic.Term
-	for k := 1; k <= ma.p; k++ {
+	for _, k := range ma.targets {
 		all = append(all, byWorker[k]...)
 	}
-	parts := make([][]logic.Term, ma.p)
-	for i, e := range all {
-		parts[i%ma.p] = append(parts[i%ma.p], e)
-	}
-	for k := 1; k <= ma.p; k++ {
-		if err := ma.node.Send(k, kindRepartition, repartitionMsg{Pos: parts[k-1]}); err != nil {
+	parts := dealShares(all, len(ma.targets))
+	for i, k := range ma.targets {
+		if err := ma.send(k, kindRepartition, repartitionMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Pos: parts[i]}); err != nil {
 			return err
 		}
+		// The dealt set replaces the worker's positive assignment (its
+		// negatives never move); covered positives were gathered out, so
+		// the tracked assignment tightens to the alive set here.
+		ma.assignedPos[k] = parts[i]
 	}
 	return nil
 }
 
-// run executes the epochs until every positive is covered (Fig. 5).
+// recoverMembership redistributes dead workers' assignments over the
+// survivors and installs the new membership through the kindReassign
+// barrier: every survivor merges its share, adopts the new ring and acks;
+// only when every ack is in does the caller re-issue the epoch, so no
+// survivor can see new-epoch pipeline traffic before it runs on the new
+// membership. Survivor acks carry alive counts, from which the global
+// remaining counter is rebased (a dead partition's share may contain
+// already-covered positives the master cannot identify). Failures during
+// recovery simply restart it with the additional casualties folded in.
+func (ma *master) recoverMembership() error {
+	for {
+		ma.epoch++
+		members := append([]int(nil), ma.targets...)
+		posShares := dealShares(ma.lostPos, len(ma.targets))
+		negShares := dealShares(ma.lostNeg, len(ma.targets))
+		ma.lostPos, ma.lostNeg = nil, nil
+		seq := ma.nextSeq()
+		for i, k := range ma.targets {
+			rm := reassignMsg{
+				Epoch:   ma.epoch,
+				Seq:     seq,
+				Members: members,
+				Pos:     posShares[i],
+				Neg:     negShares[i],
+			}
+			ma.assignedPos[k] = append(ma.assignedPos[k], posShares[i]...)
+			ma.assignedNeg[k] = append(ma.assignedNeg[k], negShares[i]...)
+			if err := ma.send(k, kindReassign, rm); err != nil {
+				return err
+			}
+		}
+		pending := ma.pendingLive()
+		alive := 0
+		lostAgain := false
+		for len(pending) > 0 {
+			r, err := ma.nextReply(kindReassignAck, pending, func() replyHdr { return new(reassignAckMsg) })
+			if err != nil {
+				if asWorkerLost(err) != nil {
+					lostAgain = true
+					break
+				}
+				return err
+			}
+			alive += r.(*reassignAckMsg).Alive
+		}
+		if lostAgain {
+			continue
+		}
+		ma.remaining = alive
+		ma.metrics.Recoveries++
+		return nil
+	}
+}
+
+// dealShares splits xs into n round-robin shares (possibly empty).
+func dealShares(xs []logic.Term, n int) [][]logic.Term {
+	shares := make([][]logic.Term, n)
+	for i, x := range xs {
+		shares[i%n] = append(shares[i%n], x)
+	}
+	return shares
+}
+
+// runEpoch runs one logical epoch on the current membership: optional
+// repartitioning, one pipeline per live worker, bag consumption, and the
+// progress fallback. A workerLostError from any phase aborts the attempt
+// before Metrics.Epochs is counted; run() then recovers and re-issues.
+func (ma *master) runEpoch() error {
+	if ma.cfg.RepartitionEachEpoch && ma.metrics.Epochs > 0 {
+		if err := ma.repartition(); err != nil {
+			return err
+		}
+	}
+	ma.epoch++
+	if err := ma.bcastLive(kindStartPipeline, startMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Width: ma.cfg.Width}); err != nil {
+		return err
+	}
+	bag, err := ma.gatherBag()
+	if err != nil {
+		return err
+	}
+	accepted := 0
+	if len(bag) > 0 {
+		if accepted, err = ma.consumeBag(bag); err != nil {
+			return err
+		}
+	}
+	// Progress guarantee: an epoch whose bag was empty — or globally
+	// all-unacceptable — retires one uncovered positive per worker.
+	if accepted == 0 && ma.remaining > 0 {
+		if err := ma.adoptFallback(); err != nil {
+			return err
+		}
+	}
+	ma.metrics.Epochs++
+	return nil
+}
+
+// run executes the epochs until every positive is covered (Fig. 5),
+// recovering from worker failures when configured.
 func (ma *master) run() error {
+	ma.node.NotifyFailures(ma.cfg.Recover)
 	if ma.parts != nil {
 		// Remote workers have no shared filesystem: each load ships the
 		// worker's partition (and the semantics-bearing settings).
 		for i, k := range ma.targets {
-			if err := ma.node.Send(k, kindLoad, ma.parts[i]); err != nil {
+			if err := ma.send(k, kindLoad, ma.parts[i]); err != nil {
 				return err
 			}
 		}
-	} else if err := ma.node.Broadcast(ma.targets, kindLoad, loadMsg{}); err != nil {
+	} else if err := ma.bcastLive(kindLoad, loadMsg{}); err != nil {
 		return err
 	}
 	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
-		if ma.cfg.RepartitionEachEpoch && ma.metrics.Epochs > 0 {
-			if err := ma.repartition(); err != nil {
-				return err
-			}
+		err := ma.runEpoch()
+		if err == nil {
+			continue
 		}
-		ma.metrics.Epochs++
-		for _, k := range ma.targets {
-			if err := ma.node.Send(k, kindStartPipeline, startMsg{Width: ma.cfg.Width}); err != nil {
-				return err
-			}
-		}
-		bag, err := ma.gatherBag()
-		if err != nil {
+		if asWorkerLost(err) == nil {
 			return err
 		}
-		accepted := 0
-		if len(bag) > 0 {
-			if accepted, err = ma.consumeBag(bag); err != nil {
-				return err
-			}
-		}
-		// Progress guarantee: an epoch whose bag was empty — or globally
-		// all-unacceptable — retires one uncovered positive per worker.
-		if accepted == 0 && ma.remaining > 0 {
-			if err := ma.adoptFallback(); err != nil {
-				return err
-			}
+		if err := ma.recoverMembership(); err != nil {
+			return err
 		}
 	}
-	if err := ma.node.Broadcast(ma.targets, kindStop, stopMsg{}); err != nil {
+	ma.draining = true
+	if err := ma.bcastLive(kindStop, stopMsg{}); err != nil {
 		return err
 	}
 	if ma.parts == nil {
@@ -316,22 +639,41 @@ func (ma *master) run() error {
 	}
 	// Remote runs: collect the workers' final reports (work totals,
 	// clocks, outgoing traffic) — the data Learn reads off the worker
-	// structs directly in the simulation.
-	msgs, err := ma.collect(kindFinal, ma.p)
-	if err != nil {
-		return err
-	}
-	for _, msg := range msgs {
-		var fm finalMsg
-		if err := msg.Decode(&fm); err != nil {
+	// structs directly in the simulation. A worker dying after its stop
+	// forfeits its report; the run result is already complete.
+	pending := ma.pendingLive()
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindFinal, pending, func() replyHdr { return new(finalMsg) })
+		if err != nil {
+			if wl := asWorkerLost(err); wl != nil {
+				delete(pending, wl.id)
+				continue
+			}
 			return err
 		}
-		if fm.Worker < 1 || fm.Worker > ma.p {
-			return fmt.Errorf("core: master: bad final report origin %d", fm.Worker)
-		}
-		ma.finals = append(ma.finals, fm)
+		ma.finals = append(ma.finals, *r.(*finalMsg))
 	}
 	return nil
+}
+
+// newMaster wires a master over a transport for p workers, tracking the
+// given initial assignments (index k-1 holds worker k's examples).
+func newMaster(node cluster.Transport, p int, cfg Config, metrics *Metrics, nPos int, posParts, negParts [][]logic.Term) *master {
+	ma := &master{
+		node:        node,
+		p:           p,
+		cfg:         cfg,
+		metrics:     metrics,
+		remaining:   nPos,
+		assignedPos: make([][]logic.Term, p+1),
+		assignedNeg: make([][]logic.Term, p+1),
+	}
+	for k := 1; k <= p; k++ {
+		ma.targets = append(ma.targets, k)
+		ma.assignedPos[k] = posParts[k-1]
+		ma.assignedNeg[k] = negParts[k-1]
+	}
+	return ma
 }
 
 // Learn runs p²-mdie over the background kb and the labelled examples under
@@ -362,16 +704,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	}
 
 	metrics := &Metrics{Workers: p, Width: cfg.Width}
-	ma := &master{
-		node:      nw.Node(0),
-		p:         p,
-		cfg:       cfg,
-		metrics:   metrics,
-		remaining: len(pos),
-	}
-	for k := 1; k <= p; k++ {
-		ma.targets = append(ma.targets, k)
-	}
+	ma := newMaster(nw.Node(0), p, cfg, metrics, len(pos), posParts, negParts)
 
 	start := time.Now()
 	errCh := make(chan error, p+1)
@@ -380,18 +713,26 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	for _, w := range workers {
 		go func(w *worker) {
 			defer wg.Done()
-			// A panicking worker must surface as an error at the master,
-			// not hang it forever (or, unrecovered, kill the whole
-			// process): convert the panic and release everyone blocked.
+			// A failing worker must surface at the master, not hang it
+			// forever (or, unrecovered, kill the whole process): convert
+			// panics to errors, then either crash just this node (recovery
+			// takes over) or shut the whole network down (the historical
+			// fail-stop contract).
+			fail := func(err error) {
+				errCh <- err
+				if cfg.Recover {
+					nw.Kill(w.id)
+				} else {
+					nw.Shutdown()
+				}
+			}
 			defer func() {
 				if r := recover(); r != nil {
-					errCh <- fmt.Errorf("core: worker %d panicked: %v", w.id, r)
-					nw.Shutdown()
+					fail(fmt.Errorf("core: worker %d panicked: %v", w.id, r))
 				}
 			}()
 			if err := w.run(); err != nil {
-				errCh <- err
-				nw.Shutdown() // release anyone blocked, including the master
+				fail(err)
 			}
 		}(w)
 	}
@@ -402,11 +743,20 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	wg.Wait()
 	close(errCh)
 	// A worker failure shuts the network down and surfaces at the master as
-	// a shutdown error; report the root cause in preference.
+	// a shutdown error; report the root cause in preference. Under
+	// recovery, worker failures the master survived are part of a
+	// successful run — counted in Metrics.LostWorkers and kept readable in
+	// Metrics.WorkerErrors, so a genuine worker-side bug is not silently
+	// laundered into an anonymous crash.
 	for err := range errCh {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if cfg.Recover && masterErr == nil {
+			metrics.WorkerErrors = append(metrics.WorkerErrors, err.Error())
+			continue
+		}
+		return nil, err
 	}
 	if masterErr != nil {
 		return nil, masterErr
@@ -419,6 +769,9 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	metrics.CommBytes = st.Bytes
 	metrics.CommMessages = st.Messages
 	metrics.Traffic = nw.Traffic()
+	// Every worker goroutine has exited (wg.Wait above), so reading totals
+	// is race-free — including workers lost and recovered around, whose
+	// partial work still happened and still counts.
 	for _, w := range workers {
 		metrics.TotalInferences += w.totalInf()
 		metrics.GeneratedRules += w.generated

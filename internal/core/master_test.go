@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/logic"
@@ -82,6 +83,67 @@ func TestPickBestTieBreaks(t *testing.T) {
 	best, _ = ma.pickBest(bag)
 	if best.rule.String() != "p(A) :- ab(A)" {
 		t.Fatalf("tie-break by key failed: %s", best.rule)
+	}
+}
+
+// pickBestSortReference is the original implementation — a full stable
+// sort per pick — kept here as the behavioural reference for the
+// single-pass max that replaced it.
+func pickBestSortReference(ma *master, bag []bagEntry) (bagEntry, []bagEntry) {
+	sort.SliceStable(bag, func(i, j int) bool {
+		a, b := bag[i], bag[j]
+		sa := ma.cfg.Search.Score(a.pos, a.neg, len(a.rule.Body))
+		sb := ma.cfg.Search.Score(b.pos, b.neg, len(b.rule.Body))
+		if sa != sb {
+			return sa > sb
+		}
+		if a.pos != b.pos {
+			return a.pos > b.pos
+		}
+		if len(a.rule.Body) != len(b.rule.Body) {
+			return len(a.rule.Body) < len(b.rule.Body)
+		}
+		return a.key < b.key
+	})
+	return bag[0], bag[1:]
+}
+
+// TestPickBestMatchesSortReference pins the consumption order: draining a
+// bag with the single-pass pickBest yields exactly the pick sequence the
+// sort-based implementation produced, on randomized bags with heavy
+// score/coverage ties.
+func TestPickBestMatchesSortReference(t *testing.T) {
+	ma := newTestMaster(1, 0.1)
+	rng := newRng(17)
+	preds := []string{"a", "b", "c", "dd", "ee", "ff", "ggg", "hh", "iii", "jj"}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.intn(len(preds))
+		var bag []bagEntry
+		for i := 0; i < n; i++ {
+			body := preds[i]
+			src := "p(X) :- " + body + "(X)."
+			if rng.intn(2) == 0 {
+				src = "p(X) :- " + body + "(X), q(X)."
+			}
+			// Small ranges force frequent score and coverage ties, so the
+			// deeper tie-breaks actually run.
+			bag = append(bag, entry(src, 1+rng.intn(4), rng.intn(3)))
+		}
+		ref := make([]bagEntry, len(bag))
+		copy(ref, bag)
+		got := make([]bagEntry, len(bag))
+		copy(got, bag)
+		for len(ref) > 0 {
+			var wantBest, gotBest bagEntry
+			wantBest, ref = pickBestSortReference(ma, ref)
+			gotBest, got = ma.pickBest(got)
+			if wantBest.key != gotBest.key {
+				t.Fatalf("trial %d: pick diverged: sort-reference %s, single-pass %s", trial, wantBest.key, gotBest.key)
+			}
+			if len(ref) != len(got) {
+				t.Fatalf("trial %d: rest sizes diverged: %d vs %d", trial, len(ref), len(got))
+			}
+		}
 	}
 }
 

@@ -11,6 +11,14 @@ import (
 // Message kinds of the p²-mdie protocol. Master is node 0; workers are
 // nodes 1..p. All payloads are gob-encoded by the cluster substrate, so
 // message sizes in the traffic accounting reflect real serialised content.
+//
+// Since the event-driven master (see DESIGN.md §6), every protocol message
+// after the initial load carries an Epoch tag — the master's re-issue
+// counter — and a Seq tag — a per-sender monotonic sequence number used
+// for diagnostics. The master's dispatch loop and the workers' event loops
+// silently drop stale-epoch traffic, which is what makes an epoch safely
+// re-issuable after a worker failure: everything still in flight from the
+// abandoned attempt carries the old epoch.
 const (
 	// kindLoad (master→workers) tells a worker to load its partition
 	// (Fig. 5 step 3 / Fig. 6 load_examples). The example data itself is
@@ -32,11 +40,15 @@ const (
 	// kindEvalResult (worker→master) returns local coverage counts.
 	kindEvalResult
 	// kindMarkCovered (master→workers) retracts the positives covered by
-	// an accepted rule (Fig. 5 step 16 / Fig. 6 mark_covered).
+	// an accepted rule (Fig. 5 step 16 / Fig. 6 mark_covered). Applied
+	// regardless of epoch: an accepted rule stays in the theory even when
+	// the epoch that produced it is re-issued, so its retraction is always
+	// valid — and skipping it would only resurrect already-covered work.
 	kindMarkCovered
 	// kindAdopt (master→workers) is the progress fallback when an epoch
 	// produces no acceptable rule: each worker adopts its first uncovered
-	// positive verbatim.
+	// positive verbatim. Strictly epoch-checked: adopting for an abandoned
+	// epoch would retire a positive whose adoption reply nobody reads.
 	kindAdopt
 	// kindAdopted (worker→master) returns the adopted example, if any.
 	kindAdopted
@@ -56,6 +68,28 @@ const (
 	// the master can assemble the same Metrics the simulation reads off the
 	// worker structs directly. Never sent on the simulated transport.
 	kindFinal
+	// kindReassign (master→survivor) recovers from a worker failure: it
+	// carries the new membership (the surviving ring) and this survivor's
+	// share of the dead worker's examples. The worker merges the share
+	// into its partition, installs the ring, and acknowledges. The master
+	// gathers every ack before re-issuing the epoch, so no survivor can
+	// observe new-epoch pipeline traffic before it has installed the new
+	// membership (see DESIGN.md §6).
+	kindReassign
+	// kindReassignAck (survivor→master) confirms a reassignment and
+	// reports the survivor's uncovered-positive count, from which the
+	// master rebases its global remaining counter.
+	kindReassignAck
+	// kindSuspect (worker→master) reports a sibling the worker's
+	// transport has declared dead. Failure detection is per-link, so it
+	// can be one-sided: a worker-to-worker link can die — taking an
+	// in-flight kindStage with it — while both ends' master links stay
+	// healthy, and without this report the master would wait forever for
+	// a pipeline nobody still owns. The master treats a live-member
+	// suspicion from a live member as a membership event and recovers;
+	// suspicions about already-excluded peers (the common case: the
+	// master's own link noticed first) are dropped.
+	kindSuspect
 )
 
 // loadMsg signals partition loading; Round distinguishes reloads. The
@@ -86,10 +120,17 @@ type loadDataMsg struct {
 	Bottom         bottom.Options
 	Budget         solve.Budget
 	AddLearnedToBK bool
+	// Recover mirrors the master's Config.Recover so the whole cluster
+	// runs one failure regime: a worker that poisoned its transport on a
+	// sibling's death while the master recovered around it would abort a
+	// salvageable run.
+	Recover bool
 }
 
 // startMsg starts a pipeline at its owning worker.
 type startMsg struct {
+	Epoch int
+	Seq   int64
 	Width int
 }
 
@@ -105,6 +146,8 @@ type wireRule struct {
 // stageMsg is the pipeline hand-off: the bottom clause built at stage 1
 // travels with the search frontier (Fig. 7's send of ⊥e and Good).
 type stageMsg struct {
+	Epoch  int
+	Seq    int64
 	Origin int // worker that started this pipeline
 	Step   int // stage number about to run (1-based)
 	Bottom bottom.Bottom
@@ -114,17 +157,23 @@ type stageMsg struct {
 // rulesMsg delivers a finished pipeline's good rules to the master,
 // materialised so the master can rebroadcast them for global evaluation.
 type rulesMsg struct {
+	Epoch  int
+	Seq    int64
 	Origin int
 	Rules  []logic.Clause
 }
 
 // evaluateMsg asks workers to score every bag rule on local alive examples.
 type evaluateMsg struct {
+	Epoch int
+	Seq   int64
 	Rules []logic.Clause
 }
 
 // evalResultMsg returns per-rule local coverage.
 type evalResultMsg struct {
+	Epoch  int
+	Seq    int64
 	Worker int
 	Pos    []int32
 	Neg    []int32
@@ -132,28 +181,41 @@ type evalResultMsg struct {
 
 // markCoveredMsg retracts local positives covered by Rule.
 type markCoveredMsg struct {
-	Rule logic.Clause
+	Epoch int
+	Seq   int64
+	Rule  logic.Clause
 }
 
 // adoptMsg asks each worker to retire one uncovered positive.
-type adoptMsg struct{}
+type adoptMsg struct {
+	Epoch int
+	Seq   int64
+}
 
 // adoptedMsg reports the adopted example (Ok=false when the worker had no
 // alive positives).
 type adoptedMsg struct {
+	Epoch   int
+	Seq     int64
 	Worker  int
 	Ok      bool
 	Example logic.Term
 }
 
-// stopMsg terminates workers; workers reply nothing.
+// stopMsg terminates workers; workers reply nothing (simulation) or a
+// final report (network).
 type stopMsg struct{}
 
 // gatherMsg requests the worker's alive positives.
-type gatherMsg struct{}
+type gatherMsg struct {
+	Epoch int
+	Seq   int64
+}
 
 // gatheredMsg carries a worker's alive positives to the master.
 type gatheredMsg struct {
+	Epoch  int
+	Seq    int64
 	Worker int
 	Pos    []logic.Term
 }
@@ -161,14 +223,78 @@ type gatheredMsg struct {
 // repartitionMsg replaces the worker's positive partition (negatives never
 // move: they are never retracted, so their initial split stays balanced).
 type repartitionMsg struct {
-	Pos []logic.Term
+	Epoch int
+	Seq   int64
+	Pos   []logic.Term
 }
 
 // finalMsg is a network worker's end-of-run report (see kindFinal).
 type finalMsg struct {
+	Epoch      int
+	Seq        int64
 	Worker     int
 	Inferences int64
 	Generated  int64
 	Clock      int64 // the worker's final virtual time
 	Traffic    cluster.Traffic
+}
+
+// reassignMsg recovers from a worker failure (see kindReassign). Pos/Neg
+// are this survivor's share of the dead worker's assignment; shares dealt
+// to different survivors are disjoint, and disjoint from every survivor's
+// own assignment, so the merge needs no deduplication.
+type reassignMsg struct {
+	Epoch   int
+	Seq     int64
+	Members []int // surviving worker ids, ascending — the new pipeline ring
+	Pos     []logic.Term
+	Neg     []logic.Term
+}
+
+// reassignAckMsg confirms a reassignment (see kindReassignAck).
+type reassignAckMsg struct {
+	Epoch  int
+	Seq    int64
+	Worker int
+	// Alive is the worker's uncovered-positive count after the merge; the
+	// master sums these to rebase `remaining` (the dead worker's share may
+	// contain positives that were already covered — the master cannot
+	// know which, so the survivors recount).
+	Alive int
+}
+
+// suspectMsg reports a transport-level sibling death (see kindSuspect).
+// It is processed regardless of epoch: the observation is about present
+// link state, not about any epoch's protocol phase.
+type suspectMsg struct {
+	Epoch  int
+	Seq    int64
+	Worker int // the reporter
+	Peer   int // the peer it observed dying
+}
+
+// replyHdr is the dispatch header shared by every worker→master payload:
+// the master's event loop reads it to route, staleness-check and
+// deduplicate a reply before (or without) decoding the full payload.
+type replyHdr interface {
+	// hdr returns the reply's epoch and its pending-set key — the worker
+	// id for direct replies, the pipeline origin for kindRules.
+	hdr() (epoch, key int)
+}
+
+func (m *rulesMsg) hdr() (int, int)       { return m.Epoch, m.Origin }
+func (m *evalResultMsg) hdr() (int, int)  { return m.Epoch, m.Worker }
+func (m *adoptedMsg) hdr() (int, int)     { return m.Epoch, m.Worker }
+func (m *gatheredMsg) hdr() (int, int)    { return m.Epoch, m.Worker }
+func (m *finalMsg) hdr() (int, int)       { return m.Epoch, m.Worker }
+func (m *reassignAckMsg) hdr() (int, int) { return m.Epoch, m.Worker }
+
+// epochOnly decodes just the Epoch tag of a payload — used by the
+// dispatch loop to distinguish a stale out-of-phase message (dropped) from
+// a same-epoch protocol violation (fatal) without paying for a full
+// decode. Gob matches fields by name and ignores the rest, so this works
+// against every tagged payload; untagged payloads (loadMsg) decode as
+// epoch 0, which is never current once the protocol is running.
+type epochOnly struct {
+	Epoch int
 }

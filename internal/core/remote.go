@@ -108,21 +108,13 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 			Bottom:         cfg.Bottom,
 			Budget:         cfg.Budget,
 			AddLearnedToBK: cfg.AddLearnedToBK,
+			Recover:        cfg.Recover,
 		}
 	}
 
 	metrics := &Metrics{Workers: p, Width: cfg.Width}
-	ma := &master{
-		node:      t,
-		p:         p,
-		cfg:       cfg,
-		metrics:   metrics,
-		remaining: len(pos),
-		parts:     parts,
-	}
-	for k := 1; k <= p; k++ {
-		ma.targets = append(ma.targets, k)
-	}
+	ma := newMaster(t, p, cfg, metrics, len(pos), posParts, negParts)
+	ma.parts = parts
 
 	start := time.Now()
 	if err := ma.run(); err != nil {

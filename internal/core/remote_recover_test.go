@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netcluster"
+)
+
+// crashOn wraps a netcluster node and crashes the process's end of the
+// cluster (Abort: links slam shut, no goodbyes — indistinguishable from a
+// kill) the first time a message of the given kind is received. It lets a
+// test lose a real TCP worker at a precise protocol point.
+type crashOn struct {
+	*netcluster.Node
+	kind int
+	once sync.Once
+	hit  bool
+}
+
+func (c *crashOn) ReceiveCtx(ctx context.Context) (cluster.Message, error) {
+	msg, err := c.Node.ReceiveCtx(ctx)
+	if err == nil && msg.Kind == c.kind {
+		c.once.Do(func() {
+			c.hit = true
+			c.Node.Abort()
+		})
+	}
+	if c.hit {
+		return cluster.Message{}, cluster.ErrClosed
+	}
+	return msg, err
+}
+
+// TestRemoteRecoverFromWorkerCrash is the TCP counterpart of the simulated
+// chaos tests: one of three real loopback workers crashes the moment the
+// first bag evaluation reaches it — mid-epoch, with its reply owed — and
+// the master must exclude it, redistribute its partition and finish on the
+// two survivors with a complete theory.
+func TestRemoteRecoverFromWorkerCrash(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(3, 10)
+	cfg.Recover = true
+	cfg.RecvTimeout = 60 * time.Second
+	ncfg := netcluster.Config{
+		Fingerprint:    Fingerprint(kb, pos, neg),
+		HeartbeatEvery: 20 * time.Millisecond,
+		PeerTimeout:    500 * time.Millisecond,
+	}
+	master, errCh := startNetCluster(t, 3, ncfg, func(node *netcluster.Node) error {
+		if node.ID() == 2 {
+			return RunWorker(&crashOn{Node: node, kind: kindEvaluate}, kb, ms, Config{})
+		}
+		return RunWorker(node, kb, ms, Config{})
+	})
+	met, err := RunMaster(master, pos, neg, cfg)
+	if err != nil {
+		t.Fatalf("RunMaster failed despite recovery: %v", err)
+	}
+	master.Close()
+	for k := 0; k < 3; k++ {
+		<-errCh // survivors exit cleanly; the crashed worker's error is expected
+	}
+	if met.Recoveries < 1 {
+		t.Fatalf("Recoveries = %d, want ≥ 1", met.Recoveries)
+	}
+	if met.LostWorkers != 1 {
+		t.Fatalf("LostWorkers = %d, want 1", met.LostWorkers)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+	if met.VirtualTime <= 0 {
+		t.Fatalf("virtual time not accounted: %v", met.VirtualTime)
+	}
+}
+
+// TestRemoteRecoverCrashAfterStop pins the draining rule: once kindStop
+// is out the run result is complete, so a worker dying before delivering
+// its final report — even the only worker — must forfeit just the report,
+// not the run.
+func TestRemoteRecoverCrashAfterStop(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(1, 10)
+	cfg.Recover = true
+	cfg.RecvTimeout = 60 * time.Second
+	ncfg := netcluster.Config{
+		Fingerprint:    Fingerprint(kb, pos, neg),
+		HeartbeatEvery: 20 * time.Millisecond,
+		PeerTimeout:    500 * time.Millisecond,
+	}
+	master, errCh := startNetCluster(t, 1, ncfg, func(node *netcluster.Node) error {
+		return RunWorker(&crashOn{Node: node, kind: kindStop}, kb, ms, Config{})
+	})
+	met, err := RunMaster(master, pos, neg, cfg)
+	if err != nil {
+		t.Fatalf("RunMaster failed on a completed run: %v", err)
+	}
+	master.Close()
+	<-errCh
+	if met.LostWorkers != 1 {
+		t.Fatalf("LostWorkers = %d, want 1", met.LostWorkers)
+	}
+	if met.Recoveries != 0 {
+		t.Fatalf("Recoveries = %d, want 0 (death after stop needs no recovery)", met.Recoveries)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+}
+
+// TestRemoteRecoverCrashDuringPipelines loses the worker while pipelines
+// are in flight (first stage hand-off it receives), so the master is
+// blocked waiting for rules that will never arrive and must be unblocked
+// by the membership event, not a timeout.
+func TestRemoteRecoverCrashDuringPipelines(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(3, 10)
+	cfg.Recover = true
+	cfg.RecvTimeout = 60 * time.Second
+	ncfg := netcluster.Config{
+		Fingerprint:    Fingerprint(kb, pos, neg),
+		HeartbeatEvery: 20 * time.Millisecond,
+		PeerTimeout:    500 * time.Millisecond,
+	}
+	master, errCh := startNetCluster(t, 3, ncfg, func(node *netcluster.Node) error {
+		if node.ID() == 3 {
+			return RunWorker(&crashOn{Node: node, kind: kindStage}, kb, ms, Config{})
+		}
+		return RunWorker(node, kb, ms, Config{})
+	})
+	met, err := RunMaster(master, pos, neg, cfg)
+	if err != nil {
+		t.Fatalf("RunMaster failed despite recovery: %v", err)
+	}
+	master.Close()
+	for k := 0; k < 3; k++ {
+		<-errCh
+	}
+	if met.Recoveries < 1 || met.LostWorkers != 1 {
+		t.Fatalf("Recoveries = %d LostWorkers = %d", met.Recoveries, met.LostWorkers)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+}

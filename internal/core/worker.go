@@ -18,12 +18,30 @@ import (
 // be the simulated machine or a netcluster TCP node; the worker cannot
 // tell the difference except through the remote flag, which switches the
 // partition source (construction vs kindLoad) and the end-of-run report.
+//
+// The worker mirrors the master's epoch discipline (DESIGN.md §6): it
+// tracks the highest epoch it has seen, drops stale-epoch requests whose
+// replies nobody would read, applies kindMarkCovered unconditionally (an
+// accepted rule survives its epoch), and installs membership changes from
+// kindReassign — merging its share of a dead sibling's examples and
+// adopting the surviving pipeline ring.
 type worker struct {
 	id   int // 1-based worker id; node id on the cluster
-	p    int // number of workers
 	node cluster.Transport
 	cfg  Config
 	ms   *mode.Set
+
+	// epoch is the highest master epoch observed; seq numbers this
+	// worker's outbound protocol messages.
+	epoch int
+	seq   int64
+
+	// ring is the live pipeline membership, ascending worker ids.
+	// Initially 1..p; replaced by kindReassign after a failure.
+	ring []int
+	// deadPeers marks siblings reported dead by the transport; stage
+	// forwards to them are dropped (the master re-issues the epoch).
+	deadPeers map[int]bool
 
 	// remote marks a multi-process worker: the partition and the
 	// semantics-bearing config arrive via kindLoad, and kindStop is
@@ -64,6 +82,14 @@ type covCacheEntry struct {
 	cov  covEntry
 }
 
+func fullRing(p int) []int {
+	ring := make([]int, p)
+	for i := range ring {
+		ring[i] = i + 1
+	}
+	return ring
+}
+
 func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examples, ms *mode.Set, cfg Config) *worker {
 	machineKB := kb
 	if cfg.AddLearnedToBK {
@@ -72,7 +98,7 @@ func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examp
 	m := solve.NewMachine(machineKB, cfg.Budget)
 	w := &worker{
 		id:       id,
-		p:        p,
+		ring:     fullRing(p),
 		node:     node,
 		cfg:      cfg,
 		ms:       ms,
@@ -81,6 +107,7 @@ func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examp
 		ex:       ex,
 		covCache: make(map[uint64][]covCacheEntry),
 	}
+	node.NotifyFailures(cfg.Recover)
 	w.ev = w.newEvaluator()
 	return w
 }
@@ -92,7 +119,7 @@ func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examp
 func newRemoteWorker(node cluster.Transport, kb *solve.KB, ms *mode.Set, cfg Config) *worker {
 	return &worker{
 		id:       node.ID(),
-		p:        node.Size() - 1,
+		ring:     fullRing(node.Size() - 1),
 		node:     node,
 		cfg:      cfg,
 		ms:       ms,
@@ -114,7 +141,12 @@ func (w *worker) loadRemote(lm *loadDataMsg) error {
 	w.cfg.Bottom = lm.Bottom
 	w.cfg.Budget = lm.Budget
 	w.cfg.AddLearnedToBK = lm.AddLearnedToBK
+	w.cfg.Recover = lm.Recover
 	w.cfg = w.cfg.withDefaults()
+	// The failure regime is cluster-wide and master-decided: under
+	// recovery a sibling's death must arrive as a membership event, not
+	// poison this worker's transport.
+	w.node.NotifyFailures(w.cfg.Recover)
 	if w.ev != nil {
 		w.retiredInf += w.m.TotalInferences() + w.ev.OwnInferences()
 		w.ev.Close()
@@ -133,6 +165,8 @@ func (w *worker) loadRemote(lm *loadDataMsg) error {
 // sendFinal reports the worker's totals to the master (remote runs only).
 func (w *worker) sendFinal() error {
 	fm := finalMsg{
+		Epoch:      w.epoch,
+		Seq:        w.nextSeq(),
 		Worker:     w.id,
 		Inferences: w.totalInf(),
 		Generated:  w.generated,
@@ -152,6 +186,11 @@ func (w *worker) sendFinal() error {
 // CoverParallelism goroutines with private machines on the same KB.
 func (w *worker) newEvaluator() search.FullCoverer {
 	return search.NewFullCoverer(w.m, w.ex, w.cfg.Budget, w.cfg.CoverParallelism)
+}
+
+func (w *worker) nextSeq() int64 {
+	w.seq++
+	return w.seq
 }
 
 // totalInf is the worker's total SLD work: its own machine plus any
@@ -236,13 +275,15 @@ func (w *worker) primeCoverage(rules []logic.Clause) {
 	}
 }
 
-// nextWorker computes the successor on the ring (Fig. 7 next_worker()):
-// worker ids are 1..p on the cluster, so the ring wraps p → 1.
+// nextWorker computes the successor on the live ring (Fig. 7
+// next_worker()): the next higher surviving id, wrapping to the lowest.
 func (w *worker) nextWorker() int {
-	if w.id == w.p {
-		return 1
+	for _, k := range w.ring {
+		if k > w.id {
+			return k
+		}
 	}
-	return w.id + 1
+	return w.ring[0]
 }
 
 // chargeWork advances the node's virtual clock by the SLD work done since
@@ -266,6 +307,25 @@ func (w *worker) run() error {
 		}
 		if err != nil {
 			return fmt.Errorf("core: worker %d: receive: %w", w.id, err)
+		}
+		if msg.Kind == cluster.KindPeerDown {
+			if msg.From == 0 {
+				return fmt.Errorf("core: worker %d: master failed", w.id)
+			}
+			// A dead sibling: remember it so pipeline forwards stop
+			// targeting it, and report the observation — link failures
+			// are per-link, so this worker may be the only one (master
+			// included) that saw it, possibly with a stage in flight.
+			// The master drives the actual recovery.
+			if w.deadPeers == nil {
+				w.deadPeers = make(map[int]bool)
+			}
+			w.deadPeers[msg.From] = true
+			err := w.node.Send(0, kindSuspect, suspectMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Peer: msg.From})
+			if err != nil && !errors.Is(err, cluster.ErrPeerDown) {
+				return err
+			}
+			continue
 		}
 		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindStop {
 			return fmt.Errorf("core: worker %d got kind %d before its partition was loaded", w.id, msg.Kind)
@@ -295,6 +355,10 @@ func (w *worker) run() error {
 			if err := msg.Decode(&sm); err != nil {
 				return err
 			}
+			if sm.Epoch < w.epoch {
+				continue // stale re-issued epoch; nobody reads the result
+			}
+			w.epoch = sm.Epoch
 			if err := w.startPipeline(); err != nil {
 				return err
 			}
@@ -302,6 +366,9 @@ func (w *worker) run() error {
 			var st stageMsg
 			if err := msg.Decode(&st); err != nil {
 				return err
+			}
+			if st.Epoch < w.epoch {
+				continue // residue of an abandoned epoch attempt
 			}
 			if err := w.runStage(&st); err != nil {
 				return err
@@ -311,6 +378,10 @@ func (w *worker) run() error {
 			if err := msg.Decode(&em); err != nil {
 				return err
 			}
+			if em.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = em.Epoch
 			if err := w.evaluateBag(&em); err != nil {
 				return err
 			}
@@ -319,12 +390,33 @@ func (w *worker) run() error {
 			if err := msg.Decode(&mm); err != nil {
 				return err
 			}
+			// Applied regardless of epoch: the accepted rule stays in the
+			// theory even when its epoch is re-issued (see messages.go).
 			w.markCovered(&mm)
 		case kindAdopt:
+			var am adoptMsg
+			if err := msg.Decode(&am); err != nil {
+				return err
+			}
+			if am.Epoch < w.epoch {
+				// Unlike markCovered, a stale adoption must NOT run: it
+				// would retire a positive whose reply nobody reads, and
+				// the example would end up neither covered nor adopted.
+				continue
+			}
+			w.epoch = am.Epoch
 			if err := w.adoptOne(); err != nil {
 				return err
 			}
 		case kindGather:
+			var gm gatherMsg
+			if err := msg.Decode(&gm); err != nil {
+				return err
+			}
+			if gm.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = gm.Epoch
 			if err := w.gatherAlive(); err != nil {
 				return err
 			}
@@ -333,7 +425,23 @@ func (w *worker) run() error {
 			if err := msg.Decode(&rm); err != nil {
 				return err
 			}
-			w.installPartition(rm.Pos)
+			if rm.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = rm.Epoch
+			w.installExamples(rm.Pos, w.ex.Neg)
+		case kindReassign:
+			var rm reassignMsg
+			if err := msg.Decode(&rm); err != nil {
+				return err
+			}
+			if rm.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = rm.Epoch
+			if err := w.reassign(&rm); err != nil {
+				return err
+			}
 		case kindStop:
 			if w.remote {
 				return w.sendFinal()
@@ -352,7 +460,7 @@ func (w *worker) startPipeline() error {
 	seedIdx := w.ex.FirstAlivePos()
 	if seedIdx < 0 {
 		// Nothing left locally: deliver an empty pipeline result.
-		return w.node.Send(0, kindRules, rulesMsg{Origin: w.id})
+		return w.node.Send(0, kindRules, rulesMsg{Epoch: w.epoch, Seq: w.nextSeq(), Origin: w.id})
 	}
 	before := w.totalInf()
 	bot, err := bottom.Construct(w.m, w.ms, w.ex.Pos[seedIdx], w.cfg.Bottom)
@@ -362,7 +470,9 @@ func (w *worker) startPipeline() error {
 	res := search.LearnRule(w.ev, bot, nil, w.cfg.Search)
 	w.generated += int64(res.Generated)
 	w.chargeWork(before)
-	return w.forward(&stageMsg{Origin: w.id, Step: 1, Bottom: *bot}, res)
+	// This stageMsg never hits the wire (forward rebuilds the outgoing
+	// message, stamping Seq there), it just threads epoch/origin/bottom.
+	return w.forward(&stageMsg{Epoch: w.epoch, Origin: w.id, Step: 1, Bottom: *bot}, res)
 }
 
 // runStage continues a pipeline that arrived from the previous worker
@@ -384,30 +494,67 @@ func (w *worker) runStage(st *stageMsg) error {
 	return w.forward(st, res)
 }
 
-// forward routes a stage's results: to the next worker while stages remain,
-// to the master once the pipeline has visited all p partitions.
-func (w *worker) forward(st *stageMsg, res *search.Result) error {
-	if st.Step >= w.p {
-		rules := make([]logic.Clause, 0, len(res.Good))
+// forwardStage ships a stage hand-off to the ring successor. It reports
+// sent=false (with no error) when the successor is unreachable — known
+// dead, or the send failed with ErrPeerDown — so the caller can terminate
+// the pipeline at the master instead: silently dropping the stage would
+// hang the master forever if its own link to that peer happened to stay
+// healthy (failure detection is per-link on TCP, so it can be one-sided).
+func (w *worker) forwardStage(next stageMsg) (sent bool, err error) {
+	to := w.nextWorker()
+	if w.deadPeers[to] {
+		return false, nil
+	}
+	err = w.node.Send(to, kindStage, next)
+	if err != nil && errors.Is(err, cluster.ErrPeerDown) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// deliverRules completes a pipeline at the master (res nil = empty
+// frontier).
+func (w *worker) deliverRules(st *stageMsg, res *search.Result) error {
+	var rules []logic.Clause
+	if res != nil {
+		rules = make([]logic.Clause, 0, len(res.Good))
 		for _, g := range res.Good {
 			rules = append(rules, g.Materialize(&st.Bottom).Canonical())
 		}
-		return w.node.Send(0, kindRules, rulesMsg{Origin: st.Origin, Rules: rules})
 	}
-	seeds := make([]wireRule, 0, len(res.Good))
-	for _, g := range res.Good {
-		seeds = append(seeds, wireRule{Indices: g.Indices})
+	return w.node.Send(0, kindRules, rulesMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Rules: rules})
+}
+
+// forward routes a stage's results: to the next worker while stages
+// remain, to the master once the pipeline has visited every live
+// partition — or early, when the ring successor is unreachable. The
+// early, less-refined delivery keeps the epoch live at the master, which
+// either counts the pipeline (an asymmetric link failure it cannot see)
+// or discards it as stale after recovering (a death it can see).
+func (w *worker) forward(st *stageMsg, res *search.Result) error {
+	if st.Step < len(w.ring) {
+		seeds := make([]wireRule, 0, len(res.Good))
+		for _, g := range res.Good {
+			seeds = append(seeds, wireRule{Indices: g.Indices})
+		}
+		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom, Seeds: seeds}
+		sent, err := w.forwardStage(next)
+		if sent || err != nil {
+			return err
+		}
 	}
-	next := stageMsg{Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom, Seeds: seeds}
-	return w.node.Send(w.nextWorker(), kindStage, next)
+	return w.deliverRules(st, res)
 }
 
 func (w *worker) forwardEmpty(st *stageMsg) error {
-	if st.Step >= w.p {
-		return w.node.Send(0, kindRules, rulesMsg{Origin: st.Origin})
+	if st.Step < len(w.ring) {
+		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom}
+		sent, err := w.forwardStage(next)
+		if sent || err != nil {
+			return err
+		}
 	}
-	next := stageMsg{Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom}
-	return w.node.Send(w.nextWorker(), kindStage, next)
+	return w.deliverRules(st, nil)
 }
 
 // evaluateBag scores every bag rule on the local alive examples and reports
@@ -421,6 +568,8 @@ func (w *worker) evaluateBag(em *evaluateMsg) error {
 		w.primeCoverage(em.Rules)
 	}
 	out := evalResultMsg{
+		Epoch:  em.Epoch,
+		Seq:    w.nextSeq(),
 		Worker: w.id,
 		Pos:    make([]int32, len(em.Rules)),
 		Neg:    make([]int32, len(em.Rules)),
@@ -446,7 +595,7 @@ func (w *worker) markCovered(mm *markCoveredMsg) {
 // gatherAlive ships the worker's uncovered positives to the master for
 // repartitioning.
 func (w *worker) gatherAlive() error {
-	out := gatheredMsg{Worker: w.id}
+	out := gatheredMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id}
 	w.ex.PosAlive.ForEach(func(i int) bool {
 		out.Pos = append(out.Pos, w.ex.Pos[i])
 		return true
@@ -454,16 +603,44 @@ func (w *worker) gatherAlive() error {
 	return w.node.Send(0, kindGathered, out)
 }
 
-// installPartition replaces the positive example set. The coverage cache
-// keys rules, but its bitsets index the old positives, so it must be
+// installExamples replaces the worker's example partition. The coverage
+// cache keys rules, but its bitsets index the old examples, so it must be
 // rebuilt from scratch.
-func (w *worker) installPartition(pos []logic.Term) {
+func (w *worker) installExamples(pos, neg []logic.Term) {
 	w.retiredInf += w.ev.OwnInferences()
 	w.ev.Close()
-	w.ex = search.NewExamples(pos, w.ex.Neg)
+	w.ex = search.NewExamples(pos, neg)
 	w.ev = w.newEvaluator()
 	w.covCache = make(map[uint64][]covCacheEntry)
 	w.node.Compute(int64(len(pos)))
+}
+
+// reassign recovers from a sibling's failure: install the surviving ring,
+// merge this worker's share of the dead worker's examples (shares are
+// disjoint from everything already here), and acknowledge with the local
+// uncovered count so the master can rebase its remaining counter.
+func (w *worker) reassign(rm *reassignMsg) error {
+	w.ring = rm.Members
+	for _, k := range rm.Members {
+		delete(w.deadPeers, k)
+	}
+	pos := make([]logic.Term, 0, w.ex.PosAlive.Count()+len(rm.Pos))
+	w.ex.PosAlive.ForEach(func(i int) bool {
+		pos = append(pos, w.ex.Pos[i])
+		return true
+	})
+	pos = append(pos, rm.Pos...)
+	neg := w.ex.Neg
+	if len(rm.Neg) > 0 {
+		neg = append(append(make([]logic.Term, 0, len(neg)+len(rm.Neg)), neg...), rm.Neg...)
+	}
+	w.installExamples(pos, neg)
+	return w.node.Send(0, kindReassignAck, reassignAckMsg{
+		Epoch:  w.epoch,
+		Seq:    w.nextSeq(),
+		Worker: w.id,
+		Alive:  w.ex.PosAlive.Count(),
+	})
 }
 
 // adoptOne retires the first uncovered local positive as a ground fact
@@ -471,11 +648,11 @@ func (w *worker) installPartition(pos []logic.Term) {
 func (w *worker) adoptOne() error {
 	idx := w.ex.FirstAlivePos()
 	if idx < 0 {
-		return w.node.Send(0, kindAdopted, adoptedMsg{Worker: w.id})
+		return w.node.Send(0, kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id})
 	}
 	single := search.NewBitset(len(w.ex.Pos))
 	single.Set(idx)
 	w.ex.RetractPos(single)
 	w.node.Compute(1)
-	return w.node.Send(0, kindAdopted, adoptedMsg{Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
+	return w.node.Send(0, kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
 }

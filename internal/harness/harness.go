@@ -175,9 +175,13 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 					acc := covering.Accuracy(ds.KB, met.Theory, fold.TestPos, fold.TestNeg, ds.Budget)
 					res.Acc[key] = append(res.Acc[key], acc)
 					res.Wall[key] = append(res.Wall[key], met.WallTime.Seconds())
-					logf("%s fold %d: p=%d w=%s %.2fs, speedup %.2f, %d epochs, %.1f MB, accuracy %.2f%%\n",
+					recovered := ""
+					if met.Recoveries > 0 || met.LostWorkers > 0 {
+						recovered = fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)
+					}
+					logf("%s fold %d: p=%d w=%s %.2fs, speedup %.2f, %d epochs, %.1f MB, accuracy %.2f%%%s\n",
 						ds.Name, fi+1, p, widthLabel(w), parSecs, seqSecs/parSecs, met.Epochs,
-						float64(met.CommBytes)/1e6, 100*acc)
+						float64(met.CommBytes)/1e6, 100*acc, recovered)
 				}
 			}
 		}

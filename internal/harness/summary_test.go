@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummaryCoversEveryCell(t *testing.T) {
+	res := sharedRun(t)
+	s := res.Summary()
+	if s.Folds != 3 || s.Seed != 5 {
+		t.Fatalf("protocol echo wrong: %+v", s)
+	}
+	if len(s.Datasets) != 1 {
+		t.Fatalf("datasets = %d", len(s.Datasets))
+	}
+	d := s.Datasets[0]
+	if d.Name != "carcinogenesis" || d.Pos <= 0 || d.Neg <= 0 {
+		t.Fatalf("dataset characterisation missing: %+v", d)
+	}
+	if d.SeqTimeS <= 0 {
+		t.Fatalf("sequential baseline missing: %+v", d)
+	}
+	if want := len(s.Procs) * len(s.Widths); len(d.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(d.Cells), want)
+	}
+	for _, c := range d.Cells {
+		if c.TimeS <= 0 || c.Speedup <= 0 || c.Epochs <= 0 {
+			t.Fatalf("empty cell: %+v", c)
+		}
+	}
+}
+
+func TestMarshalSummaryRoundTrips(t *testing.T) {
+	res := sharedRun(t)
+	out, err := res.MarshalSummary(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("summary JSON does not parse: %v", err)
+	}
+	if back.Scale != 0.08 || len(back.Datasets) != 1 || len(back.Datasets[0].Cells) != 4 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

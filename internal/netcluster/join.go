@@ -248,6 +248,12 @@ func (n *Node) acceptPeer(conn net.Conn, f *frame) {
 		conn.Close()
 		return
 	}
+	if n.isDown(int(f.From)) {
+		// Once declared dead a peer stays dead: membership recovery has
+		// already redistributed its work, so a late reconnect is refused.
+		conn.Close()
+		return
+	}
 	if f.Fingerprint != n.cfg.Fingerprint {
 		conn.Close()
 		n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d fingerprint %x does not match ours %x",

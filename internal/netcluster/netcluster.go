@@ -51,7 +51,10 @@ type Config struct {
 	Fingerprint uint64
 	// HeartbeatEvery is the per-link keep-alive period. Default 500ms.
 	HeartbeatEvery time.Duration
-	// PeerTimeout declares a silent peer dead. Default 10s.
+	// PeerTimeout declares a silent peer dead. Default 20 heartbeat
+	// periods (10s at the default HeartbeatEvery) — derived, not fixed,
+	// so raising the heartbeat period cannot silently make idle-but-
+	// healthy peers look dead.
 	PeerTimeout time.Duration
 	// JoinTimeout bounds a worker's wait for the master's welcome and the
 	// master's dial retries. Default 60s.
@@ -66,7 +69,7 @@ func (c Config) withDefaults() Config {
 		c.HeartbeatEvery = 500 * time.Millisecond
 	}
 	if c.PeerTimeout <= 0 {
-		c.PeerTimeout = 10 * time.Second
+		c.PeerTimeout = 20 * c.HeartbeatEvery
 	}
 	if c.JoinTimeout <= 0 {
 		c.JoinTimeout = 60 * time.Second
@@ -155,7 +158,12 @@ type Node struct {
 	pending  map[net.Conn]struct{} // accepted conns mid-handshake
 	peers    []string              // worker listen addresses by node id ("" for 0)
 	departed map[int]bool          // peers that said an orderly goodbye
+	down     map[int]bool          // peers declared dead (failure-notifying mode)
 	closing  bool
+
+	// notify switches peer-failure handling from poisoning the inbox to
+	// delivering in-band KindPeerDown events (see Transport.NotifyFailures).
+	notify atomic.Bool
 
 	trMu sync.Mutex
 	tr   cluster.Traffic // outgoing payload traffic, this node's rows
@@ -175,6 +183,68 @@ func (n *Node) Size() int { return n.size }
 
 // Clock returns the node's virtual time.
 func (n *Node) Clock() cluster.VTime { return cluster.VTime(n.clock.Load()) }
+
+// Members returns the nodes not declared dead (self excluded), ascending.
+func (n *Node) Members() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int, 0, n.size-1)
+	for id := 0; id < n.size; id++ {
+		if id != n.id && !n.down[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NotifyFailures selects in-band KindPeerDown delivery over inbox
+// poisoning for detected peer failures (heartbeat timeout, link error,
+// failed dial). Enable it before the failure can happen — typically right
+// after the join, before the protocol starts.
+func (n *Node) NotifyFailures(on bool) { n.notify.Store(on) }
+
+// peerDown declares peer dead: its links close, sends to it start failing
+// with cluster.ErrPeerDown, and one synthetic KindPeerDown event joins the
+// inbox. Idempotent; a no-op once the node itself is closing.
+func (n *Node) peerDown(peer int) {
+	n.mu.Lock()
+	if n.closing || n.down[peer] {
+		n.mu.Unlock()
+		return
+	}
+	if n.down == nil {
+		n.down = make(map[int]bool)
+	}
+	n.down[peer] = true
+	var dead []*link
+	for _, l := range n.all {
+		if l.peer == peer {
+			dead = append(dead, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range dead {
+		l.close()
+	}
+	n.inbox.put(cluster.Message{From: peer, To: n.id, Kind: cluster.KindPeerDown})
+}
+
+func (n *Node) isDown(peer int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[peer]
+}
+
+// linkFailed routes a detected failure of the link to peer: an in-band
+// membership event when failure notification is on, a poisoned inbox (the
+// historical contract) when off.
+func (n *Node) linkFailed(peer int, err error) {
+	if n.notify.Load() {
+		n.peerDown(peer)
+		return
+	}
+	n.inbox.fail(err)
+}
 
 // Model returns the cost model in force (the master's, cluster-wide).
 func (n *Node) Model() cluster.CostModel { return n.cfg.Model }
@@ -252,6 +322,9 @@ func (n *Node) sendPayload(to, kind int, payload []byte) error {
 	if to < 0 || to >= n.size {
 		return fmt.Errorf("netcluster: send to unknown node %d (cluster size %d)", to, n.size)
 	}
+	if n.isDown(to) {
+		return fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, cluster.ErrPeerDown)
+	}
 	sendTime := n.Clock()
 	n.account(to, len(payload))
 	if to == n.id {
@@ -263,6 +336,10 @@ func (n *Node) sendPayload(to, kind int, payload []byte) error {
 	}
 	l, err := n.linkTo(to)
 	if err != nil {
+		if n.notify.Load() {
+			n.peerDown(to)
+			return fmt.Errorf("netcluster: send from %d to %d kind %d: %v: %w", n.id, to, kind, err, cluster.ErrPeerDown)
+		}
 		return err
 	}
 	f := &frame{
@@ -270,6 +347,10 @@ func (n *Node) sendPayload(to, kind int, payload []byte) error {
 		SendTime: int64(sendTime), Payload: payload,
 	}
 	if err := l.write(f); err != nil {
+		if n.notify.Load() {
+			n.peerDown(to)
+			return fmt.Errorf("netcluster: send from %d to %d kind %d: %v: %w", n.id, to, kind, err, cluster.ErrPeerDown)
+		}
 		err = fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
 		n.inbox.fail(err)
 		return err
@@ -424,7 +505,7 @@ func (n *Node) readLoop(l *link) {
 		f, err := readFrame(l.conn, n.cfg.MaxFrameBytes)
 		if err != nil {
 			if !n.isClosing() && !l.isClosed() {
-				n.inbox.fail(fmt.Errorf("netcluster: node %d: link to node %d failed: %w", n.id, l.peer, err))
+				n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: link to node %d failed: %w", n.id, l.peer, err))
 			}
 			return
 		}
@@ -474,14 +555,14 @@ func (n *Node) heartbeatLoop(l *link) {
 			return
 		}
 		if l.sinceSeen() > n.cfg.PeerTimeout {
-			n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d unresponsive for %s", n.id, l.peer, n.cfg.PeerTimeout))
+			n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: peer %d unresponsive for %s", n.id, l.peer, n.cfg.PeerTimeout))
 			l.close()
 			return
 		}
 		hb := &frame{Ctrl: ctrlHeartbeat, From: int32(n.id)}
 		if err := l.write(hb); err != nil {
 			if !n.isClosing() && !l.isClosed() {
-				n.inbox.fail(fmt.Errorf("netcluster: node %d: heartbeat to node %d: %w", n.id, l.peer, err))
+				n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: heartbeat to node %d: %w", n.id, l.peer, err))
 			}
 			return
 		}

@@ -77,8 +77,11 @@ const (
 // evalMsg carries one rule plus optional per-worker candidate masks (local
 // index space) so workers keep the incremental-evaluation shortcut the
 // sequential learner enjoys: only examples the parent rule covered are
-// re-tested. Nil masks mean "test everything".
+// re-tested. Nil masks mean "test everything". Seq numbers the
+// coordinator's queries; workers echo it, and the coordinator's dispatch
+// loop drops replies to superseded queries instead of misfolding them.
 type evalMsg struct {
+	Seq     int64
 	Rule    logic.Clause
 	PosCand []uint64
 	NegCand []uint64
@@ -86,6 +89,7 @@ type evalMsg struct {
 }
 
 type evalResultMsg struct {
+	Seq    int64
 	Worker int
 	Pos    []uint64 // bitset words over the worker's local positives (alive only)
 	Neg    []uint64
@@ -159,7 +163,7 @@ func (w *pcWorker) run() error {
 			}
 			pos, neg := w.ev.Coverage(&em.Rule, posCand, negCand)
 			w.node.Compute(w.m.TotalInferences() - before)
-			if err := w.node.Send(0, kindEvalResult, evalResultMsg{Worker: w.id, Pos: pos, Neg: neg}); err != nil {
+			if err := w.node.Send(0, kindEvalResult, evalResultMsg{Seq: em.Seq, Worker: w.id, Pos: pos, Neg: neg}); err != nil {
 				return err
 			}
 		case kindRetractRule:
@@ -205,6 +209,12 @@ func (w *pcWorker) run() error {
 
 // distCoverer satisfies search.Coverer by broadcasting each rule to the
 // workers and stitching their local bitsets into the global index space.
+// Its receive loop is event-driven in the same style as core's master:
+// each query carries a fresh Seq, replies are matched to the current query
+// and deduplicated per worker, and replies to superseded queries are
+// dropped rather than misfolded — so the coordinator state machine is
+// robust to out-of-order and leftover traffic, not just to the strict
+// request/response interleaving of the failure-free path.
 type distCoverer struct {
 	node    cluster.Transport
 	p       int
@@ -213,6 +223,7 @@ type distCoverer struct {
 	negMap  [][]int
 	nPos    int
 	nNeg    int
+	seq     int64 // current query number
 	err     error
 }
 
@@ -227,8 +238,9 @@ func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitse
 	if d.err != nil {
 		return pos, neg
 	}
+	d.seq++
 	for k := 0; k < d.p; k++ {
-		em := evalMsg{Rule: *rule}
+		em := evalMsg{Seq: d.seq, Rule: *rule}
 		if posCand != nil && negCand != nil {
 			em.HasCand = true
 			em.PosCand = localize(posCand, d.posMap[k])
@@ -239,10 +251,21 @@ func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitse
 			return pos, neg
 		}
 	}
-	for k := 0; k < d.p; k++ {
+	pending := make(map[int]bool, d.p)
+	for _, t := range d.targets {
+		pending[t] = true
+	}
+	for len(pending) > 0 {
 		msg, err := d.node.ReceiveCtx(context.Background())
 		if err != nil {
 			d.err = fmt.Errorf("parcov: master: waiting for evaluation reply: %w", err)
+			return pos, neg
+		}
+		if msg.Kind == cluster.KindPeerDown {
+			// The coverage-farming baseline keeps the paper's fail-stop
+			// contract: it cannot redistribute state, so a dead worker
+			// fails the run (p²-mdie is the recovering engine).
+			d.err = fmt.Errorf("parcov: master: worker %d failed", msg.From)
 			return pos, neg
 		}
 		if msg.Kind != kindEvalResult {
@@ -254,6 +277,14 @@ func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitse
 			d.err = err
 			return pos, neg
 		}
+		if er.Seq < d.seq {
+			continue // reply to a superseded query
+		}
+		if er.Seq > d.seq || er.Worker < 1 || er.Worker > d.p || !pending[er.Worker] {
+			d.err = fmt.Errorf("parcov: master: unexpected evaluation reply (seq=%d worker=%d, current seq=%d)", er.Seq, er.Worker, d.seq)
+			return pos, neg
+		}
+		delete(pending, er.Worker)
 		w := er.Worker - 1
 		scatter(search.Bitset(er.Pos), d.posMap[w], pos)
 		scatter(search.Bitset(er.Neg), d.negMap[w], neg)
