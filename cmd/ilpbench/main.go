@@ -86,8 +86,11 @@ func main() {
 	case "noise":
 		runNoiseAblation(*scale, *folds, *seed, *noBatch, *quiet)
 		return
+	case "balance":
+		runBalanceAblation(*scale, *folds, *seed, *quiet)
+		return
 	default:
-		fail(fmt.Errorf("unknown ablation %q (have width, parcov, repartition, noise)", *ablation))
+		fail(fmt.Errorf("unknown ablation %q (have width, parcov, repartition, noise, balance)", *ablation))
 	}
 
 	if !*all && (*table < 1 || *table > 6) {
@@ -185,6 +188,22 @@ func runNoiseAblation(scale float64, folds int, seed int64, noBatch, quiet bool)
 		return v
 	}
 	ab, err := harness.RunNoiseAblation(n(848), n(764), 4, folds, nil, seed, noBatch, progress)
+	if err != nil {
+		fail(err)
+	}
+	ab.Render(os.Stdout)
+}
+
+func runBalanceAblation(scale float64, folds int, seed int64, quiet bool) {
+	progress := os.Stderr
+	if quiet {
+		progress = nil
+	}
+	n := int(200 * scale)
+	if n < 32 {
+		n = 32
+	}
+	ab, err := harness.RunBalanceAblation(n, 4, folds, 0.25, seed, harness.DefaultCost(), progress)
 	if err != nil {
 		fail(err)
 	}

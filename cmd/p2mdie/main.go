@@ -60,6 +60,9 @@ func main() {
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
 		serve    = flag.String("serve", "", "run as a TCP worker: listen on this address, join the master, receive a partition (use host:0 for an ephemeral port; the listen address and a final status line always print so orchestrators can scrape them)")
 		masterMd = flag.Bool("master", false, "run as the TCP master over the workers listed in -workers")
+		listen   = flag.String("listen", "", "with -master: also accept mid-run worker joins on this address (the actual address prints so orchestrators can scrape it); joiners attach with -join")
+		joinAddr = flag.String("join", "", "attach to a RUNNING master's -listen address as a late worker: join the cluster mid-run, get welcomed into the ring and receive a share at the next rebalance (combine with -serve to pin this worker's own listen address, default 127.0.0.1:0)")
+		balance  = flag.Bool("balance", false, "throughput-aware load rebalancing: between epochs the master redeals uncovered positives proportionally to each worker's measured throughput and per-example cost instead of keeping the static random partition (master flag; workers inherit it at load)")
 		traffic  = flag.String("traffic", "", "after a parallel run, dump the per-link byte/message table: 'json' or 'text' (both transports use the same accounting)")
 		recov    = flag.Bool("recover", false, "tolerate worker failures: exclude a dead worker, redistribute its partition over the survivors and re-issue the in-flight epoch instead of aborting (master flag; workers inherit it at load)")
 		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
@@ -98,8 +101,14 @@ func main() {
 		recvTimeout: *recvTO,
 		heartbeat:   *hbEvery,
 		joinTimeout: *joinTO,
+		balance:     *balance,
+		listen:      *listen,
 	}
 
+	if *joinAddr != "" {
+		runJoin(ds, *joinAddr, *serve, *coverPar, opts, *quiet)
+		return
+	}
 	if *serve != "" {
 		runServe(ds, *serve, *coverPar, opts, *quiet)
 		return
@@ -133,6 +142,7 @@ func main() {
 			CoverParallelism: *coverPar,
 			Recover:          opts.recover,
 			RecvTimeout:      opts.recvTimeout,
+			Balance:          opts.balance,
 		})
 		if err != nil {
 			fail(err)
@@ -156,6 +166,8 @@ type runOptions struct {
 	recvTimeout time.Duration
 	heartbeat   time.Duration
 	joinTimeout time.Duration
+	balance     bool
+	listen      string
 }
 
 // runServe is the TCP worker mode: listen, join, receive the partition via
@@ -192,6 +204,36 @@ func runServe(ds *ilp.Dataset, addr string, coverPar int, opts runOptions, quiet
 	fmt.Printf("p2mdie: worker %d done, %.2fs simulated\n", node.ID(), node.Clock().Seconds())
 }
 
+// runJoin attaches a late worker to a running master (its -listen address):
+// transport-level join first, then the ordinary worker loop — the welcome,
+// ring membership and example share all arrive over the protocol.
+func runJoin(ds *ilp.Dataset, masterAddr, listenAddr string, coverPar int, opts runOptions, quiet bool) {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	node, err := netcluster.Join(masterAddr, listenAddr, netcluster.Config{
+		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		HeartbeatEvery: opts.heartbeat,
+		JoinTimeout:    opts.joinTimeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("p2mdie: joined running cluster as node %d of %d (serving on %s)\n", node.ID(), node.Size(), node.Addr())
+	// Everything semantics-bearing (including the recovery and balance
+	// regimes) arrives from the master in the protocol-level welcome.
+	err = core.RunWorker(node, ds.KB, ds.Modes, core.Config{
+		CoverParallelism: coverPar,
+		RecvTimeout:      opts.recvTimeout,
+	})
+	if err != nil {
+		node.Abort()
+		fail(err)
+	}
+	node.Close()
+	fmt.Printf("p2mdie: worker %d done, %.2fs simulated\n", node.ID(), node.Clock().Seconds())
+}
+
 // runTCPMaster drives a multi-process run over the given worker addresses.
 func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, trafficMode string, opts runOptions, verbose, quiet bool) {
 	if _, err := strconv.Atoi(addrList); err == nil {
@@ -215,6 +257,15 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 	if err != nil {
 		fail(err)
 	}
+	if opts.listen != "" {
+		if err := node.ListenForJoins(opts.listen); err != nil {
+			node.Abort()
+			fail(err)
+		}
+		// Always printed (even with -q) so orchestrators can scrape the
+		// actual address when -listen used an ephemeral port.
+		fmt.Printf("p2mdie: master accepting joins on %s\n", node.Addr())
+	}
 	met, err := core.RunMaster(node, ds.Pos, ds.Neg, core.Config{
 		Workers:     len(addrs),
 		Width:       width,
@@ -224,6 +275,7 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 		Budget:      ds.Budget,
 		Recover:     opts.recover,
 		RecvTimeout: opts.recvTimeout,
+		Balance:     opts.balance,
 	})
 	if err != nil {
 		node.Abort()
@@ -246,6 +298,12 @@ func printParallelMetrics(transport string, met *ilp.ParallelMetrics, width int)
 		float64(met.CommBytes)/1e6, met.CommMessages)
 	if met.LostWorkers > 0 || met.Recoveries > 0 {
 		line += fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)
+	}
+	if met.Rebalances > 0 || met.JoinedWorkers > 0 {
+		line += fmt.Sprintf(", rebalances=%d joined=%d", met.Rebalances, met.JoinedWorkers)
+	}
+	if len(met.JoinShares) > 0 {
+		line += fmt.Sprintf(", join shares=%v", met.JoinShares)
 	}
 	fmt.Println(line)
 }
@@ -308,6 +366,10 @@ func loadDataset(name string, scale float64, seed int64) (*ilp.Dataset, error) {
 		return datasets.MeshSized(n(2840), n(278), seed), nil
 	case "pyrimidines":
 		return datasets.PyrimidinesSized(n(848), n(764), seed), nil
+	case "trains-gen":
+		return datasets.TrainsSized(n(100), seed), nil
+	case "trains-skew":
+		return datasets.TrainsSkewed(n(200), seed, 0.25), nil
 	}
 	return nil, fmt.Errorf("unknown dataset %q", name)
 }

@@ -178,6 +178,11 @@ type ParallelOptions struct {
 	// Repartition re-balances uncovered positives across workers before
 	// every epoch (the §4.1 alternative; costs communication).
 	Repartition bool
+	// Balance enables throughput-aware load rebalancing between epochs:
+	// the master deals uncovered positives proportionally to each worker's
+	// measured throughput instead of evenly (supersedes Repartition when
+	// both are set). Metrics.Rebalances counts the barriers.
+	Balance bool
 	// CoverParallelism shards each worker's coverage tests across this
 	// many goroutines (<0 = all cores, ≤1 = serial); real multicore
 	// speedup inside the simulation, identical results.
@@ -213,6 +218,7 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 		Cost:                 o.Cost,
 		Trace:                o.Trace,
 		RepartitionEachEpoch: o.Repartition,
+		Balance:              o.Balance,
 		CoverParallelism:     o.CoverParallelism,
 		Recover:              o.Recover,
 		RecvTimeout:          o.RecvTimeout,

@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,18 +172,25 @@ func (mb *mailbox) close() {
 	mb.cond.Broadcast()
 }
 
-// Network is a set of simulated nodes plus traffic accounting.
+// Network is a set of simulated nodes plus traffic accounting. The node
+// set can grow mid-run (Spawn), modelling machines that join a running
+// cluster; it never shrinks — Kill marks nodes dead but keeps their ids.
 type Network struct {
 	model CostModel
-	nodes []*Node
 	seq   atomic.Int64
 
-	msgs        atomic.Int64
-	bytes       atomic.Int64
-	perLink     []atomic.Int64 // bytes, index = from*n + to
+	// mu guards the growth state (nodes, per-link counter slices): Spawn
+	// write-locks to append; the delivery hot path only read-locks and
+	// then uses atomics, so senders never serialise on each other.
+	mu          sync.RWMutex
+	nodes       []*Node
+	perLink     []atomic.Int64 // bytes, index = from*len(nodes) + to
 	perLinkMsgs []atomic.Int64 // messages, same indexing
-	traceMu     sync.Mutex
-	traceFn     func(Event)
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	traceMu sync.Mutex
+	traceFn func(Event)
 
 	deadMu sync.Mutex
 	dead   map[int]bool // nodes removed by Kill
@@ -202,18 +210,77 @@ func NewNetwork(n int, model CostModel) *Network {
 	return nw
 }
 
-// Size returns the number of nodes.
-func (nw *Network) Size() int { return len(nw.nodes) }
+// Size returns the number of nodes (including any spawned mid-run).
+func (nw *Network) Size() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return len(nw.nodes)
+}
 
 // Node returns node i. Each node must be driven by exactly one goroutine.
-func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+func (nw *Network) Node(i int) *Node {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.nodes[i]
+}
 
 // Model returns the cost model in use.
 func (nw *Network) Model() CostModel { return nw.model }
 
+// Spawn adds one fresh node to a running network — the simulated analogue
+// of a machine joining the cluster mid-run. The node starts with a zero
+// clock and an empty mailbox; every live node that opted into
+// NotifyFailures receives a synthetic KindPeerUp event naming it, which is
+// how a protocol master learns a joiner is available. The traffic table
+// grows to cover the new links. The returned node must be driven by
+// exactly one goroutine, like every other node.
+func (nw *Network) Spawn() *Node {
+	nw.mu.Lock()
+	old := len(nw.nodes)
+	id := old
+	n := &Node{id: id, nw: nw, mbox: newMailbox()}
+	nw.nodes = append(nw.nodes, n)
+	// Re-index the per-link counters for the grown node count, keeping
+	// every (from, to) pair's identity. Holding the write lock excludes
+	// concurrent deliveries, whose read lock pins the matching slices.
+	size := id + 1
+	pl := make([]atomic.Int64, size*size)
+	plm := make([]atomic.Int64, size*size)
+	for from := 0; from < old; from++ {
+		for to := 0; to < old; to++ {
+			pl[from*size+to].Store(nw.perLink[from*old+to].Load())
+			plm[from*size+to].Store(nw.perLinkMsgs[from*old+to].Load())
+		}
+	}
+	nw.perLink, nw.perLinkMsgs = pl, plm
+	peers := append([]*Node(nil), nw.nodes[:id]...)
+	nw.mu.Unlock()
+	for _, p := range peers {
+		if nw.isDead(p.id) || !p.notify.Load() {
+			continue
+		}
+		// Synthetic event, mirroring Kill's KindPeerDown: no payload, no
+		// traffic accounting, no clock advance.
+		p.mbox.put(Message{From: id, To: p.id, Kind: KindPeerUp})
+	}
+	return n
+}
+
+// SetSpeed scales node id's compute cost: factor 2 makes every inference
+// cost twice the model's NsPerInference on that node, factor 0.5 half.
+// Factors ≤ 0 reset to 1. The cluster is otherwise homogeneous; per-node
+// factors model the heterogeneous machines throughput-aware balancing
+// redistributes load over.
+func (nw *Network) SetSpeed(id int, factor float64) {
+	nw.Node(id).speed.Store(math.Float64bits(factor))
+}
+
 // Shutdown closes every mailbox, releasing any blocked receiver.
 func (nw *Network) Shutdown() {
-	for _, n := range nw.nodes {
+	nw.mu.RLock()
+	nodes := append([]*Node(nil), nw.nodes...)
+	nw.mu.RUnlock()
+	for _, n := range nodes {
 		n.mbox.close()
 	}
 }
@@ -236,8 +303,11 @@ func (nw *Network) Kill(id int) {
 	}
 	nw.dead[id] = true
 	nw.deadMu.Unlock()
-	nw.nodes[id].mbox.close()
-	for _, n := range nw.nodes {
+	nw.mu.RLock()
+	nodes := append([]*Node(nil), nw.nodes...)
+	nw.mu.RUnlock()
+	nodes[id].mbox.close()
+	for _, n := range nodes {
 		if n.id == id || nw.isDead(n.id) || !n.notify.Load() {
 			continue
 		}
@@ -266,11 +336,15 @@ func (nw *Network) Stats() Stats {
 
 // LinkBytes returns bytes sent from node a to node b.
 func (nw *Network) LinkBytes(a, b int) int64 {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	return nw.perLink[a*len(nw.nodes)+b].Load()
 }
 
 // Traffic snapshots the per-link byte/message table (Table-4 accounting).
 func (nw *Network) Traffic() Traffic {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	t := NewTraffic(len(nw.nodes))
 	for i := range nw.perLink {
 		t.Bytes[i] = nw.perLink[i].Load()
@@ -282,6 +356,8 @@ func (nw *Network) Traffic() Traffic {
 // Makespan returns the maximum node clock; call it after all node
 // goroutines have finished to obtain the simulated run time.
 func (nw *Network) Makespan() VTime {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	var max VTime
 	for _, n := range nw.nodes {
 		if c := n.Clock(); c > max {
@@ -359,8 +435,9 @@ type Node struct {
 	id     int
 	nw     *Network
 	mbox   *mailbox
-	clock  atomic.Int64 // VTime; atomic so Makespan can read cross-goroutine
-	notify atomic.Bool  // deliver KindPeerDown events on Kill
+	clock  atomic.Int64  // VTime; atomic so Makespan can read cross-goroutine
+	notify atomic.Bool   // deliver KindPeerDown/KindPeerUp events on Kill/Spawn
+	speed  atomic.Uint64 // float64 bits: per-node compute cost factor (0 = 1.0)
 }
 
 // Node implements the Transport abstraction over the simulated machine.
@@ -369,15 +446,17 @@ var _ Transport = (*Node)(nil)
 // ID returns the node id.
 func (n *Node) ID() int { return n.id }
 
-// Size returns the number of nodes in the network.
-func (n *Node) Size() int { return len(n.nw.nodes) }
+// Size returns the number of nodes in the network (grows with Spawn).
+func (n *Node) Size() int { return n.nw.Size() }
 
-// Members returns the other nodes not removed by Kill, ascending.
+// Members returns the other nodes not removed by Kill, ascending
+// (including any nodes spawned mid-run).
 func (n *Node) Members() []int {
+	size := n.nw.Size()
 	n.nw.deadMu.Lock()
 	defer n.nw.deadMu.Unlock()
-	out := make([]int, 0, len(n.nw.nodes)-1)
-	for id := range n.nw.nodes {
+	out := make([]int, 0, size-1)
+	for id := 0; id < size; id++ {
 		if id != n.id && !n.nw.dead[id] {
 			out = append(out, id)
 		}
@@ -398,13 +477,22 @@ func (n *Node) advanceTo(t VTime) {
 	}
 }
 
+// speedFactor returns this node's compute cost factor (default 1).
+func (n *Node) speedFactor() float64 {
+	f := math.Float64frombits(n.speed.Load())
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
 // Compute advances the node's clock by units of work (SLD inferences) under
-// the network cost model.
+// the network cost model, scaled by the node's speed factor.
 func (n *Node) Compute(units int64) {
 	if units <= 0 {
 		return
 	}
-	d := VTime(float64(units) * n.nw.model.NsPerInference)
+	d := VTime(float64(units) * n.nw.model.NsPerInference * n.speedFactor())
 	n.clock.Add(int64(d))
 	n.nw.emit(Event{Type: EvCompute, Node: n.id, Peer: -1, Kind: -1, Clock: n.Clock()})
 }
@@ -475,10 +563,13 @@ func (n *Node) deliver(to int, kind int, payload []byte) {
 	}
 	nw.msgs.Add(1)
 	nw.bytes.Add(int64(len(payload)))
+	nw.mu.RLock()
 	nw.perLink[n.id*len(nw.nodes)+to].Add(int64(len(payload)))
 	nw.perLinkMsgs[n.id*len(nw.nodes)+to].Add(1)
+	dst := nw.nodes[to]
+	nw.mu.RUnlock()
 	nw.emit(Event{Type: EvSend, Node: n.id, Peer: to, Kind: kind, Bytes: len(payload), Clock: sendTime, Seq: seq})
-	nw.nodes[to].mbox.put(msg)
+	dst.mbox.put(msg)
 }
 
 // Receive blocks until a message is available, advances the node's clock to

@@ -298,3 +298,66 @@ func TestRingTokenStress(t *testing.T) {
 		t.Fatal("makespan not positive")
 	}
 }
+
+// TestSpawnDeliversPeerUpAndGrowsAccounting pins the elastic join surface
+// of the simulated machine: a node spawned mid-run is announced to
+// failure-notifying peers as a KindPeerUp event, its links are accounted,
+// and nodes that did not opt in hear nothing.
+func TestSpawnDeliversPeerUpAndGrowsAccounting(t *testing.T) {
+	nw := NewNetwork(2, CostModel{})
+	nw.Node(0).NotifyFailures(true) // the master opts in; node 1 does not
+
+	joiner := nw.Spawn()
+	if joiner.ID() != 2 || nw.Size() != 3 || nw.Node(2) != joiner {
+		t.Fatalf("spawned node id=%d size=%d", joiner.ID(), nw.Size())
+	}
+	msg, ok := nw.Node(0).Receive()
+	if !ok || msg.Kind != KindPeerUp || msg.From != 2 {
+		t.Fatalf("master got %+v, want KindPeerUp from 2", msg)
+	}
+	// Traffic to and from the joiner is accounted like any other link.
+	if err := nw.Node(0).Send(2, 7, "welcome"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := joiner.Receive(); !ok {
+		t.Fatal("joiner did not receive")
+	}
+	if err := joiner.Send(0, 8, "ack"); err != nil {
+		t.Fatal(err)
+	}
+	tr := nw.Traffic()
+	if tr.N != 3 || tr.LinkMsgs(0, 2) != 1 || tr.LinkMsgs(2, 0) != 1 {
+		t.Fatalf("joiner links not accounted: %v", tr.Links())
+	}
+	// Node 1 never opted in: its mailbox holds no membership event.
+	if err := nw.Node(0).Send(1, 9, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := nw.Node(1).Receive(); !ok || msg.Kind != 9 {
+		t.Fatalf("non-notifying node saw %+v, want only the data message", msg)
+	}
+	// Members on every node includes the joiner.
+	if got := nw.Node(1).Members(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+// TestSetSpeedScalesCompute pins per-node heterogeneity: a factor-4 node
+// pays 4× the model cost per inference, everyone else is unchanged.
+func TestSetSpeedScalesCompute(t *testing.T) {
+	nw := NewNetwork(2, CostModel{NsPerInference: 1000})
+	nw.SetSpeed(1, 4)
+	nw.Node(0).Compute(100)
+	nw.Node(1).Compute(100)
+	if nw.Node(0).Clock() != VTime(100*1000) {
+		t.Fatalf("node 0 clock %d", nw.Node(0).Clock())
+	}
+	if nw.Node(1).Clock() != VTime(4*100*1000) {
+		t.Fatalf("node 1 clock %d, want 4x", nw.Node(1).Clock())
+	}
+	nw.SetSpeed(1, 0) // reset to 1
+	nw.Node(1).Compute(100)
+	if nw.Node(1).Clock() != VTime(5*100*1000) {
+		t.Fatalf("node 1 clock after reset %d", nw.Node(1).Clock())
+	}
+}

@@ -25,6 +25,14 @@ var ErrPeerDown = errors.New("cluster: peer down")
 // kind (those are small non-negative constants).
 const KindPeerDown = -1
 
+// KindPeerUp is the join-side counterpart of KindPeerDown: a synthetic
+// membership event delivered to a failure-notifying node when a new peer
+// joins the cluster mid-run. The Message's From field names the joiner and
+// the payload is empty. The simulated machine emits it from Network.Spawn;
+// netcluster emits it on the master when a late worker completes the join
+// handshake. Protocol code that cannot use joiners simply ignores it.
+const KindPeerUp = -2
+
 // Transport is one node's port onto a message-passing substrate: the
 // communication model of the paper's §2.2 (non-blocking send/broadcast,
 // blocking receive) plus the work/clock accounting that makes runs
@@ -129,16 +137,36 @@ func (t *Traffic) Add(from, to int, bytes, msgs int64) {
 	t.Msgs[from*t.N+to] += msgs
 }
 
-// Merge accumulates another table over the same node count into t.
-func (t *Traffic) Merge(o Traffic) error {
-	if o.N != t.N {
-		return fmt.Errorf("cluster: traffic table size mismatch: %d vs %d nodes", o.N, t.N)
+// Grow re-indexes the table to cover n nodes (no-op when n ≤ t.N). Link
+// counters keep their (from, to) identity as the node count rises, which is
+// what lets a run's accounting survive workers joining mid-run.
+func (t *Traffic) Grow(n int) {
+	if n <= t.N {
+		return
 	}
-	for i := range t.Bytes {
-		t.Bytes[i] += o.Bytes[i]
-		t.Msgs[i] += o.Msgs[i]
+	nb := make([]int64, n*n)
+	nm := make([]int64, n*n)
+	for from := 0; from < t.N; from++ {
+		copy(nb[from*n:from*n+t.N], t.Bytes[from*t.N:(from+1)*t.N])
+		copy(nm[from*n:from*n+t.N], t.Msgs[from*t.N:(from+1)*t.N])
 	}
-	return nil
+	t.N, t.Bytes, t.Msgs = n, nb, nm
+}
+
+// Merge accumulates another table into t, growing t when o covers more
+// nodes. Tables of different sizes merge by link identity, so reports from
+// nodes that joined (or finished) at different cluster sizes still fold
+// into one global table.
+func (t *Traffic) Merge(o Traffic) {
+	t.Grow(o.N)
+	for from := 0; from < o.N; from++ {
+		for to := 0; to < o.N; to++ {
+			i := from*o.N + to
+			if o.Bytes[i] != 0 || o.Msgs[i] != 0 {
+				t.Add(from, to, o.Bytes[i], o.Msgs[i])
+			}
+		}
+	}
 }
 
 // LinkBytes returns payload bytes sent from node a to node b.

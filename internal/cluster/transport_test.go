@@ -85,15 +85,31 @@ func TestTrafficTable(t *testing.T) {
 	if tr.TotalBytes() != nw.Stats().Bytes || tr.TotalMsgs() != nw.Stats().Messages {
 		t.Fatalf("traffic totals disagree with Stats: %v vs %v", tr, nw.Stats())
 	}
-	var merged Traffic
-	merged = NewTraffic(3)
-	if err := merged.Merge(tr); err != nil {
-		t.Fatal(err)
-	}
-	if err := merged.Merge(NewTraffic(2)); err == nil {
-		t.Fatal("merge accepted a mismatched table")
-	}
+	merged := NewTraffic(3)
+	merged.Merge(tr)
+	merged.Merge(NewTraffic(2)) // smaller table folds in by link identity
 	if merged.LinkBytes(0, 1) != tr.LinkBytes(0, 1) {
 		t.Fatal("merge lost bytes")
+	}
+	// A larger table grows the receiver, preserving existing links.
+	bigger := NewTraffic(4)
+	bigger.Add(3, 0, 7, 1)
+	merged.Merge(bigger)
+	if merged.N != 4 || merged.LinkBytes(0, 1) != tr.LinkBytes(0, 1) || merged.LinkBytes(3, 0) != 7 {
+		t.Fatalf("growth merge wrong: n=%d links=%v", merged.N, merged.Links())
+	}
+}
+
+func TestTrafficGrowKeepsLinkIdentity(t *testing.T) {
+	tr := NewTraffic(2)
+	tr.Add(0, 1, 100, 2)
+	tr.Add(1, 0, 50, 1)
+	tr.Grow(4)
+	if tr.N != 4 || tr.LinkBytes(0, 1) != 100 || tr.LinkMsgs(0, 1) != 2 || tr.LinkBytes(1, 0) != 50 {
+		t.Fatalf("grow lost links: %v", tr.Links())
+	}
+	tr.Grow(3) // shrink request is a no-op
+	if tr.N != 4 {
+		t.Fatalf("grow shrank the table to %d", tr.N)
 	}
 }

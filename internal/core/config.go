@@ -50,6 +50,24 @@ type Config struct {
 	// for the repartitioning ablation: expect balanced partitions but a
 	// large jump in exchanged bytes.
 	RepartitionEachEpoch bool
+	// Balance enables throughput-aware load rebalancing: between epochs
+	// the master gathers every worker's uncovered positives together with
+	// its measured throughput (inferences per virtual second of busy time,
+	// read off the cost-model clock) and deals the pool back out
+	// proportionally — fast workers get more, stragglers less, and fresh
+	// joiners an average share (sched.Balancer). Off (the default), shares
+	// are only dealt at partition time (plus RepartitionEachEpoch's even
+	// redeal, which Balance supersedes when both are set), and runs are
+	// byte-identical to a build without the scheduling layer. See
+	// DESIGN.md §7.
+	Balance bool
+	// JoinEpochs schedules mid-run worker joins on the simulated cluster:
+	// each entry e spawns one fresh worker once e epochs have completed
+	// (0 = before the first). The joiner is welcomed into the ring and
+	// receives a share at the next rebalance barrier; with Balance off the
+	// pool is redealt evenly on admission. Simulation-only — on a TCP run
+	// joiners attach themselves via `p2mdie -join` instead.
+	JoinEpochs []int
 	// RecvTimeout bounds every blocking protocol receive (master and
 	// workers). 0 means no deadline: the transport's own failure paths —
 	// shutdown in the simulation, link errors and heartbeat timeouts on
@@ -121,6 +139,18 @@ type Metrics struct {
 	Recoveries int
 	// LostWorkers counts workers that died during the run.
 	LostWorkers int
+	// Rebalances counts completed rebalance barriers: join admissions and
+	// Balance's between-epoch proportional redeals.
+	Rebalances int
+	// JoinedWorkers counts workers admitted mid-run (Network.Spawn or
+	// `p2mdie -join`).
+	JoinedWorkers int
+	// JoinShares records, per admitted joiner in admission order, how many
+	// positives its first completed rebalance barrier handed it. An
+	// admission aborted by a concurrent worker death records nothing (the
+	// joiner is provisioned by the recovery path instead), so the list can
+	// be shorter than JoinedWorkers.
+	JoinShares []int
 	// WorkerErrors holds the errors of workers that failed but were
 	// recovered around (simulated runs; a TCP worker's error stays in its
 	// own process). A successful recovered run keeps them visible instead

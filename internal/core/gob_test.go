@@ -63,7 +63,7 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		kindAdopted:     adoptedMsg{Worker: 1, Ok: true, Example: mustTerm("active(m9)")},
 		kindStop:        stopMsg{},
 		kindGather:      gatherMsg{},
-		kindGathered:    gatheredMsg{Worker: 2, Pos: []logic.Term{mustTerm("active(m4)")}},
+		kindGathered:    gatheredMsg{Worker: 2, Pos: []logic.Term{mustTerm("active(m4)")}, Costs: []int64{7}, Inferences: 4242, BusyNs: 991100},
 		kindRepartition: repartitionMsg{Pos: []logic.Term{mustTerm("active(m5)")}},
 		kindFinal: finalMsg{
 			Worker:     2,
@@ -85,8 +85,28 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		},
 		kindReassignAck: reassignAckMsg{Epoch: 7, Seq: 9, Worker: 3, Alive: 5},
 		kindSuspect:     suspectMsg{Epoch: 7, Seq: 10, Worker: 1, Peer: 2},
+		kindWelcome: welcomeMsg{
+			Epoch:   8,
+			Seq:     11,
+			Members: []int{1, 2, 3},
+			Load: loadDataMsg{
+				HasData: true,
+				Width:   10,
+				Search:  search.Settings{MaxClauseLen: 3, NodesLimit: 500, MinPos: 1, MinPrec: 0.7, W: 10, MEstimateM: 2, PosPrior: 0.5}.WithDefaults(),
+				Bottom:  bottom.Options{VarDepth: 2, MaxLiterals: 64, MaxRecall: 32},
+				Budget:  solve.Budget{MaxDepth: 32, MaxInferences: 1 << 16},
+				Balance: true,
+			},
+		},
+		kindRebalance: rebalanceMsg{
+			Epoch:   8,
+			Seq:     12,
+			Members: []int{1, 2, 3},
+			Pos:     []logic.Term{mustTerm("active(m8)")},
+		},
+		kindRebalanceAck: rebalanceAckMsg{Epoch: 8, Seq: 13, Worker: 3, Alive: 4},
 	}
-	if got, want := len(payloads), kindSuspect+1; got != want {
+	if got, want := len(payloads), kindRebalanceAck+1; got != want {
 		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/logic"
 	"repro/internal/mode"
+	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/solve"
 )
@@ -79,6 +80,21 @@ type master struct {
 	lostPos []logic.Term
 	lostNeg []logic.Term
 
+	// pendingJoin holds worker ids whose transport-level join has
+	// completed (a KindPeerUp event arrived, or the simulation spawned
+	// them) but that are not yet protocol members; admission — welcome,
+	// ring install, first share — happens between epochs (prepEpoch).
+	pendingJoin []int
+	// bal turns per-worker measured throughput into partition shares;
+	// every share-dealing path (repartition, recovery, rebalance) routes
+	// through the sched package it fronts.
+	bal *sched.Balancer
+	// spawn, when non-nil (simulated runs), creates and starts one fresh
+	// worker on the network and returns its node id; cfg.JoinEpochs
+	// drives it. Remote joiners arrive through the transport instead.
+	spawn      func() int
+	spawnFired []bool // one flag per cfg.JoinEpochs entry
+
 	// draining marks the post-stop phase: the result is complete, so a
 	// worker death no longer threatens the run — it only forfeits that
 	// worker's final report — and is tolerated even when it empties the
@@ -143,11 +159,39 @@ func (ma *master) bcastLive(kind int, v any) error {
 	return nil
 }
 
+// noteJoin queues a transport-joined worker for protocol admission at the
+// next between-epoch point. Duplicates (the simulation both spawns
+// directly and delivers a KindPeerUp event) are ignored.
+func (ma *master) noteJoin(id int) {
+	if id < 1 || ma.isLive(id) {
+		return
+	}
+	for _, j := range ma.pendingJoin {
+		if j == id {
+			return
+		}
+	}
+	ma.pendingJoin = append(ma.pendingJoin, id)
+}
+
+// dropPendingJoin removes a not-yet-admitted joiner (it died before its
+// welcome), reporting whether it was pending. No recovery is needed: the
+// joiner held no examples.
+func (ma *master) dropPendingJoin(id int) bool {
+	for i, j := range ma.pendingJoin {
+		if j == id {
+			ma.pendingJoin = append(ma.pendingJoin[:i], ma.pendingJoin[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // noteLost removes a failed worker from the membership and queues its
 // assignment for redistribution. It returns an error when the run cannot
 // continue: recovery disabled, or no survivors left.
 func (ma *master) noteLost(id int) error {
-	if id < 1 || id > ma.p || !ma.isLive(id) {
+	if id < 1 || id >= len(ma.assignedPos) || !ma.isLive(id) {
 		// Duplicate or out-of-range event; both transports deduplicate,
 		// so treat this as a protocol error rather than guessing.
 		return fmt.Errorf("core: master: failure event for unknown worker %d", id)
@@ -160,6 +204,7 @@ func (ma *master) noteLost(id int) error {
 	}
 	ma.targets = live
 	ma.metrics.LostWorkers++
+	ma.bal.Forget(id)
 	ma.lostPos = append(ma.lostPos, ma.assignedPos[id]...)
 	ma.lostNeg = append(ma.lostNeg, ma.assignedNeg[id]...)
 	ma.assignedPos[id], ma.assignedNeg[id] = nil, nil
@@ -219,7 +264,20 @@ func (ma *master) nextReply(want int, pending map[int]bool, newDst func() replyH
 		if err != nil {
 			return nil, fmt.Errorf("core: master: waiting for kind %d: %w", want, err)
 		}
+		if msg.Kind == cluster.KindPeerUp {
+			// A worker joined at the transport level. Admission waits for
+			// the next between-epoch point (prepEpoch): mid-phase the ring
+			// is load-bearing, so the joiner is only queued here — no
+			// phase abort, unlike a death.
+			ma.noteJoin(msg.From)
+			continue
+		}
 		if msg.Kind == cluster.KindPeerDown {
+			if ma.dropPendingJoin(msg.From) {
+				// A joiner died before its welcome: it held no examples,
+				// so nothing needs recovering.
+				continue
+			}
 			if !ma.isLive(msg.From) {
 				// Already excluded — a sibling's suspicion can beat the
 				// master's own link failure to the same death.
@@ -470,29 +528,51 @@ func (ma *master) adoptFallback() error {
 	return nil
 }
 
+// gatherAllAlive runs the kindGather half of any redeal: it collects every
+// live worker's uncovered positives (pooled in membership order, which
+// keeps the deal deterministic) with their cost estimates, and feeds any
+// attached throughput reports to the balancer. Both repartition and
+// rebalance start here; the repartition path ignores the costs.
+func (ma *master) gatherAllAlive() ([]logic.Term, []int64, error) {
+	if err := ma.bcastLive(kindGather, gatherMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+		return nil, nil, err
+	}
+	type gathered struct {
+		pos   []logic.Term
+		costs []int64
+	}
+	byWorker := make(map[int]gathered, len(ma.targets))
+	pending := ma.pendingLive()
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindGathered, pending, func() replyHdr { return new(gatheredMsg) })
+		if err != nil {
+			return nil, nil, err
+		}
+		gm := r.(*gatheredMsg)
+		byWorker[gm.Worker] = gathered{pos: gm.Pos, costs: gm.Costs}
+		if gm.BusyNs > 0 && gm.Inferences > 0 {
+			ma.bal.Observe(gm.Worker, gm.Inferences, gm.BusyNs)
+		}
+	}
+	var all []logic.Term
+	var costs []int64
+	for _, k := range ma.targets {
+		all = append(all, byWorker[k].pos...)
+		costs = append(costs, byWorker[k].costs...)
+	}
+	return all, costs, nil
+}
+
 // repartition collects every worker's uncovered positives and deals them
 // back out evenly (the §4.1 alternative, used only when configured). The
 // examples make two network trips, which is exactly the communication cost
 // the paper avoided.
 func (ma *master) repartition() error {
-	if err := ma.bcastLive(kindGather, gatherMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+	all, _, err := ma.gatherAllAlive()
+	if err != nil {
 		return err
 	}
-	byWorker := make(map[int][]logic.Term, len(ma.targets))
-	pending := ma.pendingLive()
-	for len(pending) > 0 {
-		r, err := ma.nextReply(kindGathered, pending, func() replyHdr { return new(gatheredMsg) })
-		if err != nil {
-			return err
-		}
-		gm := r.(*gatheredMsg)
-		byWorker[gm.Worker] = gm.Pos
-	}
-	var all []logic.Term
-	for _, k := range ma.targets {
-		all = append(all, byWorker[k]...)
-	}
-	parts := dealShares(all, len(ma.targets))
+	parts := sched.DealEven(all, len(ma.targets))
 	for i, k := range ma.targets {
 		if err := ma.send(k, kindRepartition, repartitionMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Pos: parts[i]}); err != nil {
 			return err
@@ -518,8 +598,8 @@ func (ma *master) recoverMembership() error {
 	for {
 		ma.epoch++
 		members := append([]int(nil), ma.targets...)
-		posShares := dealShares(ma.lostPos, len(ma.targets))
-		negShares := dealShares(ma.lostNeg, len(ma.targets))
+		posShares := sched.DealEven(ma.lostPos, len(ma.targets))
+		negShares := sched.DealEven(ma.lostNeg, len(ma.targets))
 		ma.lostPos, ma.lostNeg = nil, nil
 		seq := ma.nextSeq()
 		for i, k := range ma.targets {
@@ -559,13 +639,151 @@ func (ma *master) recoverMembership() error {
 	}
 }
 
-// dealShares splits xs into n round-robin shares (possibly empty).
-func dealShares(xs []logic.Term, n int) [][]logic.Term {
-	shares := make([][]logic.Term, n)
-	for i, x := range xs {
-		shares[i%n] = append(shares[i%n], x)
+// maybeSpawn fires the cfg.JoinEpochs schedule (simulated runs): each
+// unconsumed entry ≤ the completed-epoch count spawns one fresh worker and
+// queues it for admission.
+func (ma *master) maybeSpawn() {
+	if ma.spawn == nil {
+		return
 	}
-	return shares
+	if ma.spawnFired == nil {
+		ma.spawnFired = make([]bool, len(ma.cfg.JoinEpochs))
+	}
+	for i, e := range ma.cfg.JoinEpochs {
+		if ma.spawnFired[i] || ma.metrics.Epochs < e {
+			continue
+		}
+		ma.spawnFired[i] = true
+		ma.noteJoin(ma.spawn())
+	}
+}
+
+// welcomeLoad builds the settings payload a joiner needs. On a remote run
+// it is everything kindLoad would have carried minus the partition (the
+// share arrives in the rebalance that follows on the same ordered link);
+// in the simulation joiners are constructed with their configuration and
+// the zero Load goes unused.
+func (ma *master) welcomeLoad() loadDataMsg {
+	if ma.parts == nil {
+		return loadDataMsg{}
+	}
+	return ma.cfg.loadSettings()
+}
+
+// admitJoiners grows the membership by every pending joiner and gives the
+// new ring its first shares: each joiner gets a kindWelcome (ring +
+// settings), then one rebalance barrier sheds examples from the loaded
+// workers onto the joiners (and, with Balance, skews shares toward
+// measured throughput). The epoch bump makes any in-flight traffic from
+// the old membership recognisably stale, exactly as recovery does.
+func (ma *master) admitJoiners() error {
+	joiners := ma.pendingJoin
+	ma.pendingJoin = nil
+	ma.epoch++
+	for _, id := range joiners {
+		for id >= len(ma.assignedPos) {
+			ma.assignedPos = append(ma.assignedPos, nil)
+			ma.assignedNeg = append(ma.assignedNeg, nil)
+		}
+		ma.targets = append(ma.targets, id)
+		ma.metrics.JoinedWorkers++
+	}
+	sort.Ints(ma.targets)
+	members := append([]int(nil), ma.targets...)
+	seq := ma.nextSeq()
+	for _, id := range joiners {
+		wm := welcomeMsg{Epoch: ma.epoch, Seq: seq, Members: members, Load: ma.welcomeLoad()}
+		if err := ma.send(id, kindWelcome, wm); err != nil {
+			return err
+		}
+	}
+	return ma.rebalance(joiners)
+}
+
+// rebalance pools every live worker's uncovered positives and deals them
+// back out — proportionally to measured throughput when Balance is on,
+// evenly otherwise — then installs the membership and shares through the
+// kindRebalance+ack barrier (the kindReassign barrier's shape), rebasing
+// `remaining` from the acks. joiners, when non-nil, names freshly admitted
+// members whose first share sizes are recorded in Metrics.JoinShares. The
+// caller has already bumped the epoch.
+func (ma *master) rebalance(joiners []int) error {
+	all, costs, err := ma.gatherAllAlive()
+	if err != nil {
+		return err
+	}
+	var parts [][]logic.Term
+	if ma.cfg.Balance {
+		// Cost- and speed-aware: each worker's share of the pooled
+		// per-example cost is proportional to its measured throughput.
+		parts = sched.DealByCost(all, costs, ma.bal.Weights(ma.targets))
+	} else {
+		parts = sched.DealEven(all, len(ma.targets))
+	}
+	isJoiner := make(map[int]bool, len(joiners))
+	for _, id := range joiners {
+		isJoiner[id] = true
+	}
+	members := append([]int(nil), ma.targets...)
+	seq := ma.nextSeq()
+	var joinShares []int
+	for i, k := range ma.targets {
+		rm := rebalanceMsg{Epoch: ma.epoch, Seq: seq, Members: members, Pos: parts[i]}
+		// Covered positives were gathered out, so the tracked assignment
+		// tightens to the dealt share (negatives never move).
+		ma.assignedPos[k] = parts[i]
+		if err := ma.send(k, kindRebalance, rm); err != nil {
+			return err
+		}
+		if isJoiner[k] {
+			joinShares = append(joinShares, len(parts[i]))
+		}
+	}
+	pending := ma.pendingLive()
+	alive := 0
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindRebalanceAck, pending, func() replyHdr { return new(rebalanceAckMsg) })
+		if err != nil {
+			return err
+		}
+		alive += r.(*rebalanceAckMsg).Alive
+	}
+	ma.remaining = alive
+	// Only a completed barrier records its deals: an admission aborted by
+	// a concurrent death falls into recovery, whose kindReassign
+	// supersedes the shares sent above — recording them at send time
+	// would report sizes nobody installed.
+	ma.metrics.JoinShares = append(ma.metrics.JoinShares, joinShares...)
+	ma.metrics.Rebalances++
+	return nil
+}
+
+// prepEpoch runs the between-epoch membership work: spawn scheduled
+// simulated joiners, admit pending joiners, and — with Balance on — skew
+// shares toward measured throughput. Default-off runs with no joiners do
+// nothing here, which is what keeps them byte-identical to the
+// pre-elastic engine.
+func (ma *master) prepEpoch() error {
+	ma.maybeSpawn()
+	if len(ma.pendingJoin) > 0 {
+		return ma.admitJoiners()
+	}
+	if ma.cfg.Balance && ma.metrics.Epochs > 0 {
+		ma.epoch++
+		return ma.rebalance(nil)
+	}
+	return nil
+}
+
+// stopJoiners releases joiners that arrived too late to be admitted: they
+// hold no examples, so the result is complete without them, but a worker
+// blocked waiting for its welcome must still be told the run is over.
+// Best-effort — a joiner that died meanwhile is simply skipped.
+func (ma *master) stopJoiners() {
+	for _, id := range ma.pendingJoin {
+		ma.send(id, kindStop, stopMsg{})
+	}
+	ma.pendingJoin = nil
 }
 
 // runEpoch runs one logical epoch on the current membership: optional
@@ -573,7 +791,7 @@ func dealShares(xs []logic.Term, n int) [][]logic.Term {
 // progress fallback. A workerLostError from any phase aborts the attempt
 // before Metrics.Epochs is counted; run() then recovers and re-issues.
 func (ma *master) runEpoch() error {
-	if ma.cfg.RepartitionEachEpoch && ma.metrics.Epochs > 0 {
+	if ma.cfg.RepartitionEachEpoch && !ma.cfg.Balance && ma.metrics.Epochs > 0 {
 		if err := ma.repartition(); err != nil {
 			return err
 		}
@@ -619,7 +837,10 @@ func (ma *master) run() error {
 		return err
 	}
 	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
-		err := ma.runEpoch()
+		err := ma.prepEpoch()
+		if err == nil {
+			err = ma.runEpoch()
+		}
 		if err == nil {
 			continue
 		}
@@ -634,6 +855,7 @@ func (ma *master) run() error {
 	if err := ma.bcastLive(kindStop, stopMsg{}); err != nil {
 		return err
 	}
+	ma.stopJoiners()
 	if ma.parts == nil {
 		return nil
 	}
@@ -653,6 +875,9 @@ func (ma *master) run() error {
 		}
 		ma.finals = append(ma.finals, *r.(*finalMsg))
 	}
+	// Joiners whose KindPeerUp only surfaced during the drain still need
+	// their stop.
+	ma.stopJoiners()
 	return nil
 }
 
@@ -665,6 +890,7 @@ func newMaster(node cluster.Transport, p int, cfg Config, metrics *Metrics, nPos
 		cfg:         cfg,
 		metrics:     metrics,
 		remaining:   nPos,
+		bal:         sched.NewBalancer(),
 		assignedPos: make([][]logic.Term, p+1),
 		assignedNeg: make([][]logic.Term, p+1),
 	}
@@ -707,11 +933,11 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	ma := newMaster(nw.Node(0), p, cfg, metrics, len(pos), posParts, negParts)
 
 	start := time.Now()
-	errCh := make(chan error, p+1)
+	errCh := make(chan error, p+1+len(cfg.JoinEpochs))
 	var wg sync.WaitGroup
-	wg.Add(p)
-	for _, w := range workers {
-		go func(w *worker) {
+	startWorker := func(w *worker) {
+		wg.Add(1)
+		go func() {
 			defer wg.Done()
 			// A failing worker must surface at the master, not hang it
 			// forever (or, unrecovered, kill the whole process): convert
@@ -734,7 +960,24 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 			if err := w.run(); err != nil {
 				fail(err)
 			}
-		}(w)
+		}()
+	}
+	for _, w := range workers {
+		startWorker(w)
+	}
+	if len(cfg.JoinEpochs) > 0 {
+		// The cfg.JoinEpochs schedule: spawn a fresh node on the running
+		// network, start its worker with an empty partition (the share
+		// arrives through the rebalance barrier), and hand the id to the
+		// master. Called from the master's own goroutine, so appending to
+		// workers is race-free and the totals below see every joiner.
+		ma.spawn = func() int {
+			node := nw.Spawn()
+			w := newWorker(node.ID(), p, node, kb, search.NewExamples(nil, nil), ms, cfg)
+			workers = append(workers, w)
+			startWorker(w)
+			return node.ID()
+		}
 	}
 	masterErr := ma.run()
 	if masterErr != nil {

@@ -90,6 +90,27 @@ const (
 	// suspicions about already-excluded peers (the common case: the
 	// master's own link noticed first) are dropped.
 	kindSuspect
+	// kindWelcome (master→joiner) admits a worker that joined the cluster
+	// mid-run (the transport delivered a KindPeerUp event): it carries the
+	// new pipeline ring and, on a remote run, the semantics-bearing
+	// settings a kindLoad would have carried — with an empty partition,
+	// because the joiner's share arrives in the rebalance that follows on
+	// the same link. See DESIGN.md §7.
+	kindWelcome
+	// kindRebalance (master→worker) installs a fresh membership and a
+	// replacement positive partition: the master has gathered every live
+	// worker's uncovered positives (kindGather) and dealt them back out —
+	// evenly for a plain join, proportionally to measured throughput with
+	// Config.Balance. Unlike kindReassign (which merges a dead sibling's
+	// share into the survivor's partition), kindRebalance replaces the
+	// positive partition outright; negatives never move. The ack barrier
+	// below mirrors kindReassign's, so no worker can see the next epoch's
+	// pipeline traffic before it runs on the new membership and shares.
+	kindRebalance
+	// kindRebalanceAck (worker→master) confirms a rebalance and reports
+	// the worker's uncovered-positive count, from which the master rebases
+	// its global remaining counter (same rebase as kindReassignAck).
+	kindRebalanceAck
 )
 
 // loadMsg signals partition loading; Round distinguishes reloads. The
@@ -125,6 +146,29 @@ type loadDataMsg struct {
 	// sibling's death while the master recovered around it would abort a
 	// salvageable run.
 	Recover bool
+	// Balance mirrors the master's Config.Balance: workers attach their
+	// measured throughput to kindGathered replies only when the master
+	// will use it, so balance-off runs keep byte-identical wire traffic.
+	Balance bool
+}
+
+// loadSettings builds the semantics-bearing remote load payload with an
+// empty partition: every Config knob a worker with a diverged value would
+// silently learn a different theory under. It is the single source of
+// truth for both the initial kindLoad shipment (RunMaster fills in the
+// partition) and a joiner's kindWelcome — add new semantics-bearing knobs
+// HERE, not at the call sites.
+func (c Config) loadSettings() loadDataMsg {
+	return loadDataMsg{
+		HasData:        true,
+		Width:          c.Width,
+		Search:         c.Search,
+		Bottom:         c.Bottom,
+		Budget:         c.Budget,
+		AddLearnedToBK: c.AddLearnedToBK,
+		Recover:        c.Recover,
+		Balance:        c.Balance,
+	}
 }
 
 // startMsg starts a pipeline at its owning worker.
@@ -212,12 +256,27 @@ type gatherMsg struct {
 	Seq   int64
 }
 
-// gatheredMsg carries a worker's alive positives to the master.
+// gatheredMsg carries a worker's alive positives to the master. With
+// Config.Balance the worker also reports its cumulative work totals —
+// Inferences over BusyNs is its measured throughput (compute speed net of
+// idle waiting), which sched.Balancer turns into proportional shares. The
+// fields stay zero when balance is off, so gob omits them and the wire
+// bytes of a repartition-only run are unchanged.
 type gatheredMsg struct {
 	Epoch  int
 	Seq    int64
 	Worker int
 	Pos    []logic.Term
+	// Costs, parallel to Pos, are per-example cost estimates (the
+	// example's relational footprint in the background knowledge,
+	// solve.KB.Footprint): sched.DealByCost equalises the *cost* each
+	// worker holds, which a count-based deal cannot see.
+	Costs []int64
+	// Inferences is the worker's cumulative SLD work; BusyNs the virtual
+	// nanoseconds it spent computing (clock advances from Compute charges
+	// only, excluding receive-time idling).
+	Inferences int64
+	BusyNs     int64
 }
 
 // repartitionMsg replaces the worker's positive partition (negatives never
@@ -262,6 +321,34 @@ type reassignAckMsg struct {
 	// know which, so the survivors recount).
 	Alive int
 }
+
+// welcomeMsg admits a mid-run joiner (see kindWelcome). Members is the new
+// pipeline ring including the joiner; Load carries the settings of a
+// remote run (HasData with an empty partition — the share follows in the
+// kindRebalance on the same ordered link) and is zero on the simulation,
+// whose joiners are constructed with their configuration.
+type welcomeMsg struct {
+	Epoch   int
+	Seq     int64
+	Members []int
+	Load    loadDataMsg
+}
+
+// rebalanceMsg replaces a worker's positive partition and installs a new
+// ring (see kindRebalance). Unlike reassignMsg there is no Neg share:
+// negatives never move (they are never retracted, so their initial split
+// stays balanced), and a joiner simply holds none — negative coverage
+// still aggregates correctly because the original holders keep theirs.
+type rebalanceMsg struct {
+	Epoch   int
+	Seq     int64
+	Members []int // live worker ids, ascending — the new pipeline ring
+	Pos     []logic.Term
+}
+
+// rebalanceAckMsg confirms a rebalance (see kindRebalanceAck); it is the
+// same shape as a reassign ack and reuses its dispatch header.
+type rebalanceAckMsg = reassignAckMsg
 
 // suspectMsg reports a transport-level sibling death (see kindSuspect).
 // It is processed regardless of epoch: the observation is about present

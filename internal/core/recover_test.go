@@ -265,3 +265,79 @@ func TestRecoverPanickingWorkerViaLearn(t *testing.T) {
 	theoryCoversAll(t, kb, met.Theory, pos)
 	_ = neg
 }
+
+// TestRecoverDuringRepartition kills a worker in the same epoch as a
+// per-epoch repartition, at each protocol point of the gather/redeal
+// exchange. The repartition moves every worker's uncovered positives
+// through the master, so the tracked assignedPos/Neg bookkeeping — what
+// recovery redistributes — must stay consistent across the abort: no
+// positive may end up unowned (covered by nobody, adopted by nobody).
+func TestRecoverDuringRepartition(t *testing.T) {
+	kills := []struct {
+		name string
+		kind int
+		node int // -1: any sender of kind
+	}{
+		{"on gather broadcast", kindGather, 0},
+		{"on gathered reply", kindGathered, -1},
+		{"on repartition deal", kindRepartition, 0},
+	}
+	for _, k := range kills {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			kb, pos, neg, ms := makeWideTask(t)
+			cfg := testConfig(3, 10)
+			cfg.RepartitionEachEpoch = true
+			cfg.Recover = true
+			cfg.RecvTimeout = 30 * time.Second
+			var once sync.Once
+			met, err := learnTaskWithChaosElastic(t, kb, pos, neg, ms, 3, cfg, func(nw *cluster.Network, e cluster.Event) {
+				if e.Type != cluster.EvSend || e.Kind != k.kind {
+					return
+				}
+				if k.node >= 0 && e.Node != k.node {
+					return
+				}
+				once.Do(func() { nw.Kill(2) })
+			})
+			if err != nil {
+				t.Fatalf("recovery run failed: %v", err)
+			}
+			if met.LostWorkers != 1 || met.Recoveries < 1 {
+				t.Fatalf("LostWorkers = %d Recoveries = %d", met.LostWorkers, met.Recoveries)
+			}
+			theoryCoversAll(t, kb, met.Theory, pos)
+		})
+	}
+}
+
+// TestRecoverDuringRepartitionConsecutiveEpochs stresses the interaction
+// over repeated repartitions: a second worker dies in a later epoch's
+// repartition, after the first recovery already tightened and re-dealt the
+// tracked assignments.
+func TestRecoverDuringRepartitionConsecutiveEpochs(t *testing.T) {
+	kb, pos, neg, ms := makeWideTask(t)
+	cfg := testConfig(4, 10)
+	cfg.RepartitionEachEpoch = true
+	cfg.Recover = true
+	cfg.RecvTimeout = 30 * time.Second
+	var kills atomic.Int64
+	met, err := learnTaskWithChaosElastic(t, kb, pos, neg, ms, 4, cfg, func(nw *cluster.Network, e cluster.Event) {
+		if e.Type != cluster.EvSend || e.Node != 0 {
+			return
+		}
+		if e.Kind == kindGather && kills.CompareAndSwap(0, 1) {
+			nw.Kill(2)
+		}
+		if e.Kind == kindRepartition && kills.Load() == 1 && kills.CompareAndSwap(1, 2) {
+			nw.Kill(4)
+		}
+	})
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if met.LostWorkers != 2 || met.Recoveries < 1 {
+		t.Fatalf("LostWorkers = %d Recoveries = %d", met.LostWorkers, met.Recoveries)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+}

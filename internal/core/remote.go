@@ -99,17 +99,9 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 	posParts, negParts := splitExamples(pos, neg, p, cfg.Seed)
 	parts := make([]loadDataMsg, p)
 	for k := 0; k < p; k++ {
-		parts[k] = loadDataMsg{
-			HasData:        true,
-			Pos:            posParts[k],
-			Neg:            negParts[k],
-			Width:          cfg.Width,
-			Search:         cfg.Search,
-			Bottom:         cfg.Bottom,
-			Budget:         cfg.Budget,
-			AddLearnedToBK: cfg.AddLearnedToBK,
-			Recover:        cfg.Recover,
-		}
+		parts[k] = cfg.loadSettings()
+		parts[k].Pos = posParts[k]
+		parts[k].Neg = negParts[k]
 	}
 
 	metrics := &Metrics{Workers: p, Width: cfg.Width}
@@ -125,12 +117,12 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 	metrics.WallTime = time.Since(start)
 
 	// The simulation reads clocks, work totals and traffic off the worker
-	// structs; here they arrive in the final reports.
-	traffic := cluster.NewTraffic(p + 1)
+	// structs; here they arrive in the final reports. The table is sized
+	// to the transport's final node count (joins may have grown it) and
+	// Merge folds smaller per-node reports in by link identity.
+	traffic := cluster.NewTraffic(t.Size())
 	if tr, ok := t.(cluster.TrafficReporter); ok {
-		if mt := tr.Traffic(); mt.N == traffic.N {
-			traffic.Merge(mt)
-		}
+		traffic.Merge(tr.Traffic())
 	}
 	makespan := t.Clock()
 	for _, fm := range ma.finals {
@@ -139,9 +131,7 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 		if c := cluster.VTime(fm.Clock); c > makespan {
 			makespan = c
 		}
-		if fm.Traffic.N == traffic.N {
-			traffic.Merge(fm.Traffic)
-		}
+		traffic.Merge(fm.Traffic)
 	}
 	metrics.VirtualTime = makespan.Duration()
 	metrics.Traffic = traffic

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netcluster"
+)
+
+// TestRemoteJoinMidRun attaches a third worker to a live TCP master: the
+// joiner's transport-level join lands before the protocol starts (so the
+// admission is deterministic), it must be welcomed with the full remote
+// settings, dealt a non-empty share at the rebalance barrier, participate
+// in the ring, and report a final like any other worker.
+func TestRemoteJoinMidRun(t *testing.T) {
+	kb, pos, neg, ms := makeWideTask(t)
+	cfg := testConfig(2, 10)
+
+	ncfg := netcluster.Config{Fingerprint: Fingerprint(kb, pos, neg)}
+	master, errCh := startNetCluster(t, 2, ncfg, func(node *netcluster.Node) error {
+		return RunWorker(node, kb, ms, Config{})
+	})
+	if err := master.ListenForJoins("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	jnode, err := netcluster.Join(master.Addr(), "127.0.0.1:0", ncfg)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	go func() {
+		defer jnode.Close()
+		// The joiner runs the ordinary remote worker loop: everything it
+		// needs — settings, ring, share — arrives over the protocol.
+		joinErr <- RunWorker(jnode, kb, ms, Config{})
+	}()
+
+	met, err := RunMaster(master, pos, neg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Close()
+	for k := 0; k < 2; k++ {
+		if werr := <-errCh; werr != nil {
+			t.Fatalf("worker error: %v", werr)
+		}
+	}
+	if werr := <-joinErr; werr != nil {
+		t.Fatalf("joiner error: %v", werr)
+	}
+
+	if met.JoinedWorkers != 1 {
+		t.Fatalf("JoinedWorkers = %d, want 1", met.JoinedWorkers)
+	}
+	if met.Rebalances < 1 {
+		t.Fatalf("Rebalances = %d, want ≥ 1", met.Rebalances)
+	}
+	if len(met.JoinShares) != 1 || met.JoinShares[0] == 0 {
+		t.Fatalf("JoinShares = %v, want one non-empty share", met.JoinShares)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+	// The joiner is a first-class member: its links appear in the global
+	// traffic table (it must at least have answered the master), and the
+	// table covers the grown cluster.
+	if met.Traffic.N != 4 {
+		t.Fatalf("traffic table over %d nodes, want 4", met.Traffic.N)
+	}
+	if met.Traffic.LinkMsgs(3, 0) == 0 {
+		t.Fatalf("joiner sent nothing to the master: %v", met.Traffic.Links())
+	}
+}
+
+// TestRemoteJoinMatchesSimJoin pins cross-transport parity for elastic
+// runs: a TCP run whose joiner attached before the protocol started learns
+// the same theory as a simulated run joining at the first epoch boundary.
+// (The TCP master only consumes the KindPeerUp event once it starts
+// receiving — during epoch 1 — so admission lands at the same boundary as
+// a simulated JoinEpochs entry of 1.)
+func TestRemoteJoinMatchesSimJoin(t *testing.T) {
+	kb, pos, neg, ms := makeWideTask(t)
+	cfg := testConfig(2, 10)
+	cfg.JoinEpochs = []int{1}
+	sim, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.JoinedWorkers != 1 {
+		t.Fatalf("sim JoinedWorkers = %d", sim.JoinedWorkers)
+	}
+
+	tcpCfg := testConfig(2, 10) // join arrives via the transport, not JoinEpochs
+	ncfg := netcluster.Config{Fingerprint: Fingerprint(kb, pos, neg)}
+	master, errCh := startNetCluster(t, 2, ncfg, func(node *netcluster.Node) error {
+		return RunWorker(node, kb, ms, Config{})
+	})
+	if err := master.ListenForJoins("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	jnode, err := netcluster.Join(master.Addr(), "127.0.0.1:0", ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		defer jnode.Close()
+		joinErr <- RunWorker(jnode, kb, ms, Config{})
+	}()
+	met, err := RunMaster(master, pos, neg, tcpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Close()
+	<-errCh
+	<-errCh
+	if werr := <-joinErr; werr != nil {
+		t.Fatalf("joiner error: %v", werr)
+	}
+
+	if len(met.Theory) != len(sim.Theory) {
+		t.Fatalf("theory sizes differ: net %d vs sim %d", len(met.Theory), len(sim.Theory))
+	}
+	for i := range met.Theory {
+		if met.Theory[i].String() != sim.Theory[i].String() {
+			t.Fatalf("rule %d differs:\nnet: %s\nsim: %s", i, met.Theory[i], sim.Theory[i])
+		}
+	}
+	if met.Epochs != sim.Epochs || met.JoinedWorkers != sim.JoinedWorkers || met.Rebalances != sim.Rebalances {
+		t.Fatalf("run shape differs: net epochs=%d joined=%d rebal=%d vs sim epochs=%d joined=%d rebal=%d",
+			met.Epochs, met.JoinedWorkers, met.Rebalances, sim.Epochs, sim.JoinedWorkers, sim.Rebalances)
+	}
+	if met.TotalInferences != sim.TotalInferences {
+		t.Fatalf("inference totals differ: net %d vs sim %d", met.TotalInferences, sim.TotalInferences)
+	}
+}

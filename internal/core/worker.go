@@ -57,6 +57,13 @@ type worker struct {
 	// repartition, so the worker's work accounting stays monotonic.
 	retiredInf int64
 
+	// busyNs accumulates the virtual nanoseconds this worker spent
+	// computing (every clock advance charged through compute), excluding
+	// receive-time idling. totalInf over busyNs is the worker's measured
+	// throughput — its demonstrated compute speed — which it reports in
+	// kindGathered replies when the master is balancing.
+	busyNs int64
+
 	generated int64 // rules evaluated by this worker's searches
 
 	// covCache memoises intrinsic rule coverage over the local partition
@@ -142,6 +149,7 @@ func (w *worker) loadRemote(lm *loadDataMsg) error {
 	w.cfg.Budget = lm.Budget
 	w.cfg.AddLearnedToBK = lm.AddLearnedToBK
 	w.cfg.Recover = lm.Recover
+	w.cfg.Balance = lm.Balance
 	w.cfg = w.cfg.withDefaults()
 	// The failure regime is cluster-wide and master-decided: under
 	// recovery a sibling's death must arrive as a membership event, not
@@ -286,10 +294,24 @@ func (w *worker) nextWorker() int {
 	return w.ring[0]
 }
 
+// compute advances the node's virtual clock by units of work, accumulating
+// the resulting clock advance into busyNs. Measuring the advance (rather
+// than recomputing units × cost) keeps the busy-time account correct on
+// heterogeneous clusters where this node's per-inference cost differs from
+// the model's baseline.
+func (w *worker) compute(units int64) {
+	if units <= 0 {
+		return
+	}
+	before := w.node.Clock()
+	w.node.Compute(units)
+	w.busyNs += int64(w.node.Clock() - before)
+}
+
 // chargeWork advances the node's virtual clock by the SLD work done since
 // the last charge (before is a prior totalInf reading).
 func (w *worker) chargeWork(before int64) {
-	w.node.Compute(w.totalInf() - before)
+	w.compute(w.totalInf() - before)
 }
 
 // run is the worker event loop; it exits on kindStop or network shutdown.
@@ -307,6 +329,12 @@ func (w *worker) run() error {
 		}
 		if err != nil {
 			return fmt.Errorf("core: worker %d: receive: %w", w.id, err)
+		}
+		if msg.Kind == cluster.KindPeerUp {
+			// A machine joined the cluster. The master drives admission;
+			// this worker learns the new ring from the kindRebalance that
+			// follows, so the transport event itself needs no action.
+			continue
 		}
 		if msg.Kind == cluster.KindPeerDown {
 			if msg.From == 0 {
@@ -327,7 +355,7 @@ func (w *worker) run() error {
 			}
 			continue
 		}
-		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindStop {
+		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindWelcome && msg.Kind != kindStop {
 			return fmt.Errorf("core: worker %d got kind %d before its partition was loaded", w.id, msg.Kind)
 		}
 		switch msg.Kind {
@@ -340,7 +368,7 @@ func (w *worker) run() error {
 				if err := w.loadRemote(&lm); err != nil {
 					return err
 				}
-				w.node.Compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
+				w.compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
 				continue
 			}
 			var lm loadMsg
@@ -349,7 +377,7 @@ func (w *worker) run() error {
 			}
 			// Data is on the shared filesystem (partition handed at
 			// construction); loading charges a nominal unit per example.
-			w.node.Compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
+			w.compute(int64(w.ex.NumPos() + w.ex.NumNeg()))
 		case kindStartPipeline:
 			var sm startMsg
 			if err := msg.Decode(&sm); err != nil {
@@ -440,6 +468,36 @@ func (w *worker) run() error {
 			}
 			w.epoch = rm.Epoch
 			if err := w.reassign(&rm); err != nil {
+				return err
+			}
+		case kindWelcome:
+			// This worker joined mid-run: install the ring (and, remote,
+			// the settings a kindLoad would have carried — the partition
+			// share follows in the kindRebalance on this same link).
+			var wm welcomeMsg
+			if err := msg.Decode(&wm); err != nil {
+				return err
+			}
+			if wm.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = wm.Epoch
+			if w.remote {
+				if err := w.loadRemote(&wm.Load); err != nil {
+					return err
+				}
+			}
+			w.ring = wm.Members
+		case kindRebalance:
+			var rm rebalanceMsg
+			if err := msg.Decode(&rm); err != nil {
+				return err
+			}
+			if rm.Epoch < w.epoch {
+				continue
+			}
+			w.epoch = rm.Epoch
+			if err := w.rebalance(&rm); err != nil {
 				return err
 			}
 		case kindStop:
@@ -593,14 +651,36 @@ func (w *worker) markCovered(mm *markCoveredMsg) {
 }
 
 // gatherAlive ships the worker's uncovered positives to the master for
-// repartitioning.
+// redealing (repartition or rebalance). Under Balance it also reports the
+// cumulative work totals the master's balancer measures throughput from;
+// off, the fields stay zero and the message bytes are unchanged.
 func (w *worker) gatherAlive() error {
 	out := gatheredMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id}
 	w.ex.PosAlive.ForEach(func(i int) bool {
 		out.Pos = append(out.Pos, w.ex.Pos[i])
 		return true
 	})
+	if w.cfg.Balance {
+		out.Costs = make([]int64, len(out.Pos))
+		for i, e := range out.Pos {
+			out.Costs[i] = w.exampleCost(e)
+		}
+		out.Inferences = w.totalInf()
+		out.BusyNs = w.busyNs
+	}
 	return w.node.Send(0, kindGathered, out)
+}
+
+// exampleCost estimates an example's evaluation cost as the relational
+// footprint of its individual (the first argument's neighbourhood size in
+// the background knowledge) — the quantity SLD work on the example scales
+// with. Always ≥ 1 so zero-footprint examples still count.
+func (w *worker) exampleCost(e logic.Term) int64 {
+	c := e
+	if e.Kind == logic.Compound && len(e.Args) > 0 {
+		c = e.Args[0]
+	}
+	return int64(1 + w.kb.Footprint(c))
 }
 
 // installExamples replaces the worker's example partition. The coverage
@@ -612,7 +692,7 @@ func (w *worker) installExamples(pos, neg []logic.Term) {
 	w.ex = search.NewExamples(pos, neg)
 	w.ev = w.newEvaluator()
 	w.covCache = make(map[uint64][]covCacheEntry)
-	w.node.Compute(int64(len(pos)))
+	w.compute(int64(len(pos)))
 }
 
 // reassign recovers from a sibling's failure: install the surviving ring,
@@ -643,6 +723,27 @@ func (w *worker) reassign(rm *reassignMsg) error {
 	})
 }
 
+// rebalance installs a rebalanced membership: adopt the new ring (which
+// may have grown — mid-run joiners arrive this way) and replace the
+// positive partition with the master's freshly dealt share. Unlike
+// reassign this is a replacement, not a merge: the master gathered the
+// complete alive pool first, so everything this worker should now hold is
+// in rm.Pos. Negatives stay put. The ack carries the local uncovered count
+// for the master's remaining rebase.
+func (w *worker) rebalance(rm *rebalanceMsg) error {
+	w.ring = rm.Members
+	for _, k := range rm.Members {
+		delete(w.deadPeers, k)
+	}
+	w.installExamples(rm.Pos, w.ex.Neg)
+	return w.node.Send(0, kindRebalanceAck, rebalanceAckMsg{
+		Epoch:  w.epoch,
+		Seq:    w.nextSeq(),
+		Worker: w.id,
+		Alive:  w.ex.PosAlive.Count(),
+	})
+}
+
 // adoptOne retires the first uncovered local positive as a ground fact
 // (progress fallback; see DESIGN.md §5).
 func (w *worker) adoptOne() error {
@@ -653,6 +754,6 @@ func (w *worker) adoptOne() error {
 	single := search.NewBitset(len(w.ex.Pos))
 	single.Set(idx)
 	w.ex.RetractPos(single)
-	w.node.Compute(1)
+	w.compute(1)
 	return w.node.Send(0, kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
 }

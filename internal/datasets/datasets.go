@@ -74,8 +74,12 @@ func ByName(name string, seed int64) (*Dataset, error) {
 		return Trains(), nil
 	case "trains-gen":
 		return TrainsSized(100, seed), nil
+	case "trains-skew":
+		// The cost-skewed elastic-scheduling workload: a quarter of the
+		// trains are heavy, so a static random partition leaves stragglers.
+		return TrainsSkewed(200, seed, 0.25), nil
 	}
-	return nil, fmt.Errorf("datasets: unknown dataset %q (have carcinogenesis, mesh, pyrimidines, trains, trains-gen)", name)
+	return nil, fmt.Errorf("datasets: unknown dataset %q (have carcinogenesis, mesh, pyrimidines, trains, trains-gen, trains-skew)", name)
 }
 
 // Paper returns the three evaluation datasets at paper size (Table 1).

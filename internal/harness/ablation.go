@@ -305,3 +305,81 @@ func (ab *ParcovAblation) Render(w io.Writer) {
 	}
 	tw.Flush()
 }
+
+// BalanceAblation quantifies elastic scheduling's throughput-aware
+// rebalancing on the cost-skewed trains workload (deliberately imbalanced
+// example costs, datasets.TrainsSkewed) — Ablation E. Three partition
+// policies at the same width: the paper's static random partition, the
+// §4.1 even per-epoch repartition, and sched.Balancer's proportional
+// redeal (Config.Balance). The headline number is simulated makespan; the
+// PERF.md before/after row comes from this table.
+type BalanceAblation struct {
+	N        int
+	Skew     float64
+	Procs    int
+	Policies []string
+	Rows     map[string]map[string][]float64 // policy → time/comm/epochs/rebalances per fold
+}
+
+// RunBalanceAblation measures the three policies on n skewed trains.
+func RunBalanceAblation(n, procs, folds int, skew float64, seed int64, cost cluster.CostModel, progress io.Writer) (*BalanceAblation, error) {
+	if folds <= 0 {
+		folds = 5
+	}
+	ds := datasets.TrainsSkewed(n, seed, skew)
+	ab := &BalanceAblation{
+		N: n, Skew: skew, Procs: procs,
+		Policies: []string{"static", "repartition", "balance"},
+		Rows:     map[string]map[string][]float64{},
+	}
+	for _, p := range ab.Policies {
+		ab.Rows[p] = map[string][]float64{}
+	}
+	kfolds, err := xval.KFold(ds.Pos, ds.Neg, folds, seed)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fold := range kfolds {
+		for _, policy := range ab.Policies {
+			cfg := core.Config{
+				Workers: procs, Width: 10, Seed: seed + int64(fi),
+				Search: ds.Search, Bottom: ds.Bottom, Budget: ds.Budget, Cost: cost,
+				RepartitionEachEpoch: policy == "repartition",
+				Balance:              policy == "balance",
+			}
+			met, err := core.Learn(ds.KB, fold.TrainPos, fold.TrainNeg, ds.Modes, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row := ab.Rows[policy]
+			row["time"] = append(row["time"], met.VirtualTime.Seconds())
+			row["comm"] = append(row["comm"], float64(met.CommBytes)/1e6)
+			row["epochs"] = append(row["epochs"], float64(met.Epochs))
+			row["rebalances"] = append(row["rebalances"], float64(met.Rebalances))
+			if progress != nil {
+				fmt.Fprintf(progress, "%s fold %d (%s): %.2fs, %.2f MB, %d epochs, %d rebalances\n",
+					ds.Name, fi+1, policy, met.VirtualTime.Seconds(), float64(met.CommBytes)/1e6, met.Epochs, met.Rebalances)
+			}
+		}
+	}
+	return ab, nil
+}
+
+// Render prints the balance comparison.
+func (ab *BalanceAblation) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation E. Load balancing on trains-skew (n=%d, skew=%.2f, p=%d, width 10)\n", ab.N, ab.Skew, ab.Procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Policy\tTime (s)\tComm (MB)\tEpochs\tRebalances")
+	labels := map[string]string{
+		"static":      "static (paper)",
+		"repartition": "even per-epoch",
+		"balance":     "throughput-aware",
+	}
+	for _, p := range ab.Policies {
+		row := ab.Rows[p]
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			labels[p], stats.Mean(row["time"]), stats.Mean(row["comm"]),
+			stats.Mean(row["epochs"]), stats.Mean(row["rebalances"]))
+	}
+	tw.Flush()
+}

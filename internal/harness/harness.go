@@ -91,6 +91,12 @@ type Results struct {
 	Epochs map[Key][]float64
 	Acc    map[Key][]float64
 	Wall   map[Key][]float64 // real seconds (simulation cost; not a paper table)
+	// Rebal and Joined track the elastic-scheduling counters
+	// (core.Metrics.Rebalances / JoinedWorkers): zero throughout a
+	// conventional sweep, non-zero when a configuration opts into
+	// balancing or mid-run joins.
+	Rebal  map[Key][]float64
+	Joined map[Key][]float64
 
 	// Links keeps the first fold's per-link traffic table per cell — the
 	// drill-down behind Table 4's averages. The same accounting backs a
@@ -109,6 +115,8 @@ func newResults(cfg Config) *Results {
 		Epochs:  map[Key][]float64{},
 		Acc:     map[Key][]float64{},
 		Wall:    map[Key][]float64{},
+		Rebal:   map[Key][]float64{},
+		Joined:  map[Key][]float64{},
 		Links:   map[Key]cluster.Traffic{},
 	}
 }
@@ -175,6 +183,8 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 					acc := covering.Accuracy(ds.KB, met.Theory, fold.TestPos, fold.TestNeg, ds.Budget)
 					res.Acc[key] = append(res.Acc[key], acc)
 					res.Wall[key] = append(res.Wall[key], met.WallTime.Seconds())
+					res.Rebal[key] = append(res.Rebal[key], float64(met.Rebalances))
+					res.Joined[key] = append(res.Joined[key], float64(met.JoinedWorkers))
 					recovered := ""
 					if met.Recoveries > 0 || met.LostWorkers > 0 {
 						recovered = fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)

@@ -40,6 +40,10 @@ type CellSummary struct {
 	Epochs   float64 `json:"epochs"`
 	Accuracy float64 `json:"accuracy"`
 	WallS    float64 `json:"wall_s"`
+	// Rebalances and JoinedWorkers are the elastic-scheduling counters
+	// (fold means); zero for a conventional static-partition sweep.
+	Rebalances    float64 `json:"rebalances"`
+	JoinedWorkers float64 `json:"joined_workers"`
 }
 
 // Summary collapses the per-fold measurements into fold means.
@@ -63,14 +67,16 @@ func (r *Results) Summary() Summary {
 			for _, p := range r.Cfg.Procs {
 				k := Key{Dataset: name, Width: w, Procs: p}
 				d.Cells = append(d.Cells, CellSummary{
-					Procs:    p,
-					Width:    w,
-					TimeS:    stats.Mean(r.Time[k]),
-					Speedup:  stats.Mean(r.foldSpeedups(k)),
-					CommMB:   stats.Mean(r.Comm[k]),
-					Epochs:   stats.Mean(r.Epochs[k]),
-					Accuracy: stats.Mean(r.Acc[k]),
-					WallS:    stats.Mean(r.Wall[k]),
+					Procs:         p,
+					Width:         w,
+					TimeS:         stats.Mean(r.Time[k]),
+					Speedup:       stats.Mean(r.foldSpeedups(k)),
+					CommMB:        stats.Mean(r.Comm[k]),
+					Epochs:        stats.Mean(r.Epochs[k]),
+					Accuracy:      stats.Mean(r.Acc[k]),
+					WallS:         stats.Mean(r.Wall[k]),
+					Rebalances:    stats.Mean(r.Rebal[k]),
+					JoinedWorkers: stats.Mean(r.Joined[k]),
 				})
 			}
 		}

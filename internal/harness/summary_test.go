@@ -3,6 +3,8 @@ package harness
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/datasets"
 )
 
 func TestSummaryCoversEveryCell(t *testing.T) {
@@ -43,5 +45,52 @@ func TestMarshalSummaryRoundTrips(t *testing.T) {
 	}
 	if back.Scale != 0.08 || len(back.Datasets) != 1 || len(back.Datasets[0].Cells) != 4 {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestSummaryCarriesElasticCounters pins the elastic-scheduling fields of
+// the machine-readable summary: present in the JSON (so BENCH artefacts can
+// track them across commits), zero for the conventional static sweep, and
+// faithfully fold-meaned when a run rebalanced or grew.
+func TestSummaryCarriesElasticCounters(t *testing.T) {
+	res := sharedRun(t)
+	s := res.Summary()
+	for _, c := range s.Datasets[0].Cells {
+		if c.Rebalances != 0 || c.JoinedWorkers != 0 {
+			t.Fatalf("static sweep reported elastic activity: %+v", c)
+		}
+	}
+	out, err := res.MarshalSummary(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(out, &raw); err != nil {
+		t.Fatal(err)
+	}
+	ds := raw["datasets"].([]any)[0].(map[string]any)
+	cell := ds["cells"].([]any)[0].(map[string]any)
+	if _, ok := cell["rebalances"]; !ok {
+		t.Fatalf("summary JSON cell lacks rebalances: %v", cell)
+	}
+	if _, ok := cell["joined_workers"]; !ok {
+		t.Fatalf("summary JSON cell lacks joined_workers: %v", cell)
+	}
+
+	// Synthetic results with elastic activity fold-mean through Summary()
+	// into the right cell fields.
+	ds2 := &datasets.Dataset{Name: "x"}
+	k := Key{Dataset: "x", Width: 10, Procs: 2}
+	r2 := newResults(Config{Folds: 2, Seed: 1, Procs: []int{2}, Widths: []int{10}, Datasets: []*datasets.Dataset{ds2}})
+	r2.Time[k] = []float64{1, 1}
+	r2.Rebal[k] = []float64{1, 3}
+	r2.Joined[k] = []float64{0, 1}
+	s2 := r2.Summary()
+	if len(s2.Datasets) != 1 || len(s2.Datasets[0].Cells) != 1 {
+		t.Fatalf("synthetic summary shape: %+v", s2)
+	}
+	c2 := s2.Datasets[0].Cells[0]
+	if c2.Rebalances != 2 || c2.JoinedWorkers != 0.5 {
+		t.Fatalf("elastic fold means = %v/%v, want 2/0.5", c2.Rebalances, c2.JoinedWorkers)
 	}
 }

@@ -244,7 +244,18 @@ func (n *Node) handshake(conn net.Conn) {
 }
 
 func (n *Node) acceptPeer(conn net.Conn, f *frame) {
-	if f.Ctrl != ctrlHello || int(f.From) <= 0 || int(f.From) >= n.size {
+	if f.Ctrl == ctrlJoinReq {
+		if n.id == 0 {
+			n.acceptJoin(conn, f)
+		} else {
+			conn.Close() // only the master admits joiners
+		}
+		return
+	}
+	n.mu.Lock()
+	size := n.size
+	n.mu.Unlock()
+	if f.Ctrl != ctrlHello || int(f.From) <= 0 || int(f.From) >= size {
 		conn.Close()
 		return
 	}
@@ -262,4 +273,200 @@ func (n *Node) acceptPeer(conn net.Conn, f *frame) {
 	}
 	// Receive-only: data to this peer goes out on a link we dial ourselves.
 	n.registerLink(int(f.From), conn, false)
+}
+
+// ListenForJoins opens a join listener on a running master, so late
+// workers can attach themselves to the cluster mid-run (`p2mdie -join`).
+// Each admitted joiner is assigned the next node id, the address book is
+// broadcast to the existing workers, and the protocol layer learns of the
+// newcomer through an in-band cluster.KindPeerUp event — the symmetric
+// counterpart of the KindPeerDown failure surface.
+func (n *Node) ListenForJoins(addr string) error {
+	if n.id != 0 {
+		return fmt.Errorf("netcluster: only the master (node 0) accepts joins, this is node %d", n.id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netcluster: join listener on %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		ln.Close()
+		return cluster.ErrClosed
+	}
+	if n.ln != nil {
+		n.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("netcluster: node already listening on %s", n.ln.Addr())
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// acceptJoin admits one late worker on the master (see ListenForJoins).
+// Nothing is committed until the joiner has acknowledged the welcome, so a
+// joiner that vanishes mid-handshake leaves no trace; joinMu serialises
+// admissions so concurrent joiners get distinct ids.
+func (n *Node) acceptJoin(conn net.Conn, f *frame) {
+	reject := func(reason string) {
+		writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, Err: reason})
+		conn.Close()
+	}
+	if f.Fingerprint != n.cfg.Fingerprint {
+		reject(fmt.Sprintf("fingerprint %x does not match master %x (different dataset or settings loaded)",
+			f.Fingerprint, n.cfg.Fingerprint))
+		return
+	}
+	if f.Addr == "" {
+		reject("join request carries no listen address")
+		return
+	}
+	n.joinMu.Lock()
+	defer n.joinMu.Unlock()
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	id := n.size
+	peers := append(append([]string(nil), n.peers...), f.Addr)
+	n.mu.Unlock()
+
+	welcome := &frame{
+		Ctrl:        ctrlWelcome,
+		NodeID:      int32(id),
+		Nodes:       int32(id + 1),
+		Peers:       peers,
+		Fingerprint: n.cfg.Fingerprint,
+		Model:       n.cfg.Model,
+	}
+	if err := writeFrame(conn, welcome); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(n.cfg.JoinTimeout))
+	ack, err := readFrame(conn, n.cfg.MaxFrameBytes)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || ack.Ctrl != ctrlWelcomeAck || ack.Err != "" || ack.Fingerprint != n.cfg.Fingerprint {
+		conn.Close()
+		return
+	}
+
+	// Commit: grow the cluster, register the link, tell everyone. The
+	// address-book updates are written to each worker link before the
+	// KindPeerUp event is enqueued, and the master's protocol only
+	// references the joiner after consuming that event — so on TCP's
+	// ordered links every worker knows the joiner's address before any
+	// ring traffic could target it.
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.size = id + 1
+	n.peers = peers
+	var workerLinks []*link
+	for peer, l := range n.links {
+		if peer != 0 && peer != id {
+			workerLinks = append(workerLinks, l)
+		}
+	}
+	n.mu.Unlock()
+	n.trMu.Lock()
+	n.tr.Grow(id + 1)
+	n.trMu.Unlock()
+	if _, err := n.registerLink(id, conn, true); err != nil {
+		conn.Close()
+		return
+	}
+	upd := &frame{Ctrl: ctrlPeerUpdate, Nodes: int32(id + 1), Peers: peers}
+	for _, l := range workerLinks {
+		// Best-effort: a broken link surfaces through its own failure
+		// detection, and the dead worker will never dial the joiner.
+		l.write(upd)
+	}
+	n.inbox.put(cluster.Message{From: id, To: n.id, Kind: cluster.KindPeerUp})
+}
+
+// Join attaches a late worker to a running master (the counterpart of
+// ListenForJoins): listen on listenAddr for the ring's lazy peer dials,
+// request admission at masterAddr, and return the joined node. The
+// protocol-level welcome — ring membership, settings, the first example
+// share — arrives from the master through the normal message surface
+// afterwards. A fingerprint mismatch or a master without a join listener
+// refuses the join.
+func Join(masterAddr, listenAddr string, cfg Config) (*Node, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netcluster: listen %s: %w", listenAddr, err)
+	}
+	return JoinOn(ln, masterAddr, cfg)
+}
+
+// JoinOn is Join over an already-bound listener, letting the caller bind
+// ":0" and publish the real address before the blocking join.
+func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	fail := func(err error) (*Node, error) {
+		ln.Close()
+		return nil, err
+	}
+	conn, err := dialRetry(masterAddr, cfg.JoinTimeout)
+	if err != nil {
+		return fail(fmt.Errorf("netcluster: join master at %s: %w", masterAddr, err))
+	}
+	req := &frame{Ctrl: ctrlJoinReq, Addr: ln.Addr().String(), Fingerprint: cfg.Fingerprint}
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: join request: %w", err))
+	}
+	conn.SetReadDeadline(time.Now().Add(cfg.JoinTimeout))
+	f, err := readFrame(conn, cfg.MaxFrameBytes)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: waiting for join welcome: %w", err))
+	}
+	if f.Ctrl == ctrlWelcomeAck && f.Err != "" {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: master refused join: %s", f.Err))
+	}
+	if f.Ctrl != ctrlWelcome {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: unexpected join reply ctrl %d", f.Ctrl))
+	}
+	if f.Fingerprint != cfg.Fingerprint {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: master fingerprint %x does not match ours %x (different dataset or settings loaded)",
+			f.Fingerprint, cfg.Fingerprint))
+	}
+	n := &Node{
+		id:      int(f.NodeID),
+		size:    int(f.Nodes),
+		cfg:     cfg,
+		inbox:   newInbox(),
+		links:   make(map[int]*link),
+		pending: make(map[net.Conn]struct{}),
+		peers:   f.Peers,
+		ln:      ln,
+		tr:      cluster.NewTraffic(int(f.Nodes)),
+		done:    make(chan struct{}),
+	}
+	n.cfg.Model = f.Model.WithDefaults()
+	if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint}); err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: join ack: %w", err))
+	}
+	if _, err := n.registerLink(0, conn, true); err != nil {
+		return fail(err)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
 }

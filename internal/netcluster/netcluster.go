@@ -161,6 +161,12 @@ type Node struct {
 	down     map[int]bool          // peers declared dead (failure-notifying mode)
 	closing  bool
 
+	// joinMu serialises late-join admissions on the master: one joiner's
+	// welcome/ack exchange completes (and commits the grown size) before
+	// the next begins, so concurrent joiners cannot be offered the same
+	// node id.
+	joinMu sync.Mutex
+
 	// notify switches peer-failure handling from poisoning the inbox to
 	// delivering in-band KindPeerDown events (see Transport.NotifyFailures).
 	notify atomic.Bool
@@ -178,8 +184,12 @@ var _ cluster.TrafficReporter = (*Node)(nil)
 // ID returns the node id (0 = master).
 func (n *Node) ID() int { return n.id }
 
-// Size returns the cluster size p+1.
-func (n *Node) Size() int { return n.size }
+// Size returns the cluster size p+1 (late joins grow it).
+func (n *Node) Size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.size
+}
 
 // Clock returns the node's virtual time.
 func (n *Node) Clock() cluster.VTime { return cluster.VTime(n.clock.Load()) }
@@ -290,7 +300,26 @@ func (n *Node) Stats() cluster.Stats {
 
 func (n *Node) account(to int, payloadBytes int) {
 	n.trMu.Lock()
+	if to >= n.tr.N {
+		n.tr.Grow(to + 1) // a late join grew the cluster under us
+	}
 	n.tr.Add(n.id, to, int64(payloadBytes), 1)
+	n.trMu.Unlock()
+}
+
+// applyPeerUpdate installs a grown cluster size and address book (a late
+// worker joined at the master). Updates arrive on the ordered master link
+// before any protocol traffic that could reference the new node, so a
+// stale-looking update (smaller than the current size) is simply ignored.
+func (n *Node) applyPeerUpdate(f *frame) {
+	n.mu.Lock()
+	if int(f.Nodes) > n.size {
+		n.size = int(f.Nodes)
+		n.peers = f.Peers
+	}
+	n.mu.Unlock()
+	n.trMu.Lock()
+	n.tr.Grow(int(f.Nodes))
 	n.trMu.Unlock()
 }
 
@@ -319,8 +348,11 @@ func (n *Node) Broadcast(targets []int, kind int, v any) error {
 }
 
 func (n *Node) sendPayload(to, kind int, payload []byte) error {
-	if to < 0 || to >= n.size {
-		return fmt.Errorf("netcluster: send to unknown node %d (cluster size %d)", to, n.size)
+	n.mu.Lock()
+	size := n.size
+	n.mu.Unlock()
+	if to < 0 || to >= size {
+		return fmt.Errorf("netcluster: send to unknown node %d (cluster size %d)", to, size)
 	}
 	if n.isDown(to) {
 		return fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, cluster.ErrPeerDown)
@@ -519,6 +551,8 @@ func (n *Node) readLoop(l *link) {
 			})
 		case ctrlHeartbeat:
 			// touch above is all a heartbeat does.
+		case ctrlPeerUpdate:
+			n.applyPeerUpdate(f)
 		case ctrlGoodbye:
 			// Orderly peer departure: every protocol frame it sent was
 			// written (and, TCP being ordered, read) before the goodbye,

@@ -33,6 +33,18 @@ const (
 	// a worker that finished the protocol must not look like a crash to a
 	// master still collecting from its siblings.
 	ctrlGoodbye
+	// ctrlJoinReq asks a running master to admit a late worker: Addr is
+	// the joiner's listen address (for the ring's lazy dials) and
+	// Fingerprint must match the master's. The master answers with a
+	// ctrlWelcome assigning the next node id — or a ctrlWelcomeAck with
+	// Err set when the join is refused.
+	ctrlJoinReq
+	// ctrlPeerUpdate broadcasts a grown address book to the existing
+	// workers after a late join: Nodes is the new cluster size and Peers
+	// the extended address list. Transport-level only — the protocol
+	// learns of the joiner through the master's in-band KindPeerUp event,
+	// and workers learn the new ring from the master's rebalance.
+	ctrlPeerUpdate
 )
 
 // frame is the single on-the-wire record. Every frame is individually
@@ -47,10 +59,12 @@ type frame struct {
 	SendTime int64
 	Payload  []byte
 
-	// Handshake fields (ctrlHello / ctrlWelcome / ctrlWelcomeAck).
+	// Handshake fields (ctrlHello / ctrlWelcome / ctrlWelcomeAck /
+	// ctrlJoinReq / ctrlPeerUpdate).
 	NodeID      int32
 	Nodes       int32
 	Peers       []string
+	Addr        string // ctrlJoinReq: the joiner's listen address
 	Fingerprint uint64
 	Model       cluster.CostModel
 	Err         string

@@ -72,6 +72,18 @@ const (
 	// kindFinal (worker→master) reports work totals after kindStop on a
 	// remote run.
 	kindFinal
+	// kindEvalBatch (master→workers) carries a whole search frontier —
+	// every candidate rule of one node expansion — in one message per
+	// worker, with per-rule candidate masks. One kindEvalBatchResult comes
+	// back per worker. This collapses the per-candidate round trips of the
+	// fine-grained baseline into one round trip per expanded node: the
+	// latency term that bounds parcov's speedup shrinks by the frontier
+	// size, while the evaluation semantics (and inference totals) are
+	// unchanged.
+	kindEvalBatch
+	// kindEvalBatchResult (worker→master) returns per-rule local bitsets
+	// for one kindEvalBatch query.
+	kindEvalBatchResult
 )
 
 // evalMsg carries one rule plus optional per-worker candidate masks (local
@@ -93,6 +105,26 @@ type evalResultMsg struct {
 	Worker int
 	Pos    []uint64 // bitset words over the worker's local positives (alive only)
 	Neg    []uint64
+}
+
+// evalBatchMsg carries one whole frontier (see kindEvalBatch): rule i is
+// evaluated under PosCands[i]/NegCands[i] when HasCand[i], over everything
+// otherwise — exactly the per-rule evalMsg semantics, batched.
+type evalBatchMsg struct {
+	Seq      int64
+	Rules    []logic.Clause
+	PosCands [][]uint64
+	NegCands [][]uint64
+	HasCand  []bool
+}
+
+// evalBatchResultMsg returns one worker's local bitsets for every rule of
+// a kindEvalBatch query, in rule order.
+type evalBatchResultMsg struct {
+	Seq    int64
+	Worker int
+	Pos    [][]uint64
+	Neg    [][]uint64
 }
 
 type retractRuleMsg struct{ Rule logic.Clause }
@@ -166,6 +198,33 @@ func (w *pcWorker) run() error {
 			if err := w.node.Send(0, kindEvalResult, evalResultMsg{Seq: em.Seq, Worker: w.id, Pos: pos, Neg: neg}); err != nil {
 				return err
 			}
+		case kindEvalBatch:
+			var bm evalBatchMsg
+			if err := msg.Decode(&bm); err != nil {
+				return err
+			}
+			before := w.m.TotalInferences()
+			out := evalBatchResultMsg{
+				Seq:    bm.Seq,
+				Worker: w.id,
+				Pos:    make([][]uint64, len(bm.Rules)),
+				Neg:    make([][]uint64, len(bm.Rules)),
+			}
+			for i := range bm.Rules {
+				var posCand, negCand search.Bitset
+				if bm.HasCand[i] {
+					posCand = search.Bitset(bm.PosCands[i])
+					negCand = search.Bitset(bm.NegCands[i])
+				}
+				pos, neg := w.ev.Coverage(&bm.Rules[i], posCand, negCand)
+				out.Pos[i], out.Neg[i] = pos, neg
+			}
+			// One compute charge for the whole frontier: the inference sum
+			// equals rule-at-a-time evaluation exactly.
+			w.node.Compute(w.m.TotalInferences() - before)
+			if err := w.node.Send(0, kindEvalBatchResult, out); err != nil {
+				return err
+			}
 		case kindRetractRule:
 			var rm retractRuleMsg
 			if err := msg.Decode(&rm); err != nil {
@@ -228,9 +287,113 @@ type distCoverer struct {
 }
 
 var _ search.Coverer = (*distCoverer)(nil)
+var _ search.BatchCoverer = (*distCoverer)(nil)
 
 func (d *distCoverer) PosLen() int { return d.nPos }
 func (d *distCoverer) NegLen() int { return d.nNeg }
+
+// CoverageBatch evaluates a whole search frontier in one message per
+// worker (kindEvalBatch) instead of one per rule: the search layer's
+// CoverageBatchOf dispatches here natively, so a node expansion costs one
+// round trip regardless of how many candidates it generated. Results are
+// bit-for-bit identical to len(rules) Coverage calls, and inference
+// accounting is unchanged; only message count (and with it the simulated
+// latency bill) drops.
+func (d *distCoverer) CoverageBatch(rules []*logic.Clause, posCands, negCands []search.Bitset) []search.CoverResult {
+	out := make([]search.CoverResult, len(rules))
+	for i := range out {
+		out[i].Pos = search.NewBitset(d.nPos)
+		out[i].Neg = search.NewBitset(d.nNeg)
+	}
+	if d.err != nil || len(rules) == 0 {
+		return out
+	}
+	d.seq++
+	for k := 0; k < d.p; k++ {
+		bm := evalBatchMsg{
+			Seq:      d.seq,
+			Rules:    make([]logic.Clause, len(rules)),
+			PosCands: make([][]uint64, len(rules)),
+			NegCands: make([][]uint64, len(rules)),
+			HasCand:  make([]bool, len(rules)),
+		}
+		for i, r := range rules {
+			bm.Rules[i] = *r
+			var pc, nc search.Bitset
+			if posCands != nil {
+				pc = posCands[i]
+			}
+			if negCands != nil {
+				nc = negCands[i]
+			}
+			if pc != nil && nc != nil {
+				bm.HasCand[i] = true
+				bm.PosCands[i] = localize(pc, d.posMap[k])
+				bm.NegCands[i] = localize(nc, d.negMap[k])
+			}
+		}
+		if err := d.node.Send(d.targets[k], kindEvalBatch, bm); err != nil {
+			d.err = err
+			return out
+		}
+	}
+	pending := make(map[int]bool, d.p)
+	for _, t := range d.targets {
+		pending[t] = true
+	}
+	for len(pending) > 0 {
+		msg, err := d.node.ReceiveCtx(context.Background())
+		if err != nil {
+			d.err = fmt.Errorf("parcov: master: waiting for batch evaluation reply: %w", err)
+			return out
+		}
+		if msg.Kind == cluster.KindPeerDown {
+			// Fail-stop kept deliberately (p²-mdie is the recovering
+			// engine); share-dealing policy moved to sched, not the
+			// failure model.
+			d.err = fmt.Errorf("parcov: master: worker %d failed", msg.From)
+			return out
+		}
+		if msg.Kind != kindEvalBatchResult {
+			d.err = fmt.Errorf("parcov: master: bad batch evaluation reply (kind=%d)", msg.Kind)
+			return out
+		}
+		var br evalBatchResultMsg
+		if err := msg.Decode(&br); err != nil {
+			d.err = err
+			return out
+		}
+		if br.Seq < d.seq {
+			continue // reply to a superseded query
+		}
+		if br.Seq > d.seq || br.Worker < 1 || br.Worker > d.p || !pending[br.Worker] || len(br.Pos) != len(rules) || len(br.Neg) != len(rules) {
+			d.err = fmt.Errorf("parcov: master: unexpected batch reply (seq=%d worker=%d rules=%d, current seq=%d)", br.Seq, br.Worker, len(br.Pos), d.seq)
+			return out
+		}
+		delete(pending, br.Worker)
+		w := br.Worker - 1
+		for i := range rules {
+			scatter(search.Bitset(br.Pos[i]), d.posMap[w], out[i].Pos)
+			scatter(search.Bitset(br.Neg[i]), d.negMap[w], out[i].Neg)
+		}
+	}
+	for i := range rules {
+		var pc, nc search.Bitset
+		if posCands != nil {
+			pc = posCands[i]
+		}
+		if negCands != nil {
+			nc = negCands[i]
+		}
+		if pc != nil {
+			out[i].Pos.AndWith(pc)
+		}
+		if nc != nil {
+			out[i].Neg.AndWith(nc)
+		}
+	}
+	return out
+}
 
 func (d *distCoverer) Coverage(rule *logic.Clause, posCand, negCand search.Bitset) (search.Bitset, search.Bitset) {
 	pos := search.NewBitset(d.nPos)

@@ -70,11 +70,39 @@ func TestMetricsRecorded(t *testing.T) {
 	if met.Searches == 0 || met.GeneratedRules == 0 {
 		t.Fatalf("search stats not recorded: %+v", met)
 	}
-	// The defining property of the baseline: at least one message
-	// round-trip per generated rule (2 messages per worker per rule).
-	if met.CommMessages < int64(met.GeneratedRules) {
-		t.Fatalf("suspiciously few messages (%d) for %d generated rules", met.CommMessages, met.GeneratedRules)
+	// The coverage queries are batched per search frontier (one message
+	// per worker per node expansion), so the message count must come in
+	// well under the historical one-round-trip-per-generated-rule bill.
+	// The NoBatchEval A/B path keeps the per-rule wire protocol: same
+	// theory, same inference totals, strictly more messages.
+	ds2 := smallTask(t)
+	ds2.Search.NoBatchEval = true
+	perRule, err := Learn(ds2.KB, ds2.Pos, ds2.Neg, ds2.Modes, Config{
+		Workers: 4, Seed: 5,
+		Search: ds2.Search, Bottom: ds2.Bottom, Budget: ds2.Budget,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if perRule.CommMessages < int64(perRule.GeneratedRules) {
+		t.Fatalf("per-rule baseline sent %d messages for %d generated rules", perRule.CommMessages, perRule.GeneratedRules)
+	}
+	if met.CommMessages >= perRule.CommMessages {
+		t.Fatalf("batched run sent %d messages, per-rule baseline %d — batching should cut the count", met.CommMessages, perRule.CommMessages)
+	}
+	if len(met.Theory) != len(perRule.Theory) {
+		t.Fatalf("batched and per-rule theories differ in size: %d vs %d", len(met.Theory), len(perRule.Theory))
+	}
+	for i := range met.Theory {
+		if met.Theory[i].String() != perRule.Theory[i].String() {
+			t.Fatalf("rule %d differs between batched and per-rule evaluation", i)
+		}
+	}
+	if met.TotalInferences != perRule.TotalInferences {
+		t.Fatalf("inference totals differ: batched %d vs per-rule %d", met.TotalInferences, perRule.TotalInferences)
+	}
+	t.Logf("parcov messages: batched %d vs per-rule %d (%d generated rules)",
+		met.CommMessages, perRule.CommMessages, met.GeneratedRules)
 }
 
 func TestDeterministic(t *testing.T) {

@@ -95,9 +95,7 @@ func RunMaster(t cluster.Transport, kb *solve.KB, pos, neg []logic.Term, ms *mod
 	// Collect the final reports.
 	traffic := cluster.NewTraffic(p + 1)
 	if tr, ok := t.(cluster.TrafficReporter); ok {
-		if mt := tr.Traffic(); mt.N == traffic.N {
-			traffic.Merge(mt)
-		}
+		traffic.Merge(tr.Traffic())
 	}
 	makespan := t.Clock()
 	for k := 0; k < p; k++ {
@@ -116,9 +114,7 @@ func RunMaster(t cluster.Transport, kb *solve.KB, pos, neg []logic.Term, ms *mod
 		if c := cluster.VTime(fm.Clock); c > makespan {
 			makespan = c
 		}
-		if fm.Traffic.N == traffic.N {
-			traffic.Merge(fm.Traffic)
-		}
+		traffic.Merge(fm.Traffic)
 	}
 	met.WallTime = time.Since(start)
 	met.VirtualTime = makespan.Duration()

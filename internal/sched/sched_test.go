@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDealEvenMatchesHistoricalRoundRobin pins the byte-identity anchor:
+// DealEven must reproduce the master's historical dealShares exactly.
+func TestDealEvenMatchesHistoricalRoundRobin(t *testing.T) {
+	xs := []int{10, 11, 12, 13, 14, 15, 16}
+	want := [][]int{{10, 13, 16}, {11, 14}, {12, 15}}
+	if got := DealEven(xs, 3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DealEven = %v, want %v", got, want)
+	}
+	// Empty input: p empty (nil) shares.
+	shares := DealEven([]int(nil), 2)
+	if len(shares) != 2 || shares[0] != nil || shares[1] != nil {
+		t.Fatalf("empty deal = %v", shares)
+	}
+}
+
+func TestBalancerWeights(t *testing.T) {
+	b := NewBalancer()
+	// No history: everyone weight 1.
+	if got := b.Weights([]int{1, 2}); !reflect.DeepEqual(got, []float64{1, 1}) {
+		t.Fatalf("empty weights = %v", got)
+	}
+	// Worker 1 twice as fast as worker 2; joiner 3 gets the mean.
+	b.Observe(1, 2000, 1000)
+	b.Observe(2, 1000, 1000)
+	got := b.Weights([]int{1, 2, 3})
+	if got[0] != 2 || got[1] != 1 || got[2] != 1.5 {
+		t.Fatalf("weights = %v, want [2 1 1.5]", got)
+	}
+	// Shares follow: DealByCost hands the fast worker the most cost.
+	items := make([]int, 9)
+	for i := range items {
+		items[i] = i
+	}
+	shares := DealByCost(items, nil, got)
+	if len(shares[0]) <= len(shares[1]) {
+		t.Fatalf("fast worker got %d items, slow got %d", len(shares[0]), len(shares[1]))
+	}
+	// Forgetting a worker removes its influence.
+	b.Forget(1)
+	if _, ok := b.Throughput(1); ok {
+		t.Fatal("forgot worker still has throughput")
+	}
+}
+
+func TestBalancerIgnoresUnusableObservations(t *testing.T) {
+	b := NewBalancer()
+	b.Observe(1, 0, 500) // no inferences yet
+	b.Observe(2, 500, 0) // no busy time yet
+	if _, ok := b.Throughput(1); ok {
+		t.Fatal("zero-inference observation should be unusable")
+	}
+	if _, ok := b.Throughput(2); ok {
+		t.Fatal("zero-busy observation should be unusable")
+	}
+	if got := b.Weights([]int{1, 2}); !reflect.DeepEqual(got, []float64{1, 1}) {
+		t.Fatalf("weights = %v", got)
+	}
+}
+
+func TestDealByCostEqualisesWeightedLoad(t *testing.T) {
+	// Six items, one of cost 10, the rest cost 1; two equal workers: the
+	// monster goes alone-ish — the greedy keeps the cost split 10/5, the
+	// best achievable, instead of a count split that could give 11/4.
+	items := []string{"a", "b", "c", "d", "e", "f"}
+	costs := []int64{1, 10, 1, 1, 1, 1}
+	shares := DealByCost(items, costs, []float64{1, 1})
+	load := func(sh []string) int64 {
+		var s int64
+		for _, x := range sh {
+			for i, it := range items {
+				if it == x {
+					s += costs[i]
+				}
+			}
+		}
+		return s
+	}
+	l0, l1 := load(shares[0]), load(shares[1])
+	if l0+l1 != 15 || max64(l0, l1) != 10 {
+		t.Fatalf("loads %d/%d, want 10/5", l0, l1)
+	}
+	// Deterministic: same inputs, same deal.
+	again := DealByCost(items, append([]int64(nil), costs...), []float64{1, 1})
+	if !reflect.DeepEqual(shares, again) {
+		t.Fatalf("nondeterministic deal: %v vs %v", shares, again)
+	}
+	// A 2x-faster worker absorbs proportionally more cost.
+	weighted := DealByCost(items, costs, []float64{2, 1})
+	if lw := load(weighted[0]); lw < load(weighted[1]) {
+		t.Fatalf("fast worker underloaded: %d vs %d", lw, load(weighted[1]))
+	}
+	// Missing costs default to 1 and everything is dealt.
+	none := DealByCost(items, nil, []float64{1, 1})
+	if len(none[0])+len(none[1]) != len(items) {
+		t.Fatalf("items lost: %v", none)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

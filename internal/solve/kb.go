@@ -354,3 +354,26 @@ func (kb *KB) FactsFor(key logic.PredKey) []logic.Clause {
 	}
 	return out
 }
+
+// Footprint returns the number of indexed facts that mention the constant
+// anywhere the fact indexes can see it (first or second argument position,
+// summed over all predicates). For an ILP example's individual — the
+// molecule of active(m12), the train of eastbound(t4) — this is the size
+// of its immediate relational neighbourhood, which is what drives the SLD
+// cost of saturating or covering the example: a cheap, engine-independent
+// per-example cost proxy the elastic scheduler balances partitions by.
+func (kb *KB) Footprint(c logic.Term) int {
+	if c.Kind != logic.Atom && c.Kind != logic.Int && c.Kind != logic.Float {
+		return 0
+	}
+	n := 0
+	for _, p := range kb.preds {
+		if b, ok := p.arg1.bucket(c); ok {
+			n += len(b)
+		}
+		if b, ok := p.arg2.bucket(c); ok {
+			n += len(b)
+		}
+	}
+	return n
+}
