@@ -30,6 +30,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/faultline"
 	"repro/internal/netcluster"
 	"repro/internal/search"
 
@@ -65,6 +67,10 @@ func main() {
 		balance  = flag.Bool("balance", false, "throughput-aware load rebalancing: between epochs the master redeals uncovered positives proportionally to each worker's measured throughput and per-example cost instead of keeping the static random partition (master flag; workers inherit it at load)")
 		traffic  = flag.String("traffic", "", "after a parallel run, dump the per-link byte/message table: 'json' or 'text' (both transports use the same accounting)")
 		recov    = flag.Bool("recover", false, "tolerate worker failures: exclude a dead worker, redistribute its partition over the survivors and re-issue the in-flight epoch instead of aborting (master flag; workers inherit it at load)")
+		ckptDir  = flag.String("checkpoint", "", "master durability: write an atomic epoch-boundary snapshot of the master's state under this directory (keeping the last two); a crashed master restarts with -resume and learns a theory byte-identical to a failure-free run")
+		resume   = flag.Bool("resume", false, "restart a crashed TCP master from its latest -checkpoint snapshot: re-bind the checkpointed listen address, wait for the workers to reconnect, roll the cluster back to the boundary and continue the run (requires -checkpoint; the dataset flags must match the crashed run's)")
+		orphanTO = flag.Duration("orphantimeout", 0, "worker orphan regime on master death: instead of failing, workers hold their state and redial the master's address with exponential backoff for up to this long, resuming when a -resume'd master re-admits them (master flag; workers inherit it at load; 0 = master death kills workers)")
+		crashAt  = flag.Int64("crashat", 0, "fault injection: kill this master process (exit 137, no cleanup — as if kill -9) when its N'th protocol op is reached; deterministic under a fixed dataset and seed (testing aid for -checkpoint/-resume)")
 		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
 		hbEvery  = flag.Duration("heartbeat", 0, "TCP per-link heartbeat period (netcluster HeartbeatEvery); 0 = default 500ms")
 		joinTO   = flag.Duration("jointimeout", 0, "TCP join timeout: a worker's wait for the master's welcome and the master's dial retries (netcluster JoinTimeout); 0 = default 60s")
@@ -97,14 +103,24 @@ func main() {
 	}
 
 	opts := runOptions{
-		recover:     *recov,
-		recvTimeout: *recvTO,
-		heartbeat:   *hbEvery,
-		joinTimeout: *joinTO,
-		balance:     *balance,
-		listen:      *listen,
+		recover:       *recov,
+		recvTimeout:   *recvTO,
+		heartbeat:     *hbEvery,
+		joinTimeout:   *joinTO,
+		balance:       *balance,
+		listen:        *listen,
+		checkpointDir: *ckptDir,
+		orphanTimeout: *orphanTO,
+		crashAt:       *crashAt,
 	}
 
+	if *resume {
+		if *ckptDir == "" {
+			fail(fmt.Errorf("-resume needs -checkpoint DIR (the crashed master's snapshot directory)"))
+		}
+		runResume(ds, *traffic, opts, *verbose, *quiet)
+		return
+	}
 	if *joinAddr != "" {
 		runJoin(ds, *joinAddr, *serve, *coverPar, opts, *quiet)
 		return
@@ -143,6 +159,7 @@ func main() {
 			Recover:          opts.recover,
 			RecvTimeout:      opts.recvTimeout,
 			Balance:          opts.balance,
+			CheckpointDir:    opts.checkpointDir,
 		})
 		if err != nil {
 			fail(err)
@@ -162,12 +179,38 @@ func main() {
 // deployment modes (README "Timeouts and fault tolerance" documents the
 // defaults).
 type runOptions struct {
-	recover     bool
-	recvTimeout time.Duration
-	heartbeat   time.Duration
-	joinTimeout time.Duration
-	balance     bool
-	listen      string
+	recover       bool
+	recvTimeout   time.Duration
+	heartbeat     time.Duration
+	joinTimeout   time.Duration
+	balance       bool
+	listen        string
+	checkpointDir string
+	orphanTimeout time.Duration
+	crashAt       int64
+}
+
+// crashExitCode is the -crashat exit status: 128+9, what a kill -9 would
+// report, so orchestrators treat the injected crash as a hard kill.
+const crashExitCode = 137
+
+// masterTransport wraps the master's node in the faultline schedule when
+// -crashat is set; otherwise it is the node itself.
+func masterTransport(node *netcluster.Node, opts runOptions) cluster.Transport {
+	if opts.crashAt <= 0 {
+		return node
+	}
+	return faultline.Wrap(node, faultline.Plan{CrashAtOp: opts.crashAt})
+}
+
+// dieIfCrashed turns the faultline's scheduled crash into a process death:
+// exit immediately, no link teardown, no checkpoint flush — the peers see
+// exactly what a kill -9 leaves behind.
+func dieIfCrashed(err error) {
+	if errors.Is(err, faultline.ErrCrashed) {
+		fmt.Fprintf(os.Stderr, "p2mdie: crashed by -crashat schedule\n")
+		os.Exit(crashExitCode)
+	}
 }
 
 // runServe is the TCP worker mode: listen, join, receive the partition via
@@ -249,40 +292,105 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 	if !quiet {
 		fmt.Println(ds.String())
 	}
-	node, err := netcluster.Connect(addrs, netcluster.Config{
+	ncfg := netcluster.Config{
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		HeartbeatEvery: opts.heartbeat,
+		JoinTimeout:    opts.joinTimeout,
+	}
+	var node *netcluster.Node
+	var err error
+	if opts.listen != "" {
+		// Pre-bind the join listener so its address rides the welcome into
+		// every worker's address book (and any -checkpoint snapshot): that
+		// entry is where orphaned workers redial a -resume'd master.
+		ln, lerr := net.Listen("tcp", opts.listen)
+		if lerr != nil {
+			fail(lerr)
+		}
+		node, err = netcluster.ConnectOn(ln, addrs, ncfg)
+		if err != nil {
+			fail(err)
+		}
+		// Always printed (even with -q) so orchestrators can scrape the
+		// actual address when -listen used an ephemeral port.
+		fmt.Printf("p2mdie: master accepting joins on %s\n", node.Addr())
+	} else {
+		if node, err = netcluster.Connect(addrs, ncfg); err != nil {
+			fail(err)
+		}
+	}
+	met, err := core.RunMaster(masterTransport(node, opts), ds.Pos, ds.Neg, core.Config{
+		Workers:       len(addrs),
+		Width:         width,
+		Seed:          seed,
+		Search:        ds.Search,
+		Bottom:        ds.Bottom,
+		Budget:        ds.Budget,
+		Recover:       opts.recover,
+		RecvTimeout:   opts.recvTimeout,
+		Balance:       opts.balance,
+		CheckpointDir: opts.checkpointDir,
+		OrphanTimeout: opts.orphanTimeout,
+		Fingerprint:   core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+	})
+	if err != nil {
+		dieIfCrashed(err)
+		node.Abort()
+		fail(err)
+	}
+	node.Close()
+	printParallelMetrics("tcp", met, width)
+	dumpTraffic(trafficMode, "tcp", met.Traffic)
+	fmt.Printf("training accuracy: %.2f%%\n", 100*ilp.Accuracy(ds, met.Theory, ds.Pos, ds.Neg))
+	if verbose {
+		fmt.Println("theory:")
+		fmt.Print(ilp.TheoryString(met.Theory))
+	}
+}
+
+// runResume restarts a crashed TCP master from its latest checkpoint: the
+// dataset is re-loaded first (rebuilding the interned symbol table the
+// snapshot's terms reference), the snapshot's own address book supplies the
+// listen address to re-bind and the workers to wait for, and the resume
+// handshake rolls the cluster back to the boundary before continuing.
+func runResume(ds *ilp.Dataset, trafficMode string, opts runOptions, verbose, quiet bool) {
+	fp := core.Fingerprint(ds.KB, ds.Pos, ds.Neg)
+	ck, err := core.LoadCheckpoint(opts.checkpointDir)
+	if err != nil {
+		fail(err)
+	}
+	if ck.Fingerprint() != fp {
+		fail(fmt.Errorf("checkpoint fingerprint %x does not match the loaded dataset %x — start p2mdie -resume with the crashed run's exact dataset flags", ck.Fingerprint(), fp))
+	}
+	peers := ck.Peers()
+	if len(peers) == 0 || peers[0] == "" {
+		fail(fmt.Errorf("checkpoint carries no master listen address (the crashed master ran without -listen); cannot resume over TCP"))
+	}
+	if !quiet {
+		fmt.Println(ds.String())
+	}
+	node, err := netcluster.Resume(peers[0], ck.Size(), peers, netcluster.Config{
+		Fingerprint:    fp,
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
 	})
 	if err != nil {
 		fail(err)
 	}
-	if opts.listen != "" {
-		if err := node.ListenForJoins(opts.listen); err != nil {
-			node.Abort()
-			fail(err)
-		}
-		// Always printed (even with -q) so orchestrators can scrape the
-		// actual address when -listen used an ephemeral port.
-		fmt.Printf("p2mdie: master accepting joins on %s\n", node.Addr())
-	}
-	met, err := core.RunMaster(node, ds.Pos, ds.Neg, core.Config{
-		Workers:     len(addrs),
-		Width:       width,
-		Seed:        seed,
-		Search:      ds.Search,
-		Bottom:      ds.Bottom,
-		Budget:      ds.Budget,
-		Recover:     opts.recover,
-		RecvTimeout: opts.recvTimeout,
-		Balance:     opts.balance,
+	// Always printed so orchestrators can scrape where the master came back.
+	fmt.Printf("p2mdie: master resumed at epoch %d (%d epochs done), accepting rejoins on %s\n", ck.Epoch(), ck.Epochs(), node.Addr())
+	met, err := core.ResumeMaster(masterTransport(node, opts), ck, core.Config{
+		RecvTimeout:   opts.recvTimeout,
+		CheckpointDir: opts.checkpointDir, // stay durable across further crashes
+		Fingerprint:   fp,
 	})
 	if err != nil {
+		dieIfCrashed(err)
 		node.Abort()
 		fail(err)
 	}
 	node.Close()
-	printParallelMetrics("tcp", met, width)
+	printParallelMetrics("tcp", met, met.Width)
 	dumpTraffic(trafficMode, "tcp", met.Traffic)
 	fmt.Printf("training accuracy: %.2f%%\n", 100*ilp.Accuracy(ds, met.Theory, ds.Pos, ds.Neg))
 	if verbose {
@@ -304,6 +412,9 @@ func printParallelMetrics(transport string, met *ilp.ParallelMetrics, width int)
 	}
 	if len(met.JoinShares) > 0 {
 		line += fmt.Sprintf(", join shares=%v", met.JoinShares)
+	}
+	if met.MasterRestarts > 0 || met.OrphanReconnects > 0 {
+		line += fmt.Sprintf(", restarts=%d orphanreconnects=%d", met.MasterRestarts, met.OrphanReconnects)
 	}
 	fmt.Println(line)
 }

@@ -194,6 +194,10 @@ type ParallelOptions struct {
 	Recover bool
 	// RecvTimeout bounds every blocking protocol receive; 0 = no deadline.
 	RecvTimeout time.Duration
+	// CheckpointDir makes the master durable: epoch-boundary snapshots are
+	// written there atomically so a crashed master can resume
+	// (Metrics.MasterRestarts counts resumes). Wire traffic is unchanged.
+	CheckpointDir string
 }
 
 // LearnParallel runs p²-mdie (the paper's pipelined data-parallel
@@ -222,6 +226,7 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 		CoverParallelism:     o.CoverParallelism,
 		Recover:              o.Recover,
 		RecvTimeout:          o.RecvTimeout,
+		CheckpointDir:        o.CheckpointDir,
 	})
 }
 

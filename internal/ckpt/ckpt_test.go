@@ -1,0 +1,122 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := []byte("the master state at boundary 3")
+	if _, err := Save(dir, 3, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, seq, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if seq != 3 || !bytes.Equal(got, want) {
+		t.Fatalf("got seq=%d payload=%q, want seq=3 payload=%q", seq, got, want)
+	}
+}
+
+func TestLoadLatestPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := Save(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatalf("Save %d: %v", seq, err)
+		}
+	}
+	got, seq, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if seq != 3 || !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("got seq=%d payload=%v, want newest (seq 3)", seq, got)
+	}
+}
+
+// TestTornWriteFallsBackToPreviousGood truncates the newest snapshot
+// mid-file — the on-disk shape a crash during a non-atomic write would
+// leave — and asserts recovery silently falls back to the previous good one.
+func TestTornWriteFallsBackToPreviousGood(t *testing.T) {
+	dir := t.TempDir()
+	good := []byte("boundary 7: theory with 4 clauses")
+	if _, err := Save(dir, 7, good); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	newest, err := Save(dir, 8, []byte("boundary 8: this write will be torn"))
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(newest, info.Size()/2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got, seq, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest after torn write: %v", err)
+	}
+	if seq != 7 || !bytes.Equal(got, good) {
+		t.Fatalf("got seq=%d payload=%q, want fallback to seq 7", seq, got)
+	}
+}
+
+func TestCorruptPayloadFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, 1, []byte("good")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	newest, err := Save(dir, 2, []byte("soon to be flipped"))
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	b[len(b)-1] ^= 0xFF // flip a payload bit: length intact, CRC must catch it
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, seq, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest after corruption: %v", err)
+	}
+	if seq != 1 || string(got) != "good" {
+		t.Fatalf("got seq=%d payload=%q, want fallback to seq 1", seq, got)
+	}
+}
+
+func TestEmptyDirReportsNoSnapshot(t *testing.T) {
+	if _, _, err := LoadLatest(t.TempDir()); err != ErrNoSnapshot {
+		t.Fatalf("got %v, want ErrNoSnapshot", err)
+	}
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "missing")); err != ErrNoSnapshot {
+		t.Fatalf("missing dir: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestPruneKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := Save(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatalf("Save %d: %v", seq, err)
+		}
+	}
+	names, err := snapshots(dir)
+	if err != nil {
+		t.Fatalf("snapshots: %v", err)
+	}
+	if len(names) != keepSnapshots {
+		t.Fatalf("kept %d snapshots %v, want %d", len(names), names, keepSnapshots)
+	}
+	if seqOf(names[len(names)-1]) != 5 {
+		t.Fatalf("newest kept is %v, want seq 5", names)
+	}
+}

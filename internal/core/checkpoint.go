@@ -1,0 +1,345 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/sched"
+)
+
+// checkpointRecord is the master's durable state, gob-encoded into one
+// ckpt snapshot at every epoch boundary (the top of run()'s epoch loop,
+// where every barrier of the previous epoch has completed). It holds
+// everything a restarted master needs to take over: the protocol clock,
+// the theory so far, the per-worker example assignments recovery
+// redistributes, the live membership with its address book, and the
+// metrics counters that must stay cumulative across restarts. The bag is
+// deliberately absent — at a boundary it is always empty.
+type checkpointRecord struct {
+	// Fingerprint pins the dataset: gob payloads (including this record's
+	// terms) reference interned symbol indices, so a resume must have
+	// re-loaded the exact task the checkpoint was written under.
+	Fingerprint uint64
+
+	// Protocol clock at the boundary.
+	Epoch int
+	Seq   int64
+
+	// Membership and assignments.
+	Workers     int // initial p (Metrics.Workers)
+	Targets     []int
+	AssignedPos [][]logic.Term
+	AssignedNeg [][]logic.Term
+
+	// Covering-loop state.
+	Remaining int
+	Theory    []logic.Clause
+
+	// Load is the semantics-bearing settings payload (empty partition),
+	// from which the resumed master rebuilds its Config — and re-ships
+	// kindLoad to workers the crash caught before their first load.
+	Load      loadDataMsg
+	MaxEpochs int
+
+	// Peers/Size are the transport address book (netcluster runs; nil/0 on
+	// the simulation): the membership a restarted master must re-bind and
+	// the workers' listen addresses for the ring's lazy dials.
+	Peers []string
+	Size  int
+
+	// Metrics continuity.
+	Epochs             int
+	RulesLearned       int
+	GroundFactsAdopted int
+	Recoveries         int
+	LostWorkers        int
+	Rebalances         int
+	JoinedWorkers      int
+	JoinShares         []int
+	StaleDropped       int64
+	MasterRestarts     int
+	OrphanReconnects   int
+}
+
+// addressBooker is implemented by transports whose members have stable
+// out-of-band addresses a checkpoint must persist (netcluster.Node).
+type addressBooker interface {
+	AddressBook() ([]string, int)
+}
+
+// linkProber reports per-peer link liveness (netcluster.Node.Linked); the
+// resume protocol uses it to tell which members still have to rejoin.
+// Transports without explicit links (the simulated machine) lack it.
+type linkProber interface {
+	Linked(peer int) bool
+}
+
+// masterRejoiner re-establishes a worker's master link after a master
+// death (netcluster.Node.RejoinMaster).
+type masterRejoiner interface {
+	RejoinMaster(timeout time.Duration) (int, error)
+}
+
+// innerTransport lets the capability probes below see through transport
+// wrappers (faultline.Transport exposes its wrapped node this way).
+type innerTransport interface {
+	Inner() cluster.Transport
+}
+
+func asAddressBooker(t cluster.Transport) (addressBooker, bool) {
+	for {
+		if ab, ok := t.(addressBooker); ok {
+			return ab, true
+		}
+		iw, ok := t.(innerTransport)
+		if !ok {
+			return nil, false
+		}
+		t = iw.Inner()
+	}
+}
+
+func asLinkProber(t cluster.Transport) (linkProber, bool) {
+	for {
+		if lp, ok := t.(linkProber); ok {
+			return lp, true
+		}
+		iw, ok := t.(innerTransport)
+		if !ok {
+			return nil, false
+		}
+		t = iw.Inner()
+	}
+}
+
+func asMasterRejoiner(t cluster.Transport) (masterRejoiner, bool) {
+	for {
+		if mr, ok := t.(masterRejoiner); ok {
+			return mr, true
+		}
+		iw, ok := t.(innerTransport)
+		if !ok {
+			return nil, false
+		}
+		t = iw.Inner()
+	}
+}
+
+// record assembles the master's current boundary state.
+func (ma *master) record() *checkpointRecord {
+	rec := &checkpointRecord{
+		Fingerprint:        ma.cfg.Fingerprint,
+		Epoch:              ma.epoch,
+		Seq:                ma.seq,
+		Workers:            ma.metrics.Workers,
+		Targets:            append([]int(nil), ma.targets...),
+		AssignedPos:        ma.assignedPos,
+		AssignedNeg:        ma.assignedNeg,
+		Remaining:          ma.remaining,
+		Theory:             ma.theory,
+		Load:               ma.cfg.loadSettings(),
+		MaxEpochs:          ma.cfg.MaxEpochs,
+		Epochs:             ma.metrics.Epochs,
+		RulesLearned:       ma.metrics.RulesLearned,
+		GroundFactsAdopted: ma.metrics.GroundFactsAdopted,
+		Recoveries:         ma.metrics.Recoveries,
+		LostWorkers:        ma.metrics.LostWorkers,
+		Rebalances:         ma.metrics.Rebalances,
+		JoinedWorkers:      ma.metrics.JoinedWorkers,
+		JoinShares:         ma.metrics.JoinShares,
+		StaleDropped:       ma.metrics.StaleDropped,
+		MasterRestarts:     ma.metrics.MasterRestarts,
+		OrphanReconnects:   ma.metrics.OrphanReconnects,
+	}
+	if ab, ok := asAddressBooker(ma.node); ok {
+		rec.Peers, rec.Size = ab.AddressBook()
+	} else {
+		rec.Size = ma.node.Size()
+	}
+	return rec
+}
+
+// maybeCheckpoint writes the boundary snapshot when checkpointing is
+// configured. A failed save fails the run: a master that silently stopped
+// being durable would break the crash-restart contract the caller asked
+// for. Checkpointing never touches the wire, so checkpoint-on runs stay
+// byte-identical to checkpoint-off runs.
+func (ma *master) maybeCheckpoint() error {
+	if ma.cfg.CheckpointDir == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ma.record()); err != nil {
+		return fmt.Errorf("core: master: encode checkpoint: %w", err)
+	}
+	if _, err := ckpt.Save(ma.cfg.CheckpointDir, ma.ckptSeq, buf.Bytes()); err != nil {
+		return fmt.Errorf("core: master: checkpoint epoch %d: %w", ma.epoch, err)
+	}
+	ma.ckptSeq++
+	return nil
+}
+
+// Checkpoint is a decoded master snapshot, loaded by LoadCheckpoint and
+// consumed by ResumeMaster. The accessors expose what the front-end needs
+// to rebuild the transport endpoint before resuming.
+type Checkpoint struct {
+	rec checkpointRecord
+	seq uint64 // the snapshot's file sequence number
+}
+
+// LoadCheckpoint reads the latest valid snapshot under dir. The caller
+// must have loaded the dataset (rebuilding the interned symbol table)
+// BEFORE calling this — the record's terms reference symbol indices — and
+// should verify Fingerprint against the freshly computed one.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	payload, seq, err := ckpt.LoadLatest(dir)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{seq: seq}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck.rec); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+// Fingerprint is the dataset fingerprint the checkpoint was written under.
+func (c *Checkpoint) Fingerprint() uint64 { return c.rec.Fingerprint }
+
+// Peers is the checkpointed transport address book (nil on simulation
+// checkpoints).
+func (c *Checkpoint) Peers() []string { return append([]string(nil), c.rec.Peers...) }
+
+// Size is the checkpointed transport cluster size.
+func (c *Checkpoint) Size() int { return c.rec.Size }
+
+// Epoch is the checkpointed protocol epoch (the completed boundary).
+func (c *Checkpoint) Epoch() int { return c.rec.Epoch }
+
+// Epochs is the number of completed logical epochs at the boundary.
+func (c *Checkpoint) Epochs() int { return c.rec.Epochs }
+
+// config rebuilds the semantics-bearing Config a resumed master must run
+// with over the caller's local knobs (timeouts, checkpoint dir, cost
+// model): a resume that silently ran different search settings would learn
+// a different theory.
+func (rec *checkpointRecord) config(base Config) Config {
+	base.Width = rec.Load.Width
+	base.Search = rec.Load.Search
+	base.Bottom = rec.Load.Bottom
+	base.Budget = rec.Load.Budget
+	base.AddLearnedToBK = rec.Load.AddLearnedToBK
+	base.Recover = rec.Load.Recover
+	base.Balance = rec.Load.Balance
+	base.OrphanTimeout = rec.Load.OrphanTimeout
+	base.MaxEpochs = rec.MaxEpochs
+	return base
+}
+
+// resumedMaster rebuilds a master over t from a checkpoint: protocol
+// clock, membership, assignments, theory and cumulative metrics all pick
+// up where the snapshot left off. remote selects the multi-process regime
+// (parts non-nil, final reports collected).
+func resumedMaster(t cluster.Transport, ck *Checkpoint, cfg Config, metrics *Metrics, remote bool) *master {
+	rec := &ck.rec
+	metrics.Workers = rec.Workers
+	metrics.Width = cfg.Width
+	metrics.Epochs = rec.Epochs
+	metrics.RulesLearned = rec.RulesLearned
+	metrics.GroundFactsAdopted = rec.GroundFactsAdopted
+	metrics.Recoveries = rec.Recoveries
+	metrics.LostWorkers = rec.LostWorkers
+	metrics.Rebalances = rec.Rebalances
+	metrics.JoinedWorkers = rec.JoinedWorkers
+	metrics.JoinShares = rec.JoinShares
+	metrics.StaleDropped = rec.StaleDropped
+	metrics.MasterRestarts = rec.MasterRestarts + 1
+	metrics.OrphanReconnects = rec.OrphanReconnects
+	ma := &master{
+		node:        t,
+		p:           rec.Workers,
+		cfg:         cfg,
+		metrics:     metrics,
+		targets:     append([]int(nil), rec.Targets...),
+		epoch:       rec.Epoch,
+		seq:         rec.Seq,
+		assignedPos: rec.AssignedPos,
+		assignedNeg: rec.AssignedNeg,
+		remaining:   rec.Remaining,
+		theory:      rec.Theory,
+		bal:         sched.NewBalancer(),
+		resumed:     true,
+		ckptSeq:     ck.seq + 1,
+	}
+	if remote {
+		// Non-nil but empty: marks the remote regime (welcome loads carry
+		// settings, finals are collected) without the initial shipment —
+		// workers already hold their partitions, or report Loaded=false in
+		// the resume handshake and get theirs re-shipped.
+		ma.parts = []loadDataMsg{}
+	}
+	return ma
+}
+
+// ResumeMaster restarts a crashed p²-mdie master from a checkpoint over a
+// rebuilt transport endpoint (normally netcluster.Resume on the address
+// book the checkpoint carries). It re-admits the rejoining workers, rolls
+// every survivor back to the checkpoint boundary, re-issues the in-flight
+// epoch and runs to completion: with the same dataset the learned theory
+// is byte-identical to a run whose master never died. cfg supplies local
+// knobs (RecvTimeout, CheckpointDir to keep checkpointing, Fingerprint of
+// the re-loaded dataset); every semantics-bearing setting comes from the
+// checkpoint itself.
+func ResumeMaster(t cluster.Transport, ck *Checkpoint, cfg Config) (*Metrics, error) {
+	if t.ID() != 0 {
+		return nil, fmt.Errorf("core: ResumeMaster needs node id 0, got %d", t.ID())
+	}
+	if cfg.Fingerprint != 0 && ck.rec.Fingerprint != 0 && cfg.Fingerprint != ck.rec.Fingerprint {
+		return nil, fmt.Errorf("core: checkpoint fingerprint %x does not match loaded dataset %x (resume against a different task)",
+			ck.rec.Fingerprint, cfg.Fingerprint)
+	}
+	cfg = ck.rec.config(cfg).withDefaults()
+	if len(ck.rec.Targets) == 0 {
+		return nil, fmt.Errorf("core: checkpoint has no live workers to resume with")
+	}
+
+	metrics := &Metrics{}
+	ma := resumedMaster(t, ck, cfg, metrics, true)
+
+	start := time.Now()
+	if err := ma.run(); err != nil {
+		return nil, err
+	}
+
+	metrics.Theory = ma.theory
+	metrics.WallTime = time.Since(start)
+
+	// Same assembly as RunMaster: the workers' final reports carry their
+	// cumulative totals (including pre-crash work — the workers survived),
+	// so inference and rule counts stay continuous across the restart. The
+	// restarted master's own traffic table restarts from zero; the paper's
+	// Table-4 numbers are only claimed for failure-free runs.
+	traffic := cluster.NewTraffic(t.Size())
+	if tr, ok := t.(cluster.TrafficReporter); ok {
+		traffic.Merge(tr.Traffic())
+	}
+	makespan := t.Clock()
+	for _, fm := range ma.finals {
+		metrics.TotalInferences += fm.Inferences
+		metrics.GeneratedRules += fm.Generated
+		if c := cluster.VTime(fm.Clock); c > makespan {
+			makespan = c
+		}
+		traffic.Merge(fm.Traffic)
+	}
+	metrics.VirtualTime = makespan.Duration()
+	metrics.Traffic = traffic
+	metrics.CommBytes = traffic.TotalBytes()
+	metrics.CommMessages = traffic.TotalMsgs()
+	return metrics, nil
+}

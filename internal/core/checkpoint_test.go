@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultline"
+	"repro/internal/logic"
+	"repro/internal/search"
+)
+
+// TestCheckpointRecordGobRoundTrip pins the durable snapshot format the
+// same way gob_test.go pins the wire format: every field of the master's
+// checkpoint record must survive an encode/decode cycle unchanged, or a
+// resumed master silently starts from corrupted state.
+func TestCheckpointRecordGobRoundTrip(t *testing.T) {
+	mustTerm := logic.MustParseTerm
+	rule := logic.Clause{
+		Head: mustTerm("active(X)"),
+		Body: []logic.Literal{logic.Lit(mustTerm("atm(X, Y, oxygen)"))},
+	}
+	rec := checkpointRecord{
+		Fingerprint: 0xDEADBEEF,
+		Epoch:       7,
+		Seq:         91,
+		Workers:     2,
+		Targets:     []int{1, 2},
+		AssignedPos: [][]logic.Term{nil, {mustTerm("active(m1)")}, {mustTerm("active(m2)")}},
+		AssignedNeg: [][]logic.Term{nil, {mustTerm("active(m3)")}, nil},
+		Remaining:   5,
+		Theory:      []logic.Clause{rule},
+		Load: loadDataMsg{
+			Width:         4,
+			Checkpoint:    true,
+			OrphanTimeout: 30 * time.Second,
+			Recover:       true,
+		},
+		MaxEpochs:          500,
+		Peers:              []string{"127.0.0.1:9000", "127.0.0.1:9001", "127.0.0.1:9002"},
+		Size:               3,
+		Epochs:             6,
+		RulesLearned:       3,
+		GroundFactsAdopted: 1,
+		Recoveries:         2,
+		LostWorkers:        1,
+		Rebalances:         1,
+		JoinedWorkers:      1,
+		JoinShares:         []int{4},
+		StaleDropped:       9,
+		MasterRestarts:     1,
+		OrphanReconnects:   2,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out checkpointRecord
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(out, rec) {
+		t.Errorf("round trip mismatch:\n got: %#v\nwant: %#v", out, rec)
+	}
+}
+
+// TestLearnRejectsCheckpointWithAddLearnedToBK pins the documented
+// incompatibility: rollback cannot retract rules asserted into a worker's
+// background knowledge.
+func TestLearnRejectsCheckpointWithAddLearnedToBK(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(2, 0)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.AddLearnedToBK = true
+	if _, err := Learn(kb, pos, neg, ms, cfg); err == nil {
+		t.Fatal("Learn accepted CheckpointDir together with AddLearnedToBK")
+	}
+}
+
+// TestCheckpointingDoesNotTouchTheWire pins the zero-overhead contract:
+// a checkpointed run exchanges exactly the same bytes, messages and
+// virtual time as an unchckpointed one, and learns the same theory — the
+// durability layer lives entirely beside the protocol.
+func TestCheckpointingDoesNotTouchTheWire(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	base, err := Learn(kb, pos, neg, ms, testConfig(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(4, 0)
+	cfg.CheckpointDir = t.TempDir()
+	ck, err := Learn(kb, pos, neg, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ck.Theory) != fmt.Sprint(base.Theory) {
+		t.Errorf("theory changed under checkpointing:\n got: %v\nwant: %v", ck.Theory, base.Theory)
+	}
+	if ck.CommBytes != base.CommBytes || ck.CommMessages != base.CommMessages {
+		t.Errorf("traffic changed under checkpointing: got %d bytes/%d msgs, want %d/%d",
+			ck.CommBytes, ck.CommMessages, base.CommBytes, base.CommMessages)
+	}
+	if ck.VirtualTime != base.VirtualTime {
+		t.Errorf("virtual time changed under checkpointing: got %v, want %v", ck.VirtualTime, base.VirtualTime)
+	}
+	if ck, err := LoadCheckpoint(cfg.CheckpointDir); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	} else if ck.Epoch() < 0 || ck.Fingerprint() == 0 {
+		t.Fatalf("checkpoint carries no fingerprint: %+v", ck.rec)
+	}
+}
+
+// crashRestartRun drives one simulated p²-mdie run whose master is killed
+// by the faultline schedule at the crashAt'th protocol op (0 = never) and
+// then restarted from its latest durable checkpoint, taking over the same
+// transport node — the simulation analogue of `kill -9` plus `p2mdie
+// -resume`. The workers are never told: exactly as in a real master crash
+// they sit blocked mid-epoch until the resumed master's handshake reaches
+// them. Returns the final metrics and the total op count observed.
+func crashRestartRun(t *testing.T, crashAt int64, dir string) (*Metrics, int64) {
+	t.Helper()
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(4, 0)
+	cfg.CheckpointDir = dir
+	cfg.Fingerprint = Fingerprint(kb, pos, neg)
+	cfg.RecvTimeout = 30 * time.Second // a wedged resume must fail, not hang the test
+	cfgd := cfg.withDefaults()
+	p := cfgd.Workers
+
+	posParts, negParts := splitExamples(pos, neg, p, cfgd.Seed)
+	nw := cluster.NewNetwork(p+1, cfgd.Cost)
+	var wg sync.WaitGroup
+	for k := 1; k <= p; k++ {
+		w := newWorker(k, p, nw.Node(k), kb, search.NewExamples(posParts[k-1], negParts[k-1]), ms, cfgd)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.run(); err != nil {
+				t.Errorf("worker %d: %v", w.id, err)
+				nw.Shutdown()
+			}
+		}()
+	}
+
+	metrics := &Metrics{Workers: p, Width: cfgd.Width}
+	node0 := nw.Node(0)
+	fl := faultline.Wrap(node0, faultline.Plan{CrashAtOp: crashAt})
+	ma := newMaster(fl, p, cfgd, metrics, len(pos), posParts, negParts)
+	err := ma.run()
+	if err == nil {
+		metrics.Theory = ma.theory
+		wg.Wait()
+		return metrics, fl.Ops()
+	}
+	if !errors.Is(err, faultline.ErrCrashed) {
+		nw.Shutdown()
+		t.Fatalf("master failed outside the schedule: %v", err)
+	}
+
+	// The restart: a fresh master process loads the checkpoint and takes
+	// over the dead master's endpoint.
+	chk, lerr := LoadCheckpoint(dir)
+	if lerr != nil {
+		nw.Shutdown()
+		t.Fatalf("crash at op %d: load checkpoint: %v", crashAt, lerr)
+	}
+	if chk.Fingerprint() != cfg.Fingerprint {
+		nw.Shutdown()
+		t.Fatalf("crash at op %d: checkpoint fingerprint %x, want %x", crashAt, chk.Fingerprint(), cfg.Fingerprint)
+	}
+	m2 := &Metrics{}
+	rcfg := chk.rec.config(cfg).withDefaults()
+	ma2 := resumedMaster(node0, chk, rcfg, m2, false)
+	if err := ma2.run(); err != nil {
+		nw.Shutdown()
+		t.Fatalf("crash at op %d: resumed master: %v", crashAt, err)
+	}
+	m2.Theory = ma2.theory
+	wg.Wait()
+	return m2, fl.Ops()
+}
+
+// TestSimCrashRestartByteIdentity is the tentpole acceptance check on the
+// simulated transport: kill the master at a sweep of protocol points,
+// restart it from its durable checkpoint, and require the learned theory
+// to be identical to the failure-free run's every time. The stop window
+// (the final kindStop broadcast) is excluded — workers that already
+// received their stop have exited, and a crash there has nothing left to
+// resume (documented caveat, DESIGN.md §8).
+func TestSimCrashRestartByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep is slow")
+	}
+	base, total := crashRestartRun(t, 0, t.TempDir())
+	if total < 10 {
+		t.Fatalf("probe run counted only %d ops", total)
+	}
+	want := fmt.Sprint(base.Theory)
+	kb, pos, _, _ := makeTask(t)
+	theoryCoversAll(t, kb, base.Theory, pos)
+	// Sweep every op when cheap, else ~24 evenly spaced points plus the
+	// earliest (mid-load) and latest resumable one.
+	last := total - int64(base.Workers) // exclude the stop broadcast window
+	stride := int64(1)
+	if last > 24 {
+		stride = last / 24
+	}
+	points := []int64{1, last}
+	for op := stride; op < last; op += stride {
+		points = append(points, op)
+	}
+	for _, op := range points {
+		met, _ := crashRestartRun(t, op, t.TempDir())
+		if t.Failed() {
+			t.Fatalf("aborting sweep at op %d", op)
+		}
+		if got := fmt.Sprint(met.Theory); got != want {
+			t.Fatalf("crash at op %d: theory diverged\n got: %s\nwant: %s", op, got, want)
+		}
+		if met.MasterRestarts != 1 {
+			t.Fatalf("crash at op %d: MasterRestarts = %d, want 1", op, met.MasterRestarts)
+		}
+	}
+}

@@ -83,6 +83,31 @@ type Config struct {
 	// failure fails the run (the original fail-stop contract). Failure-
 	// free runs are byte-identical with either setting. See DESIGN.md §6.
 	Recover bool
+	// CheckpointDir, when non-empty, makes the master durable: at every
+	// epoch boundary it writes a versioned, CRC-guarded snapshot of its
+	// protocol state (theory, per-worker assignments, remaining counter,
+	// membership and address book) under this directory via atomic
+	// temp-file-and-rename, keeping the last two snapshots. A crashed
+	// master restarts from the latest valid snapshot (`p2mdie -resume`)
+	// and the learned theory is byte-identical to a failure-free run.
+	// Workers keep matching epoch-boundary rollback snapshots in memory.
+	// Off (the default), runs are byte-identical on the wire to a build
+	// without the checkpoint layer. Incompatible with AddLearnedToBK:
+	// rollback cannot retract rules asserted into a worker's background.
+	// See DESIGN.md §8.
+	CheckpointDir string
+	// OrphanTimeout switches workers to the orphan regime on master death:
+	// instead of failing, a worker holds its state and redials the master's
+	// (stable) address with exponential backoff + jitter for up to this
+	// long, resuming when the restarted master re-admits it. Zero (the
+	// default) keeps master death fatal to workers. Master-configured and
+	// shipped in the load message so the whole cluster runs one regime.
+	OrphanTimeout time.Duration
+	// Fingerprint is the loaded task's fingerprint (Fingerprint()); stamped
+	// into checkpoints so a resume against a different dataset is rejected
+	// instead of silently mis-decoding interned terms. Filled by the
+	// p2mdie front-end; zero skips the check.
+	Fingerprint uint64
 	// CoverParallelism shards each worker's coverage tests across this many
 	// goroutines (>1), serially on the worker's machine (≤1), or across
 	// GOMAXPROCS (<0). This is real multicore parallelism inside one
@@ -161,6 +186,14 @@ type Metrics struct {
 	// counted here too, but still applied: the worker already retracted
 	// the example.)
 	StaleDropped int64
+	// MasterRestarts counts crash-restart resumes of the master from a
+	// durable checkpoint (cumulative across restarts — the counter itself
+	// is checkpointed); zero in a run whose master never died.
+	MasterRestarts int
+	// OrphanReconnects counts worker orphan→rejoin episodes: each time a
+	// worker survived a master death and reconnected to the restarted
+	// master. Reported by the workers during the resume handshake.
+	OrphanReconnects int
 }
 
 // splitExamples materialises Fig. 5 step 2 — the seeded shuffle +

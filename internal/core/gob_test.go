@@ -3,6 +3,7 @@ package core
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/bottom"
 	"repro/internal/cluster"
@@ -47,6 +48,9 @@ func TestMessageGobRoundTrip(t *testing.T) {
 			Search:  search.Settings{MaxClauseLen: 3, NodesLimit: 500, MinPos: 1, MinPrec: 0.7, W: 10, MEstimateM: 2, PosPrior: 0.5}.WithDefaults(),
 			Bottom:  bottom.Options{VarDepth: 2, MaxLiterals: 64, MaxRecall: 32},
 			Budget:  solve.Budget{MaxDepth: 32, MaxInferences: 1 << 16},
+
+			Checkpoint:    true,
+			OrphanTimeout: 30 * time.Second,
 		},
 		kindStartPipeline: startMsg{Width: 10},
 		kindStage: stageMsg{
@@ -77,11 +81,12 @@ func TestMessageGobRoundTrip(t *testing.T) {
 			},
 		},
 		kindReassign: reassignMsg{
-			Epoch:   7,
-			Seq:     42,
-			Members: []int{1, 3},
-			Pos:     []logic.Term{mustTerm("active(m6)")},
-			Neg:     []logic.Term{mustTerm("active(m7)")},
+			Epoch:         7,
+			Seq:           42,
+			Members:       []int{1, 3},
+			Pos:           []logic.Term{mustTerm("active(m6)")},
+			Neg:           []logic.Term{mustTerm("active(m7)")},
+			RollbackBelow: 6,
 		},
 		kindReassignAck: reassignAckMsg{Epoch: 7, Seq: 9, Worker: 3, Alive: 5},
 		kindSuspect:     suspectMsg{Epoch: 7, Seq: 10, Worker: 1, Peer: 2},
@@ -105,8 +110,10 @@ func TestMessageGobRoundTrip(t *testing.T) {
 			Pos:     []logic.Term{mustTerm("active(m8)")},
 		},
 		kindRebalanceAck: rebalanceAckMsg{Epoch: 8, Seq: 13, Worker: 3, Alive: 4},
+		kindResumeQuery:  resumeQueryMsg{Epoch: 9, Seq: 14},
+		kindResumeInfo:   resumeInfoMsg{Epoch: 11, Seq: 15, Worker: 2, Loaded: true, Reconnects: 1},
 	}
-	if got, want := len(payloads), kindRebalanceAck+1; got != want {
+	if got, want := len(payloads), kindResumeInfo+1; got != want {
 		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -100,6 +101,26 @@ type master struct {
 	// worker's final report — and is tolerated even when it empties the
 	// membership or recovery is off.
 	draining bool
+
+	// resumed marks a master rebuilt from a durable checkpoint: run()
+	// replaces the initial load with the resume handshake (rejoin wait,
+	// state query, rollback barrier). See DESIGN.md §8.
+	resumed bool
+	// rollbackTo, when non-zero, rides on every kindReassign until a
+	// barrier completes: workers discard the effects of every epoch ≥
+	// rollbackTo, restoring the checkpoint boundary the resumed master
+	// restarted from. Cleared by the first completed barrier (each worker
+	// rolls back at most once, so re-issues merge on top).
+	rollbackTo int
+	// resumeFloor is the epoch of the resume's rollback barrier: stale
+	// adoptions from below it are residue of the crashed run whose
+	// retractions the rollback un-did, so — unlike ordinary stale
+	// adoptions — they must NOT enter the theory. Zero (never resumed)
+	// keeps every pre-existing code path unchanged.
+	resumeFloor int
+	// ckptSeq numbers the next checkpoint snapshot file (continuing the
+	// loaded sequence on resume).
+	ckptSeq uint64
 
 	// parts, when non-nil, holds the per-worker kindLoad payloads of a
 	// remote (multi-process) run; nil selects the simulation's
@@ -238,6 +259,14 @@ func (ma *master) acceptStale(msg cluster.Message) error {
 	var am adoptedMsg
 	if err := msg.Decode(&am); err != nil {
 		return fmt.Errorf("core: master: garbled stale adoption from node %d: %w", msg.From, err)
+	}
+	if am.Epoch < ma.resumeFloor {
+		// Residue of a run the master crashed out of: the resume's rollback
+		// barrier restored every worker to the checkpoint boundary,
+		// un-retracting this adoptee — it is alive again and will be
+		// re-covered (or re-adopted) by the re-issued epochs, so admitting
+		// it here would fork the theory from the failure-free run.
+		return nil
 	}
 	if am.Ok {
 		ma.theory = append(ma.theory, logic.Fact(am.Example))
@@ -585,6 +614,55 @@ func (ma *master) repartition() error {
 	return nil
 }
 
+// reassignBarrier runs one kindReassign barrier: bump the epoch, deal the
+// queued lost assignments over the live membership, and collect every
+// survivor's ack, rebasing the global remaining counter from the reported
+// alive counts. It reports lostAgain=true when a further death aborted
+// the collection, so the caller can re-issue with the new casualty folded
+// in. A pending rollback order (ma.rollbackTo, set by a crash-restart
+// resume) rides on every reassign until some barrier completes; each
+// worker applies it at most once, so re-issued barriers merge their
+// shares on top of already-rolled-back survivors — exactly matching the
+// master's append-only assignment bookkeeping.
+func (ma *master) reassignBarrier() (lostAgain bool, err error) {
+	ma.epoch++
+	members := append([]int(nil), ma.targets...)
+	posShares := sched.DealEven(ma.lostPos, len(ma.targets))
+	negShares := sched.DealEven(ma.lostNeg, len(ma.targets))
+	ma.lostPos, ma.lostNeg = nil, nil
+	seq := ma.nextSeq()
+	for i, k := range ma.targets {
+		rm := reassignMsg{
+			Epoch:         ma.epoch,
+			Seq:           seq,
+			Members:       members,
+			Pos:           posShares[i],
+			Neg:           negShares[i],
+			RollbackBelow: ma.rollbackTo,
+		}
+		ma.assignedPos[k] = append(ma.assignedPos[k], posShares[i]...)
+		ma.assignedNeg[k] = append(ma.assignedNeg[k], negShares[i]...)
+		if err := ma.send(k, kindReassign, rm); err != nil {
+			return false, err
+		}
+	}
+	pending := ma.pendingLive()
+	alive := 0
+	for len(pending) > 0 {
+		r, err := ma.nextReply(kindReassignAck, pending, func() replyHdr { return new(reassignAckMsg) })
+		if err != nil {
+			if asWorkerLost(err) != nil {
+				return true, nil
+			}
+			return false, err
+		}
+		alive += r.(*reassignAckMsg).Alive
+	}
+	ma.remaining = alive
+	ma.rollbackTo = 0
+	return false, nil
+}
+
 // recoverMembership redistributes dead workers' assignments over the
 // survivors and installs the new membership through the kindReassign
 // barrier: every survivor merges its share, adopts the new ring and acks;
@@ -596,46 +674,187 @@ func (ma *master) repartition() error {
 // recovery simply restart it with the additional casualties folded in.
 func (ma *master) recoverMembership() error {
 	for {
-		ma.epoch++
-		members := append([]int(nil), ma.targets...)
-		posShares := sched.DealEven(ma.lostPos, len(ma.targets))
-		negShares := sched.DealEven(ma.lostNeg, len(ma.targets))
-		ma.lostPos, ma.lostNeg = nil, nil
-		seq := ma.nextSeq()
-		for i, k := range ma.targets {
-			rm := reassignMsg{
-				Epoch:   ma.epoch,
-				Seq:     seq,
-				Members: members,
-				Pos:     posShares[i],
-				Neg:     negShares[i],
-			}
-			ma.assignedPos[k] = append(ma.assignedPos[k], posShares[i]...)
-			ma.assignedNeg[k] = append(ma.assignedNeg[k], negShares[i]...)
-			if err := ma.send(k, kindReassign, rm); err != nil {
-				return err
-			}
+		again, err := ma.reassignBarrier()
+		if err != nil {
+			return err
 		}
-		pending := ma.pendingLive()
-		alive := 0
-		lostAgain := false
-		for len(pending) > 0 {
-			r, err := ma.nextReply(kindReassignAck, pending, func() replyHdr { return new(reassignAckMsg) })
-			if err != nil {
-				if asWorkerLost(err) != nil {
-					lostAgain = true
-					break
-				}
-				return err
-			}
-			alive += r.(*reassignAckMsg).Alive
-		}
-		if lostAgain {
+		if again {
 			continue
 		}
-		ma.remaining = alive
 		ma.metrics.Recoveries++
 		return nil
+	}
+}
+
+// awaitRejoins waits for every checkpointed member to re-establish its
+// master link after a crash-restart (netcluster: the workers redial the
+// resumed listener and surface as KindPeerUp events). Members that miss
+// the window are declared lost — their assignment redistributes through
+// the same rollback barrier the survivors get. On transports without
+// per-peer links (the simulated machine, where the restarted master takes
+// over the same always-connected node) there is nothing to wait for.
+func (ma *master) awaitRejoins() error {
+	lp, ok := asLinkProber(ma.node)
+	if !ok {
+		return nil
+	}
+	missing := func() []int {
+		var out []int
+		for _, k := range ma.targets {
+			if !lp.Linked(k) {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	wait := ma.cfg.RecvTimeout
+	if wait <= 0 {
+		wait = defaultResumeWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		absent := missing()
+		if len(absent) == 0 {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			for _, k := range absent {
+				if err := ma.noteLost(k); err != nil {
+					return fmt.Errorf("core: master: resume: worker %d never rejoined: %w", k, err)
+				}
+			}
+			return nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), remain)
+		msg, err := ma.node.ReceiveCtx(ctx)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue // re-check the deadline, then give up on absentees
+			}
+			return fmt.Errorf("core: master: resume: waiting for rejoins: %w", err)
+		}
+		switch msg.Kind {
+		case cluster.KindPeerUp:
+			// A rejoining member (already live — noteJoin ignores it; the
+			// Linked probe sees the fresh link) or a brand-new joiner.
+			ma.noteJoin(msg.From)
+		case cluster.KindPeerDown:
+			if ma.dropPendingJoin(msg.From) || !ma.isLive(msg.From) {
+				continue
+			}
+			if err := ma.noteLost(msg.From); err != nil {
+				return err
+			}
+		default:
+			ma.metrics.StaleDropped++ // pre-crash residue; superseded below
+		}
+	}
+}
+
+// defaultResumeWait bounds the rejoin wait when no RecvTimeout is set.
+const defaultResumeWait = 60 * time.Second
+
+// collectResumeInfo gathers every live member's kindResumeInfo answer.
+// It is a dedicated loop rather than nextReply because worker epochs may
+// legitimately EXCEED the checkpointed master clock — exactly the
+// condition nextReply treats as a protocol violation. Everything else in
+// the inbox is pre-crash residue (the simulated master inherits its
+// predecessor's unread mailbox) and is dropped — including late
+// adoptions, whose retractions the imminent rollback un-does.
+func (ma *master) collectResumeInfo() (map[int]*resumeInfoMsg, error) {
+	pending := ma.pendingLive()
+	infos := make(map[int]*resumeInfoMsg, len(pending))
+	for len(pending) > 0 {
+		msg, err := receiveWithTimeout(ma.node, ma.cfg.RecvTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("core: master: resume: waiting for worker state: %w", err)
+		}
+		switch msg.Kind {
+		case cluster.KindPeerUp:
+			ma.noteJoin(msg.From)
+		case cluster.KindPeerDown:
+			if ma.dropPendingJoin(msg.From) || !ma.isLive(msg.From) {
+				continue
+			}
+			if err := ma.noteLost(msg.From); err != nil {
+				return nil, err
+			}
+			delete(pending, msg.From)
+		case kindResumeInfo:
+			var im resumeInfoMsg
+			if err := msg.Decode(&im); err != nil {
+				return nil, fmt.Errorf("core: master: garbled resume info from node %d: %w", msg.From, err)
+			}
+			if !pending[im.Worker] {
+				return nil, fmt.Errorf("core: master: duplicate or unexpected resume info for worker %d from node %d", im.Worker, msg.From)
+			}
+			delete(pending, im.Worker)
+			infos[im.Worker] = &im
+		default:
+			ma.metrics.StaleDropped++
+		}
+	}
+	return infos, nil
+}
+
+// resumeCluster is the crash-restart handshake, replacing the initial
+// load on a resumed master: wait for the checkpointed members to rejoin,
+// ask each where it stands (kindResumeQuery), re-ship the partition to
+// remote workers the crash caught before their first load, fast-forward
+// the epoch clock past everything any worker saw, and run the rollback
+// barrier — every survivor restores its checkpoint-boundary snapshot,
+// discarding the crashed epoch's partial work, and re-acks its alive
+// count. From there the ordinary epoch loop re-issues the in-flight epoch
+// and the run is on rails again; determinism makes the remainder identical
+// to a run that never crashed.
+func (ma *master) resumeCluster() error {
+	boundary := ma.epoch // the checkpointed, completed epoch
+	if err := ma.awaitRejoins(); err != nil {
+		return err
+	}
+	if err := ma.bcastLive(kindResumeQuery, resumeQueryMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+		return err
+	}
+	infos, err := ma.collectResumeInfo()
+	if err != nil {
+		return err
+	}
+	maxEpoch := ma.epoch
+	for _, im := range infos {
+		if im.Epoch > maxEpoch {
+			maxEpoch = im.Epoch
+		}
+		ma.metrics.OrphanReconnects += im.Reconnects
+	}
+	if ma.parts != nil {
+		// A crash during the initial load leaves remote workers without a
+		// partition; re-ship it (the load precedes the rollback reassign on
+		// the same ordered link, so ordering holds).
+		for _, k := range ma.targets {
+			if im := infos[k]; im == nil || im.Loaded {
+				continue
+			}
+			lm := ma.cfg.loadSettings()
+			lm.Pos = ma.assignedPos[k]
+			lm.Neg = ma.assignedNeg[k]
+			if err := ma.send(k, kindLoad, lm); err != nil {
+				return err
+			}
+		}
+	}
+	ma.epoch = maxEpoch
+	ma.rollbackTo = boundary + 1
+	ma.resumeFloor = maxEpoch + 1
+	for {
+		again, err := ma.reassignBarrier()
+		if err != nil {
+			return err
+		}
+		if !again {
+			return nil
+		}
 	}
 }
 
@@ -825,18 +1044,38 @@ func (ma *master) runEpoch() error {
 // recovering from worker failures when configured.
 func (ma *master) run() error {
 	ma.node.NotifyFailures(ma.cfg.Recover)
-	if ma.parts != nil {
-		// Remote workers have no shared filesystem: each load ships the
-		// worker's partition (and the semantics-bearing settings).
-		for i, k := range ma.targets {
-			if err := ma.send(k, kindLoad, ma.parts[i]); err != nil {
-				return err
-			}
+	if ma.resumed {
+		// Crash-restart: the cluster already holds (post-crash) state; the
+		// resume handshake rolls everyone back to the checkpoint boundary
+		// in place of the initial load.
+		if err := ma.resumeCluster(); err != nil {
+			return err
 		}
-	} else if err := ma.bcastLive(kindLoad, loadMsg{}); err != nil {
-		return err
+	} else {
+		// Snapshot before the first wire op: a durable master is resumable
+		// from the instant it starts, including a crash mid-load (workers
+		// the load never reached report Loaded=false and get it re-shipped).
+		if err := ma.maybeCheckpoint(); err != nil {
+			return err
+		}
+		if ma.parts != nil {
+			// Remote workers have no shared filesystem: each load ships the
+			// worker's partition (and the semantics-bearing settings).
+			for i, k := range ma.targets {
+				if err := ma.send(k, kindLoad, ma.parts[i]); err != nil {
+					return err
+				}
+			}
+		} else if err := ma.bcastLive(kindLoad, loadMsg{}); err != nil {
+			return err
+		}
 	}
 	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
+		// The loop top is the only place the whole cluster is quiescent at a
+		// completed epoch — the one state a snapshot can name.
+		if err := ma.maybeCheckpoint(); err != nil {
+			return err
+		}
 		err := ma.prepEpoch()
 		if err == nil {
 			err = ma.runEpoch()
@@ -914,6 +1153,14 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	}
 	if len(pos) == 0 {
 		return nil, fmt.Errorf("core: no positive examples")
+	}
+	if cfg.CheckpointDir != "" {
+		if cfg.AddLearnedToBK {
+			return nil, fmt.Errorf("core: CheckpointDir is incompatible with AddLearnedToBK: rollback cannot retract asserted rules")
+		}
+		if cfg.Fingerprint == 0 {
+			cfg.Fingerprint = Fingerprint(kb, pos, neg)
+		}
 	}
 
 	// Fig. 5 step 2: random even partition of E+ and E−.

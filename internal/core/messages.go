@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/bottom"
 	"repro/internal/cluster"
 	"repro/internal/logic"
@@ -111,6 +113,18 @@ const (
 	// the worker's uncovered-positive count, from which the master rebases
 	// its global remaining counter (same rebase as kindReassignAck).
 	kindRebalanceAck
+	// kindResumeQuery (master→workers) opens a crash-restart resume: a
+	// master rebuilt from a durable checkpoint asks every member where it
+	// stands. Epoch-INDEPENDENT on the worker (like kindSuspect): worker
+	// epochs may be ahead of the checkpointed master clock — finding out
+	// by how much is the query's whole point. See DESIGN.md §8.
+	kindResumeQuery
+	// kindResumeInfo (worker→master) answers a resume query: the worker's
+	// current epoch (the resumed master fast-forwards its own clock past
+	// the maximum), whether it holds a loaded partition (a crash during
+	// the initial load leaves remote workers empty, and the master must
+	// re-ship), and its orphan-reconnect count since the last report.
+	kindResumeInfo
 )
 
 // loadMsg signals partition loading; Round distinguishes reloads. The
@@ -150,6 +164,16 @@ type loadDataMsg struct {
 	// measured throughput to kindGathered replies only when the master
 	// will use it, so balance-off runs keep byte-identical wire traffic.
 	Balance bool
+	// Checkpoint mirrors whether the master writes durable checkpoints:
+	// workers keep in-memory epoch-boundary snapshots (for crash-restart
+	// rollback, kindReassign.RollbackBelow) exactly when there are
+	// checkpoints they could be rolled back to. False is omitted by gob,
+	// keeping checkpoint-off wire bytes unchanged.
+	Checkpoint bool
+	// OrphanTimeout mirrors the master's Config.OrphanTimeout: non-zero
+	// switches workers to the orphan regime on master death (hold state,
+	// redial with backoff, resume on re-admission) instead of failing.
+	OrphanTimeout time.Duration
 }
 
 // loadSettings builds the semantics-bearing remote load payload with an
@@ -168,6 +192,8 @@ func (c Config) loadSettings() loadDataMsg {
 		AddLearnedToBK: c.AddLearnedToBK,
 		Recover:        c.Recover,
 		Balance:        c.Balance,
+		Checkpoint:     c.CheckpointDir != "",
+		OrphanTimeout:  c.OrphanTimeout,
 	}
 }
 
@@ -308,6 +334,16 @@ type reassignMsg struct {
 	Members []int // surviving worker ids, ascending — the new pipeline ring
 	Pos     []logic.Term
 	Neg     []logic.Term
+	// RollbackBelow, when non-zero, orders the worker to discard the
+	// effects of every epoch ≥ RollbackBelow — restoring its in-memory
+	// boundary snapshot for epoch RollbackBelow−1 — before merging the
+	// shares. Sent by a resumed master whose checkpoint predates work the
+	// surviving workers already did; each worker rolls back at most once
+	// per resume (re-issued barriers merge on top of the restored state,
+	// matching the master's assignment bookkeeping). Zero — the value in
+	// every failure-free and plain-recovery run — is omitted by gob, so
+	// checkpoint-off wire bytes are unchanged.
+	RollbackBelow int
 }
 
 // reassignAckMsg confirms a reassignment (see kindReassignAck).
@@ -350,6 +386,29 @@ type rebalanceMsg struct {
 // same shape as a reassign ack and reuses its dispatch header.
 type rebalanceAckMsg = reassignAckMsg
 
+// resumeQueryMsg opens a crash-restart resume (see kindResumeQuery). The
+// Epoch tag is the resumed master's checkpointed clock — informational
+// only, since workers answer regardless of epoch.
+type resumeQueryMsg struct {
+	Epoch int
+	Seq   int64
+}
+
+// resumeInfoMsg answers a resume query (see kindResumeInfo).
+type resumeInfoMsg struct {
+	Epoch  int
+	Seq    int64
+	Worker int
+	// Loaded reports whether the worker holds a partition; false means the
+	// master crashed during the initial load and must re-ship kindLoad.
+	Loaded bool
+	// Reconnects is the worker's orphan→rejoin episode count since its
+	// last report (the worker zeroes the counter after answering, so the
+	// master can sum deltas across repeated restarts without double
+	// counting).
+	Reconnects int
+}
+
 // suspectMsg reports a transport-level sibling death (see kindSuspect).
 // It is processed regardless of epoch: the observation is about present
 // link state, not about any epoch's protocol phase.
@@ -375,6 +434,7 @@ func (m *adoptedMsg) hdr() (int, int)     { return m.Epoch, m.Worker }
 func (m *gatheredMsg) hdr() (int, int)    { return m.Epoch, m.Worker }
 func (m *finalMsg) hdr() (int, int)       { return m.Epoch, m.Worker }
 func (m *reassignAckMsg) hdr() (int, int) { return m.Epoch, m.Worker }
+func (m *resumeInfoMsg) hdr() (int, int)  { return m.Epoch, m.Worker }
 
 // epochOnly decodes just the Epoch tag of a payload — used by the
 // dispatch loop to distinguish a stale out-of-phase message (dropped) from

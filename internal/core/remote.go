@@ -93,6 +93,9 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 	if len(pos) == 0 {
 		return nil, fmt.Errorf("core: no positive examples")
 	}
+	if cfg.CheckpointDir != "" && cfg.AddLearnedToBK {
+		return nil, fmt.Errorf("core: CheckpointDir is incompatible with AddLearnedToBK: rollback cannot retract asserted rules")
+	}
 
 	// Fig. 5 step 2: the same random even partition as the simulation
 	// (shared splitExamples — the byte-identity guarantee depends on it).

@@ -57,6 +57,25 @@ type worker struct {
 	// repartition, so the worker's work accounting stays monotonic.
 	retiredInf int64
 
+	// snapsOn enables epoch-boundary snapshots (set when the master runs
+	// with CheckpointDir; remote workers learn it from the load message).
+	// snaps holds them, keyed by completed epoch: the lazy snapshot taken
+	// when the first message of a later epoch arrives captures exactly the
+	// state the master's loop-top checkpoint named. Bounded (old boundaries
+	// can no longer be rolled back to once a newer checkpoint lands).
+	snapsOn bool
+	snaps   map[int]boundarySnap
+	// rolledBack is the highest reassignMsg.RollbackBelow this worker has
+	// applied. A rollback is applied at most once: re-issued recovery
+	// barriers after the restore merge their shares on top — mirroring the
+	// master's append-only assignment bookkeeping — so restoring again
+	// would orphan the shares merged in between.
+	rolledBack int
+	// orphanReconnects counts survived master deaths since the last
+	// kindResumeInfo report (a delta, zeroed on reply, so repeated
+	// restarts never double-count).
+	orphanReconnects int
+
 	// busyNs accumulates the virtual nanoseconds this worker spent
 	// computing (every clock advance charged through compute), excluding
 	// receive-time idling. totalInf over busyNs is the worker's measured
@@ -89,6 +108,21 @@ type covCacheEntry struct {
 	cov  covEntry
 }
 
+// boundarySnap is one epoch-boundary rollback point. The example set is
+// held by reference — Pos and Neg are immutable once built, only the alive
+// mask mutates — with the mask cloned; if a later reassign or rebalance
+// replaced the Examples object itself, the snapshot still pins the old one.
+type boundarySnap struct {
+	ex    *search.Examples
+	alive search.Bitset
+	ring  []int
+}
+
+// maxBoundarySnaps bounds the in-memory rollback window. The master only
+// ever rolls back to its latest valid checkpoint — at most two epochs old
+// (two snapshot files are kept) — so a handful of boundaries is ample.
+const maxBoundarySnaps = 8
+
 func fullRing(p int) []int {
 	ring := make([]int, p)
 	for i := range ring {
@@ -112,9 +146,11 @@ func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examp
 		kb:       kb,
 		m:        m,
 		ex:       ex,
+		snapsOn:  cfg.CheckpointDir != "",
+		snaps:    make(map[int]boundarySnap),
 		covCache: make(map[uint64][]covCacheEntry),
 	}
-	node.NotifyFailures(cfg.Recover)
+	node.NotifyFailures(cfg.Recover || cfg.OrphanTimeout > 0)
 	w.ev = w.newEvaluator()
 	return w
 }
@@ -132,6 +168,7 @@ func newRemoteWorker(node cluster.Transport, kb *solve.KB, ms *mode.Set, cfg Con
 		ms:       ms,
 		remote:   true,
 		kb:       kb,
+		snaps:    make(map[int]boundarySnap),
 		covCache: make(map[uint64][]covCacheEntry),
 	}
 }
@@ -150,11 +187,16 @@ func (w *worker) loadRemote(lm *loadDataMsg) error {
 	w.cfg.AddLearnedToBK = lm.AddLearnedToBK
 	w.cfg.Recover = lm.Recover
 	w.cfg.Balance = lm.Balance
+	w.snapsOn = lm.Checkpoint
+	if lm.OrphanTimeout > 0 {
+		w.cfg.OrphanTimeout = lm.OrphanTimeout
+	}
 	w.cfg = w.cfg.withDefaults()
 	// The failure regime is cluster-wide and master-decided: under
 	// recovery a sibling's death must arrive as a membership event, not
-	// poison this worker's transport.
-	w.node.NotifyFailures(w.cfg.Recover)
+	// poison this worker's transport — and the orphan regime needs the
+	// master's own death delivered the same way.
+	w.node.NotifyFailures(w.cfg.Recover || w.cfg.OrphanTimeout > 0)
 	if w.ev != nil {
 		w.retiredInf += w.m.TotalInferences() + w.ev.OwnInferences()
 		w.ev.Close()
@@ -199,6 +241,76 @@ func (w *worker) newEvaluator() search.FullCoverer {
 func (w *worker) nextSeq() int64 {
 	w.seq++
 	return w.seq
+}
+
+// bumpEpoch advances the worker's epoch clock to the (already
+// staleness-checked) wire epoch, returning the previous value. When
+// snapshots are on and the clock actually moves, the pre-advance state is
+// recorded first, keyed by the epoch just completed — the lazy boundary
+// snapshot a crash-restart rollback restores.
+func (w *worker) bumpEpoch(to int) (prev int) {
+	prev = w.epoch
+	if w.snapsOn && to > w.epoch && w.ex != nil {
+		w.snapshot()
+	}
+	w.epoch = to
+	return prev
+}
+
+// snapshot records the current state under the current epoch and prunes
+// the oldest boundaries past the cap.
+func (w *worker) snapshot() {
+	w.snaps[w.epoch] = boundarySnap{
+		ex:    w.ex,
+		alive: w.ex.PosAlive.Clone(),
+		ring:  append([]int(nil), w.ring...),
+	}
+	for len(w.snaps) > maxBoundarySnaps {
+		low := -1
+		for k := range w.snaps {
+			if low < 0 || k < low {
+				low = k
+			}
+		}
+		delete(w.snaps, low)
+	}
+}
+
+// restore rolls the worker back to the boundary snapshot of the given
+// completed epoch, discarding every later effect: retractions un-retract
+// (the alive mask is restored) and partition replacements un-replace (the
+// snapshotted Examples object comes back, with a fresh evaluator, since
+// the coverage cache's bitsets index the example set they were built
+// over). kindMarkCovered effects survive by re-application: the master
+// re-retracts accepted rules when it re-issues the rolled-back epochs.
+func (w *worker) restore(boundary int) error {
+	s, ok := w.snaps[boundary]
+	if !ok {
+		return fmt.Errorf("core: worker %d: no boundary snapshot for epoch %d", w.id, boundary)
+	}
+	if s.ex != w.ex {
+		w.retiredInf += w.ev.OwnInferences()
+		w.ev.Close()
+		w.ex = s.ex
+		w.ev = w.newEvaluator()
+		w.covCache = make(map[uint64][]covCacheEntry)
+	}
+	w.ex.PosAlive = s.alive.Clone()
+	w.ring = append([]int(nil), s.ring...)
+	return nil
+}
+
+// sendMaster ships a protocol message to the master, swallowing the
+// dead-master send error under the orphan regime: the message belongs to
+// an epoch the restarted master will roll back anyway, and the KindPeerDown
+// event (possibly already queued) moves the worker into its reconnect
+// loop.
+func (w *worker) sendMaster(kind int, v any) error {
+	err := w.node.Send(0, kind, v)
+	if err != nil && w.cfg.OrphanTimeout > 0 && errors.Is(err, cluster.ErrPeerDown) {
+		return nil
+	}
+	return err
 }
 
 // totalInf is the worker's total SLD work: its own machine plus any
@@ -338,7 +450,20 @@ func (w *worker) run() error {
 		}
 		if msg.Kind == cluster.KindPeerDown {
 			if msg.From == 0 {
-				return fmt.Errorf("core: worker %d: master failed", w.id)
+				if w.cfg.OrphanTimeout > 0 {
+					if rj, ok := asMasterRejoiner(w.node); ok {
+						// Orphan regime: hold all state and redial the
+						// master's stable address with backoff until a
+						// restarted master re-admits this worker (its
+						// kindResumeQuery then arrives on the new link).
+						if _, err := rj.RejoinMaster(w.cfg.OrphanTimeout); err != nil {
+							return fmt.Errorf("core: worker %d orphaned at epoch %d: master did not return: %w", w.id, w.epoch, err)
+						}
+						w.orphanReconnects++
+						continue
+					}
+				}
+				return fmt.Errorf("core: worker %d at epoch %d: master failed: %w", w.id, w.epoch, cluster.ErrPeerDown)
 			}
 			// A dead sibling: remember it so pipeline forwards stop
 			// targeting it, and report the observation — link failures
@@ -355,7 +480,7 @@ func (w *worker) run() error {
 			}
 			continue
 		}
-		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindWelcome && msg.Kind != kindStop {
+		if w.ex == nil && msg.Kind != kindLoad && msg.Kind != kindWelcome && msg.Kind != kindStop && msg.Kind != kindResumeQuery {
 			return fmt.Errorf("core: worker %d got kind %d before its partition was loaded", w.id, msg.Kind)
 		}
 		switch msg.Kind {
@@ -386,7 +511,7 @@ func (w *worker) run() error {
 			if sm.Epoch < w.epoch {
 				continue // stale re-issued epoch; nobody reads the result
 			}
-			w.epoch = sm.Epoch
+			w.bumpEpoch(sm.Epoch)
 			if err := w.startPipeline(); err != nil {
 				return err
 			}
@@ -409,7 +534,7 @@ func (w *worker) run() error {
 			if em.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = em.Epoch
+			w.bumpEpoch(em.Epoch)
 			if err := w.evaluateBag(&em); err != nil {
 				return err
 			}
@@ -432,7 +557,7 @@ func (w *worker) run() error {
 				// the example would end up neither covered nor adopted.
 				continue
 			}
-			w.epoch = am.Epoch
+			w.bumpEpoch(am.Epoch)
 			if err := w.adoptOne(); err != nil {
 				return err
 			}
@@ -444,7 +569,7 @@ func (w *worker) run() error {
 			if gm.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = gm.Epoch
+			w.bumpEpoch(gm.Epoch)
 			if err := w.gatherAlive(); err != nil {
 				return err
 			}
@@ -456,7 +581,7 @@ func (w *worker) run() error {
 			if rm.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = rm.Epoch
+			w.bumpEpoch(rm.Epoch)
 			w.installExamples(rm.Pos, w.ex.Neg)
 		case kindReassign:
 			var rm reassignMsg
@@ -466,8 +591,8 @@ func (w *worker) run() error {
 			if rm.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = rm.Epoch
-			if err := w.reassign(&rm); err != nil {
+			prev := w.bumpEpoch(rm.Epoch)
+			if err := w.reassign(&rm, prev); err != nil {
 				return err
 			}
 		case kindWelcome:
@@ -481,7 +606,7 @@ func (w *worker) run() error {
 			if wm.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = wm.Epoch
+			w.bumpEpoch(wm.Epoch)
 			if w.remote {
 				if err := w.loadRemote(&wm.Load); err != nil {
 					return err
@@ -496,10 +621,30 @@ func (w *worker) run() error {
 			if rm.Epoch < w.epoch {
 				continue
 			}
-			w.epoch = rm.Epoch
+			w.bumpEpoch(rm.Epoch)
 			if err := w.rebalance(&rm); err != nil {
 				return err
 			}
+		case kindResumeQuery:
+			// From a crash-restarted master, epoch-INDEPENDENT: this
+			// worker's clock may legitimately be AHEAD of the restarted
+			// master's checkpointed clock. Reply with where we stand; the
+			// rollback rides on the kindReassign that follows.
+			var qm resumeQueryMsg
+			if err := msg.Decode(&qm); err != nil {
+				return err
+			}
+			err := w.sendMaster(kindResumeInfo, resumeInfoMsg{
+				Epoch:      w.epoch,
+				Seq:        w.nextSeq(),
+				Worker:     w.id,
+				Loaded:     w.ex != nil,
+				Reconnects: w.orphanReconnects,
+			})
+			if err != nil {
+				return err
+			}
+			w.orphanReconnects = 0 // reported: the master accumulates deltas
 		case kindStop:
 			if w.remote {
 				return w.sendFinal()
@@ -518,7 +663,7 @@ func (w *worker) startPipeline() error {
 	seedIdx := w.ex.FirstAlivePos()
 	if seedIdx < 0 {
 		// Nothing left locally: deliver an empty pipeline result.
-		return w.node.Send(0, kindRules, rulesMsg{Epoch: w.epoch, Seq: w.nextSeq(), Origin: w.id})
+		return w.sendMaster(kindRules, rulesMsg{Epoch: w.epoch, Seq: w.nextSeq(), Origin: w.id})
 	}
 	before := w.totalInf()
 	bot, err := bottom.Construct(w.m, w.ms, w.ex.Pos[seedIdx], w.cfg.Bottom)
@@ -580,7 +725,7 @@ func (w *worker) deliverRules(st *stageMsg, res *search.Result) error {
 			rules = append(rules, g.Materialize(&st.Bottom).Canonical())
 		}
 	}
-	return w.node.Send(0, kindRules, rulesMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Rules: rules})
+	return w.sendMaster(kindRules, rulesMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Rules: rules})
 }
 
 // forward routes a stage's results: to the next worker while stages
@@ -637,7 +782,7 @@ func (w *worker) evaluateBag(em *evaluateMsg) error {
 		out.Pos[i] = int32(search.AndCount(e.pos, w.ex.PosAlive))
 		out.Neg[i] = int32(e.neg)
 	}
-	return w.node.Send(0, kindEvalResult, out)
+	return w.sendMaster(kindEvalResult, out)
 }
 
 // markCovered retracts the local positives covered by the accepted rule
@@ -668,7 +813,7 @@ func (w *worker) gatherAlive() error {
 		out.Inferences = w.totalInf()
 		out.BusyNs = w.busyNs
 	}
-	return w.node.Send(0, kindGathered, out)
+	return w.sendMaster(kindGathered, out)
 }
 
 // exampleCost estimates an example's evaluation cost as the relational
@@ -698,8 +843,21 @@ func (w *worker) installExamples(pos, neg []logic.Term) {
 // reassign recovers from a sibling's failure: install the surviving ring,
 // merge this worker's share of the dead worker's examples (shares are
 // disjoint from everything already here), and acknowledge with the local
-// uncovered count so the master can rebase its remaining counter.
-func (w *worker) reassign(rm *reassignMsg) error {
+// uncovered count so the master can rebase its remaining counter. After a
+// master crash-restart the barrier additionally carries a rollback order,
+// applied at most once (see worker.rolledBack) and only when this
+// worker's pre-message epoch (prev) had actually advanced past the
+// checkpoint boundary — a worker already sitting at the boundary has
+// nothing to discard.
+func (w *worker) reassign(rm *reassignMsg, prev int) error {
+	if rm.RollbackBelow > 0 && rm.RollbackBelow > w.rolledBack {
+		if prev >= rm.RollbackBelow {
+			if err := w.restore(rm.RollbackBelow - 1); err != nil {
+				return err
+			}
+		}
+		w.rolledBack = rm.RollbackBelow
+	}
 	w.ring = rm.Members
 	for _, k := range rm.Members {
 		delete(w.deadPeers, k)
@@ -715,7 +873,7 @@ func (w *worker) reassign(rm *reassignMsg) error {
 		neg = append(append(make([]logic.Term, 0, len(neg)+len(rm.Neg)), neg...), rm.Neg...)
 	}
 	w.installExamples(pos, neg)
-	return w.node.Send(0, kindReassignAck, reassignAckMsg{
+	return w.sendMaster(kindReassignAck, reassignAckMsg{
 		Epoch:  w.epoch,
 		Seq:    w.nextSeq(),
 		Worker: w.id,
@@ -736,7 +894,7 @@ func (w *worker) rebalance(rm *rebalanceMsg) error {
 		delete(w.deadPeers, k)
 	}
 	w.installExamples(rm.Pos, w.ex.Neg)
-	return w.node.Send(0, kindRebalanceAck, rebalanceAckMsg{
+	return w.sendMaster(kindRebalanceAck, rebalanceAckMsg{
 		Epoch:  w.epoch,
 		Seq:    w.nextSeq(),
 		Worker: w.id,
@@ -749,11 +907,11 @@ func (w *worker) rebalance(rm *rebalanceMsg) error {
 func (w *worker) adoptOne() error {
 	idx := w.ex.FirstAlivePos()
 	if idx < 0 {
-		return w.node.Send(0, kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id})
+		return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id})
 	}
 	single := search.NewBitset(len(w.ex.Pos))
 	single.Set(idx)
 	w.ex.RetractPos(single)
 	w.compute(1)
-	return w.node.Send(0, kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
+	return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
 }

@@ -97,6 +97,12 @@ type Results struct {
 	// balancing or mid-run joins.
 	Rebal  map[Key][]float64
 	Joined map[Key][]float64
+	// Restarts and Orphans track the fault-tolerance counters
+	// (core.Metrics.MasterRestarts / OrphanReconnects): zero throughout a
+	// failure-free sweep, non-zero when a run survived a master
+	// crash-restart.
+	Restarts map[Key][]float64
+	Orphans  map[Key][]float64
 
 	// Links keeps the first fold's per-link traffic table per cell — the
 	// drill-down behind Table 4's averages. The same accounting backs a
@@ -107,17 +113,19 @@ type Results struct {
 
 func newResults(cfg Config) *Results {
 	return &Results{
-		Cfg:     cfg,
-		SeqTime: map[string][]float64{},
-		SeqAcc:  map[string][]float64{},
-		Time:    map[Key][]float64{},
-		Comm:    map[Key][]float64{},
-		Epochs:  map[Key][]float64{},
-		Acc:     map[Key][]float64{},
-		Wall:    map[Key][]float64{},
-		Rebal:   map[Key][]float64{},
-		Joined:  map[Key][]float64{},
-		Links:   map[Key]cluster.Traffic{},
+		Cfg:      cfg,
+		SeqTime:  map[string][]float64{},
+		SeqAcc:   map[string][]float64{},
+		Time:     map[Key][]float64{},
+		Comm:     map[Key][]float64{},
+		Epochs:   map[Key][]float64{},
+		Acc:      map[Key][]float64{},
+		Wall:     map[Key][]float64{},
+		Rebal:    map[Key][]float64{},
+		Joined:   map[Key][]float64{},
+		Restarts: map[Key][]float64{},
+		Orphans:  map[Key][]float64{},
+		Links:    map[Key]cluster.Traffic{},
 	}
 }
 
@@ -185,6 +193,8 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 					res.Wall[key] = append(res.Wall[key], met.WallTime.Seconds())
 					res.Rebal[key] = append(res.Rebal[key], float64(met.Rebalances))
 					res.Joined[key] = append(res.Joined[key], float64(met.JoinedWorkers))
+					res.Restarts[key] = append(res.Restarts[key], float64(met.MasterRestarts))
+					res.Orphans[key] = append(res.Orphans[key], float64(met.OrphanReconnects))
 					recovered := ""
 					if met.Recoveries > 0 || met.LostWorkers > 0 {
 						recovered = fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)

@@ -44,6 +44,10 @@ type CellSummary struct {
 	// (fold means); zero for a conventional static-partition sweep.
 	Rebalances    float64 `json:"rebalances"`
 	JoinedWorkers float64 `json:"joined_workers"`
+	// MasterRestarts and OrphanReconnects are the fault-tolerance counters
+	// (fold means); zero for a failure-free sweep.
+	MasterRestarts   float64 `json:"master_restarts"`
+	OrphanReconnects float64 `json:"orphan_reconnects"`
 }
 
 // Summary collapses the per-fold measurements into fold means.
@@ -67,16 +71,18 @@ func (r *Results) Summary() Summary {
 			for _, p := range r.Cfg.Procs {
 				k := Key{Dataset: name, Width: w, Procs: p}
 				d.Cells = append(d.Cells, CellSummary{
-					Procs:         p,
-					Width:         w,
-					TimeS:         stats.Mean(r.Time[k]),
-					Speedup:       stats.Mean(r.foldSpeedups(k)),
-					CommMB:        stats.Mean(r.Comm[k]),
-					Epochs:        stats.Mean(r.Epochs[k]),
-					Accuracy:      stats.Mean(r.Acc[k]),
-					WallS:         stats.Mean(r.Wall[k]),
-					Rebalances:    stats.Mean(r.Rebal[k]),
-					JoinedWorkers: stats.Mean(r.Joined[k]),
+					Procs:            p,
+					Width:            w,
+					TimeS:            stats.Mean(r.Time[k]),
+					Speedup:          stats.Mean(r.foldSpeedups(k)),
+					CommMB:           stats.Mean(r.Comm[k]),
+					Epochs:           stats.Mean(r.Epochs[k]),
+					Accuracy:         stats.Mean(r.Acc[k]),
+					WallS:            stats.Mean(r.Wall[k]),
+					Rebalances:       stats.Mean(r.Rebal[k]),
+					JoinedWorkers:    stats.Mean(r.Joined[k]),
+					MasterRestarts:   stats.Mean(r.Restarts[k]),
+					OrphanReconnects: stats.Mean(r.Orphans[k]),
 				})
 			}
 		}

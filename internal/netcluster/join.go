@@ -2,6 +2,7 @@ package netcluster
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -14,10 +15,28 @@ import (
 // The welcome exchange assigns ids, distributes the address book and the
 // cost model, and cross-checks dataset fingerprints.
 func Connect(workerAddrs []string, cfg Config) (*Node, error) {
+	return connect(nil, workerAddrs, cfg)
+}
+
+// ConnectOn is Connect with a pre-bound master listener: joins and worker
+// rejoins are accepted on it from the start, and — crucially for
+// crash-restart — its address becomes the master's own entry in the
+// distributed address book, so every worker knows where to find a restarted
+// master. A master run with checkpointing must use a stable listen address
+// for the orphan-reconnect loop to work.
+func ConnectOn(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
+	return connect(ln, workerAddrs, cfg)
+}
+
+func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	p := len(workerAddrs)
 	if p < 1 {
 		return nil, fmt.Errorf("netcluster: no worker addresses")
+	}
+	masterAddr := ""
+	if ln != nil {
+		masterAddr = ln.Addr().String()
 	}
 	n := &Node{
 		id:      0,
@@ -25,7 +44,8 @@ func Connect(workerAddrs []string, cfg Config) (*Node, error) {
 		cfg:     cfg,
 		inbox:   newInbox(),
 		links:   make(map[int]*link),
-		peers:   append([]string{""}, workerAddrs...),
+		peers:   append([]string{masterAddr}, workerAddrs...),
+		ln:      ln,
 		tr:      cluster.NewTraffic(p + 1),
 		pending: make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
@@ -79,12 +99,17 @@ func Connect(workerAddrs []string, cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	if ln != nil {
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
 	return n, nil
 }
 
 func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
-	for {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
 			return conn, nil
@@ -92,8 +117,37 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(100 * time.Millisecond)
+		d := backoffDelay(attempt, dialBackoffBase, dialBackoffCap, rng)
+		if until := time.Until(deadline); d > until {
+			d = until
+		}
+		time.Sleep(d)
 	}
+}
+
+// Retry pacing for dialRetry and the orphaned worker's rejoin loop: start
+// fast (a restarting peer is usually back quickly), back off exponentially
+// so a long outage doesn't hammer the address, and jitter so a fleet of
+// workers orphaned by the same master crash doesn't reconnect in lockstep.
+const (
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffCap  = 2 * time.Second
+)
+
+// backoffDelay returns the pause before retry attempt (0-based):
+// exponential doubling from base, capped at max, with equal jitter — the
+// delay lands uniformly in [d/2, d), never zero, so retries spread out
+// without ever busy-spinning.
+func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // Serve listens on addr, waits for the master's welcome (learning this
@@ -249,6 +303,14 @@ func (n *Node) acceptPeer(conn net.Conn, f *frame) {
 			n.acceptJoin(conn, f)
 		} else {
 			conn.Close() // only the master admits joiners
+		}
+		return
+	}
+	if f.Ctrl == ctrlRejoinReq {
+		if n.id == 0 {
+			n.acceptRejoin(conn, f)
+		} else {
+			conn.Close() // only the master re-admits workers
 		}
 		return
 	}

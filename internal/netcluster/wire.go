@@ -45,6 +45,14 @@ const (
 	// learns of the joiner through the master's in-band KindPeerUp event,
 	// and workers learn the new ring from the master's rebalance.
 	ctrlPeerUpdate
+	// ctrlRejoinReq asks a (restarted) master to re-admit a worker that
+	// already holds a node id: From is the worker's existing id, Addr its
+	// listen address and Fingerprint must match the master's. Unlike
+	// ctrlJoinReq no new id is assigned — the master answers ctrlWelcome
+	// echoing the id, or ctrlWelcomeAck with Err when the rejoin is
+	// refused (wrong fingerprint, unknown id, or a peer already declared
+	// dead by a still-running master).
+	ctrlRejoinReq
 )
 
 // frame is the single on-the-wire record. Every frame is individually
