@@ -71,6 +71,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "restart a crashed TCP master from its latest -checkpoint snapshot: re-bind the checkpointed listen address, wait for the workers to reconnect, roll the cluster back to the boundary and continue the run (requires -checkpoint; the dataset flags must match the crashed run's)")
 		orphanTO = flag.Duration("orphantimeout", 0, "worker orphan regime on master death: instead of failing, workers hold their state and redial the master's address with exponential backoff for up to this long, resuming when a -resume'd master re-admits them (master flag; workers inherit it at load; 0 = master death kills workers)")
 		crashAt  = flag.Int64("crashat", 0, "fault injection: kill this master process (exit 137, no cleanup — as if kill -9) when its N'th protocol op is reached; deterministic under a fixed dataset and seed (testing aid for -checkpoint/-resume)")
+		flapAt   = flag.Int64("flapat", 0, "fault injection: drop all of this master's TCP links (a transient partition) when its N'th protocol op is reached; with -linkgrace the session layer replays the gap and the run completes with zero recoveries (testing aid for the link-resilience layer)")
+		linkGr   = flag.Duration("linkgrace", 0, "TCP link-reconnect grace window (netcluster LinkGrace): a failed link gets this long to redial and replay before it escalates to a peer-down event; 0 = fail immediately (the pre-grace behaviour)")
 		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
 		hbEvery  = flag.Duration("heartbeat", 0, "TCP per-link heartbeat period (netcluster HeartbeatEvery); 0 = default 500ms")
 		joinTO   = flag.Duration("jointimeout", 0, "TCP join timeout: a worker's wait for the master's welcome and the master's dial retries (netcluster JoinTimeout); 0 = default 60s")
@@ -112,6 +114,8 @@ func main() {
 		checkpointDir: *ckptDir,
 		orphanTimeout: *orphanTO,
 		crashAt:       *crashAt,
+		flapAt:        *flapAt,
+		linkGrace:     *linkGr,
 	}
 
 	if *resume {
@@ -188,6 +192,8 @@ type runOptions struct {
 	checkpointDir string
 	orphanTimeout time.Duration
 	crashAt       int64
+	flapAt        int64
+	linkGrace     time.Duration
 }
 
 // crashExitCode is the -crashat exit status: 128+9, what a kill -9 would
@@ -195,12 +201,19 @@ type runOptions struct {
 const crashExitCode = 137
 
 // masterTransport wraps the master's node in the faultline schedule when
-// -crashat is set; otherwise it is the node itself.
+// -crashat or -flapat is set; otherwise it is the node itself. A scheduled
+// flap drops the node's real TCP links (OnFlap → DropLinks) so the blip is
+// healed by the session layer's replay, not by faultline's own buffering.
 func masterTransport(node *netcluster.Node, opts runOptions) cluster.Transport {
-	if opts.crashAt <= 0 {
+	if opts.crashAt <= 0 && opts.flapAt <= 0 {
 		return node
 	}
-	return faultline.Wrap(node, faultline.Plan{CrashAtOp: opts.crashAt})
+	plan := faultline.Plan{CrashAtOp: opts.crashAt}
+	if opts.flapAt > 0 {
+		plan.FlapAtOp = opts.flapAt
+		plan.OnFlap = func() { node.DropLinks() }
+	}
+	return faultline.Wrap(node, plan)
 }
 
 // dieIfCrashed turns the faultline's scheduled crash into a process death:
@@ -225,6 +238,7 @@ func runServe(ds *ilp.Dataset, addr string, coverPar int, opts runOptions, quiet
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
+		LinkGrace:      opts.linkGrace,
 	})
 	if err != nil {
 		fail(err)
@@ -258,6 +272,7 @@ func runJoin(ds *ilp.Dataset, masterAddr, listenAddr string, coverPar int, opts 
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
+		LinkGrace:      opts.linkGrace,
 	})
 	if err != nil {
 		fail(err)
@@ -296,6 +311,7 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
+		LinkGrace:      opts.linkGrace,
 	}
 	var node *netcluster.Node
 	var err error
@@ -373,6 +389,7 @@ func runResume(ds *ilp.Dataset, trafficMode string, opts runOptions, verbose, qu
 		Fingerprint:    fp,
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
+		LinkGrace:      opts.linkGrace,
 	})
 	if err != nil {
 		fail(err)
@@ -415,6 +432,9 @@ func printParallelMetrics(transport string, met *ilp.ParallelMetrics, width int)
 	}
 	if met.MasterRestarts > 0 || met.OrphanReconnects > 0 {
 		line += fmt.Sprintf(", restarts=%d orphanreconnects=%d", met.MasterRestarts, met.OrphanReconnects)
+	}
+	if met.LinkFlaps > 0 || met.ReplayedFrames > 0 || met.FencedFrames > 0 {
+		line += fmt.Sprintf(", linkflaps=%d replayed=%d fenced=%d", met.LinkFlaps, met.ReplayedFrames, met.FencedFrames)
 	}
 	fmt.Println(line)
 }

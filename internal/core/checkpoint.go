@@ -26,9 +26,13 @@ type checkpointRecord struct {
 	// re-loaded the exact task the checkpoint was written under.
 	Fingerprint uint64
 
-	// Protocol clock at the boundary.
-	Epoch int
-	Seq   int64
+	// Protocol clock at the boundary. Generation is the master-generation
+	// fence (DESIGN.md §9): the writing master's generation, bumped by
+	// every ResumeMaster so each restart outranks — and fences off — its
+	// predecessor's surviving frames.
+	Epoch      int
+	Seq        int64
+	Generation int
 
 	// Membership and assignments.
 	Workers     int // initial p (Metrics.Workers)
@@ -85,6 +89,20 @@ type masterRejoiner interface {
 	RejoinMaster(timeout time.Duration) (int, error)
 }
 
+// linkStatser exposes a transport's link-resilience counters
+// (netcluster.Node.LinkStats): transient link flaps absorbed and frames
+// replayed over resumed links (DESIGN.md §9).
+type linkStatser interface {
+	LinkStats() (flaps, replayed int64)
+}
+
+// linkGracer exposes a transport's configured reconnect grace window
+// (netcluster.Node.LinkGrace); config validation uses it to catch a
+// grace window that would outlast the protocol's receive timeout.
+type linkGracer interface {
+	LinkGrace() time.Duration
+}
+
 // innerTransport lets the capability probes below see through transport
 // wrappers (faultline.Transport exposes its wrapped node this way).
 type innerTransport interface {
@@ -130,12 +148,39 @@ func asMasterRejoiner(t cluster.Transport) (masterRejoiner, bool) {
 	}
 }
 
+func asLinkStatser(t cluster.Transport) (linkStatser, bool) {
+	for {
+		if ls, ok := t.(linkStatser); ok {
+			return ls, true
+		}
+		iw, ok := t.(innerTransport)
+		if !ok {
+			return nil, false
+		}
+		t = iw.Inner()
+	}
+}
+
+func asLinkGracer(t cluster.Transport) (linkGracer, bool) {
+	for {
+		if lg, ok := t.(linkGracer); ok {
+			return lg, true
+		}
+		iw, ok := t.(innerTransport)
+		if !ok {
+			return nil, false
+		}
+		t = iw.Inner()
+	}
+}
+
 // record assembles the master's current boundary state.
 func (ma *master) record() *checkpointRecord {
 	rec := &checkpointRecord{
 		Fingerprint:        ma.cfg.Fingerprint,
 		Epoch:              ma.epoch,
 		Seq:                ma.seq,
+		Generation:         ma.gen,
 		Workers:            ma.metrics.Workers,
 		Targets:            append([]int(nil), ma.targets...),
 		AssignedPos:        ma.assignedPos,
@@ -268,6 +313,7 @@ func resumedMaster(t cluster.Transport, ck *Checkpoint, cfg Config, metrics *Met
 		targets:     append([]int(nil), rec.Targets...),
 		epoch:       rec.Epoch,
 		seq:         rec.Seq,
+		gen:         rec.Generation + 1,
 		assignedPos: rec.AssignedPos,
 		assignedNeg: rec.AssignedNeg,
 		remaining:   rec.Remaining,
@@ -332,10 +378,18 @@ func ResumeMaster(t cluster.Transport, ck *Checkpoint, cfg Config) (*Metrics, er
 	for _, fm := range ma.finals {
 		metrics.TotalInferences += fm.Inferences
 		metrics.GeneratedRules += fm.Generated
+		metrics.FencedFrames += fm.Fenced
+		metrics.LinkFlaps += fm.Flaps
+		metrics.ReplayedFrames += fm.Replayed
 		if c := cluster.VTime(fm.Clock); c > makespan {
 			makespan = c
 		}
 		traffic.Merge(fm.Traffic)
+	}
+	if ls, ok := asLinkStatser(t); ok {
+		flaps, replayed := ls.LinkStats()
+		metrics.LinkFlaps += flaps
+		metrics.ReplayedFrames += replayed
 	}
 	metrics.VirtualTime = makespan.Duration()
 	metrics.Traffic = traffic

@@ -56,6 +56,7 @@ func TestCheckpointRecordGobRoundTrip(t *testing.T) {
 		StaleDropped:       9,
 		MasterRestarts:     1,
 		OrphanReconnects:   2,
+		Generation:         3,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {

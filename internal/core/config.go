@@ -194,6 +194,18 @@ type Metrics struct {
 	// worker survived a master death and reconnected to the restarted
 	// master. Reported by the workers during the resume handshake.
 	OrphanReconnects int
+	// LinkFlaps counts transient link failures absorbed by the transport's
+	// reconnect grace window (DESIGN.md §9) instead of escalating to a
+	// peer-death recovery; summed over every node's transport. Zero on
+	// transports without a link-session layer or with LinkGrace off.
+	LinkFlaps int64
+	// ReplayedFrames counts retained frames re-sent over resumed links —
+	// the delivery gap the grace window bridged invisibly.
+	ReplayedFrames int64
+	// FencedFrames counts frames workers rejected for carrying a stale
+	// master generation (a superseded master still transmitting after a
+	// crash-restart or healed partition); zero in any single-master run.
+	FencedFrames int
 }
 
 // splitExamples materialises Fig. 5 step 2 — the seeded shuffle +

@@ -52,7 +52,7 @@ func TestMessageGobRoundTrip(t *testing.T) {
 			Checkpoint:    true,
 			OrphanTimeout: 30 * time.Second,
 		},
-		kindStartPipeline: startMsg{Width: 10},
+		kindStartPipeline: startMsg{Gen: 1, Width: 10},
 		kindStage: stageMsg{
 			Origin: 2,
 			Step:   3,
@@ -65,7 +65,7 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		kindMarkCovered: markCoveredMsg{Rule: rule},
 		kindAdopt:       adoptMsg{},
 		kindAdopted:     adoptedMsg{Worker: 1, Ok: true, Example: mustTerm("active(m9)")},
-		kindStop:        stopMsg{},
+		kindStop:        stopMsg{Gen: 1},
 		kindGather:      gatherMsg{},
 		kindGathered:    gatheredMsg{Worker: 2, Pos: []logic.Term{mustTerm("active(m4)")}, Costs: []int64{7}, Inferences: 4242, BusyNs: 991100},
 		kindRepartition: repartitionMsg{Pos: []logic.Term{mustTerm("active(m5)")}},
@@ -110,10 +110,11 @@ func TestMessageGobRoundTrip(t *testing.T) {
 			Pos:     []logic.Term{mustTerm("active(m8)")},
 		},
 		kindRebalanceAck: rebalanceAckMsg{Epoch: 8, Seq: 13, Worker: 3, Alive: 4},
-		kindResumeQuery:  resumeQueryMsg{Epoch: 9, Seq: 14},
-		kindResumeInfo:   resumeInfoMsg{Epoch: 11, Seq: 15, Worker: 2, Loaded: true, Reconnects: 1},
+		kindResumeQuery:  resumeQueryMsg{Epoch: 9, Seq: 14, Gen: 2},
+		kindResumeInfo:   resumeInfoMsg{Epoch: 11, Seq: 15, Gen: 2, Worker: 2, Loaded: true, Reconnects: 1},
+		kindFenced:       fencedMsg{Epoch: 12, Seq: 16, Gen: 3, Worker: 1},
 	}
-	if got, want := len(payloads), kindResumeInfo+1; got != want {
+	if got, want := len(payloads), kindFenced+1; got != want {
 		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
 	}
 

@@ -25,6 +25,14 @@ type bagEntry struct {
 	neg  int // aggregate negative cover
 }
 
+// ErrSuperseded reports that a newer master generation has taken over
+// the cluster (DESIGN.md §9): some worker answered a frame of ours with
+// kindFenced, or stamped a reply with a generation above ours. The only
+// correct reaction is to stand down — the newer master owns the run, and
+// a superseded master driving epochs in parallel would fork the theory.
+// Callers detect it with errors.Is.
+var ErrSuperseded = errors.New("core: master superseded by a newer generation")
+
 // workerLostError aborts the phase that observed a worker failure; the
 // epoch loop catches it, recovers the membership and re-issues the epoch.
 type workerLostError struct {
@@ -67,6 +75,13 @@ type master struct {
 	// seq numbers the master's outbound protocol messages (one per
 	// logical message; broadcast copies share it).
 	seq int64
+	// gen is this master's generation (DESIGN.md §9): zero for a fresh
+	// master (gob then omits the Gen field everywhere — the wire bytes of
+	// an ordinary run are unchanged), checkpointed generation + 1 for a
+	// crash-restarted one. Stamped on every outbound frame; workers fence
+	// off frames below their observed generation, and a master that
+	// learns of a higher generation fails with ErrSuperseded.
+	gen int
 
 	// assignedPos/assignedNeg track, per worker id (1-indexed), the
 	// examples the master has handed that worker — initial partition,
@@ -337,6 +352,22 @@ func (ma *master) nextReply(want int, pending map[int]bool, newDst func() replyH
 			}
 			return nil, &workerLostError{id: sm.Peer}
 		}
+		if msg.Kind == kindFenced {
+			// A worker refused one of our frames: it has seen a newer
+			// master generation. If its generation really is above ours,
+			// we are the zombie side of a healed partition — stand down.
+			// (A rejection quoting our own or an older generation is
+			// residue of a race already settled in our favour.)
+			var fm fencedMsg
+			if err := msg.Decode(&fm); err != nil {
+				return nil, fmt.Errorf("core: master: garbled fence rejection from node %d: %w", msg.From, err)
+			}
+			if fm.Gen > ma.gen {
+				return nil, fmt.Errorf("core: master: generation %d fenced off by worker %d at generation %d: %w",
+					ma.gen, fm.Worker, fm.Gen, ErrSuperseded)
+			}
+			continue
+		}
 		if msg.Kind != want {
 			var eo epochOnly
 			if err := msg.Decode(&eo); err != nil {
@@ -353,6 +384,13 @@ func (ma *master) nextReply(want int, pending map[int]bool, newDst func() replyH
 		dst := newDst()
 		if err := msg.Decode(dst); err != nil {
 			return nil, fmt.Errorf("core: master: truncated or garbled kind-%d payload from node %d: %w", msg.Kind, msg.From, err)
+		}
+		if gc, ok := dst.(genCarrier); ok && gc.gen() > ma.gen {
+			// Replies carry the worker's observed generation, so the news
+			// that we were superseded reaches us even if the kindFenced
+			// rejection itself was lost.
+			return nil, fmt.Errorf("core: master: generation %d superseded by generation %d (reply from node %d): %w",
+				ma.gen, gc.gen(), msg.From, ErrSuperseded)
 		}
 		epoch, key := dst.hdr()
 		if epoch < ma.epoch {
@@ -417,7 +455,7 @@ func (ma *master) evaluateBag(bag []bagEntry) error {
 	for i := range bag {
 		rules[i] = bag[i].rule
 	}
-	if err := ma.bcastLive(kindEvaluate, evaluateMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Rules: rules}); err != nil {
+	if err := ma.bcastLive(kindEvaluate, evaluateMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen, Rules: rules}); err != nil {
 		return err
 	}
 	for i := range bag {
@@ -511,7 +549,7 @@ func (ma *master) consumeBag(bag []bagEntry) (int, error) {
 		ma.metrics.RulesLearned++
 		accepted++
 		ma.remaining -= best.pos
-		if err := ma.bcastLive(kindMarkCovered, markCoveredMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Rule: best.rule}); err != nil {
+		if err := ma.bcastLive(kindMarkCovered, markCoveredMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen, Rule: best.rule}); err != nil {
 			return accepted, err
 		}
 		if len(bag) == 0 {
@@ -528,7 +566,7 @@ func (ma *master) consumeBag(bag []bagEntry) (int, error) {
 // adoptFallback retires one uncovered positive per worker when an epoch
 // yields no acceptable rule, guaranteeing progress.
 func (ma *master) adoptFallback() error {
-	if err := ma.bcastLive(kindAdopt, adoptMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+	if err := ma.bcastLive(kindAdopt, adoptMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen}); err != nil {
 		return err
 	}
 	pending := ma.pendingLive()
@@ -563,7 +601,7 @@ func (ma *master) adoptFallback() error {
 // attached throughput reports to the balancer. Both repartition and
 // rebalance start here; the repartition path ignores the costs.
 func (ma *master) gatherAllAlive() ([]logic.Term, []int64, error) {
-	if err := ma.bcastLive(kindGather, gatherMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+	if err := ma.bcastLive(kindGather, gatherMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen}); err != nil {
 		return nil, nil, err
 	}
 	type gathered struct {
@@ -603,7 +641,7 @@ func (ma *master) repartition() error {
 	}
 	parts := sched.DealEven(all, len(ma.targets))
 	for i, k := range ma.targets {
-		if err := ma.send(k, kindRepartition, repartitionMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Pos: parts[i]}); err != nil {
+		if err := ma.send(k, kindRepartition, repartitionMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen, Pos: parts[i]}); err != nil {
 			return err
 		}
 		// The dealt set replaces the worker's positive assignment (its
@@ -635,6 +673,7 @@ func (ma *master) reassignBarrier() (lostAgain bool, err error) {
 		rm := reassignMsg{
 			Epoch:         ma.epoch,
 			Seq:           seq,
+			Gen:           ma.gen,
 			Members:       members,
 			Pos:           posShares[i],
 			Neg:           negShares[i],
@@ -782,10 +821,30 @@ func (ma *master) collectResumeInfo() (map[int]*resumeInfoMsg, error) {
 				return nil, err
 			}
 			delete(pending, msg.From)
+		case kindFenced:
+			// A worker owned by a newer master answers a stale master's
+			// resume query with a fence, not with resume info: surface the
+			// supersede immediately instead of letting the stale master
+			// wait out its receive timeout on replies that never come.
+			var fm fencedMsg
+			if err := msg.Decode(&fm); err != nil {
+				return nil, fmt.Errorf("core: master: garbled fence from node %d: %w", msg.From, err)
+			}
+			if fm.Gen > ma.gen {
+				return nil, fmt.Errorf("core: master: resume: generation %d fenced off by worker %d at generation %d: %w",
+					ma.gen, fm.Worker, fm.Gen, ErrSuperseded)
+			}
 		case kindResumeInfo:
 			var im resumeInfoMsg
 			if err := msg.Decode(&im); err != nil {
 				return nil, fmt.Errorf("core: master: garbled resume info from node %d: %w", msg.From, err)
+			}
+			if im.Gen > ma.gen {
+				// This loop bypasses nextReply, so the supersede check must
+				// run here too: a worker already owned by a newer master
+				// answers resume queries with that master's generation.
+				return nil, fmt.Errorf("core: master: resume: generation %d superseded by generation %d (worker %d): %w",
+					ma.gen, im.Gen, im.Worker, ErrSuperseded)
 			}
 			if !pending[im.Worker] {
 				return nil, fmt.Errorf("core: master: duplicate or unexpected resume info for worker %d from node %d", im.Worker, msg.From)
@@ -814,7 +873,7 @@ func (ma *master) resumeCluster() error {
 	if err := ma.awaitRejoins(); err != nil {
 		return err
 	}
-	if err := ma.bcastLive(kindResumeQuery, resumeQueryMsg{Epoch: ma.epoch, Seq: ma.nextSeq()}); err != nil {
+	if err := ma.bcastLive(kindResumeQuery, resumeQueryMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen}); err != nil {
 		return err
 	}
 	infos, err := ma.collectResumeInfo()
@@ -837,6 +896,7 @@ func (ma *master) resumeCluster() error {
 				continue
 			}
 			lm := ma.cfg.loadSettings()
+			lm.Gen = ma.gen
 			lm.Pos = ma.assignedPos[k]
 			lm.Neg = ma.assignedNeg[k]
 			if err := ma.send(k, kindLoad, lm); err != nil {
@@ -911,7 +971,7 @@ func (ma *master) admitJoiners() error {
 	members := append([]int(nil), ma.targets...)
 	seq := ma.nextSeq()
 	for _, id := range joiners {
-		wm := welcomeMsg{Epoch: ma.epoch, Seq: seq, Members: members, Load: ma.welcomeLoad()}
+		wm := welcomeMsg{Epoch: ma.epoch, Seq: seq, Gen: ma.gen, Members: members, Load: ma.welcomeLoad()}
 		if err := ma.send(id, kindWelcome, wm); err != nil {
 			return err
 		}
@@ -947,7 +1007,7 @@ func (ma *master) rebalance(joiners []int) error {
 	seq := ma.nextSeq()
 	var joinShares []int
 	for i, k := range ma.targets {
-		rm := rebalanceMsg{Epoch: ma.epoch, Seq: seq, Members: members, Pos: parts[i]}
+		rm := rebalanceMsg{Epoch: ma.epoch, Seq: seq, Gen: ma.gen, Members: members, Pos: parts[i]}
 		// Covered positives were gathered out, so the tracked assignment
 		// tightens to the dealt share (negatives never move).
 		ma.assignedPos[k] = parts[i]
@@ -1000,7 +1060,7 @@ func (ma *master) prepEpoch() error {
 // Best-effort — a joiner that died meanwhile is simply skipped.
 func (ma *master) stopJoiners() {
 	for _, id := range ma.pendingJoin {
-		ma.send(id, kindStop, stopMsg{})
+		ma.send(id, kindStop, stopMsg{Gen: ma.gen})
 	}
 	ma.pendingJoin = nil
 }
@@ -1016,7 +1076,7 @@ func (ma *master) runEpoch() error {
 		}
 	}
 	ma.epoch++
-	if err := ma.bcastLive(kindStartPipeline, startMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Width: ma.cfg.Width}); err != nil {
+	if err := ma.bcastLive(kindStartPipeline, startMsg{Epoch: ma.epoch, Seq: ma.nextSeq(), Gen: ma.gen, Width: ma.cfg.Width}); err != nil {
 		return err
 	}
 	bag, err := ma.gatherBag()
@@ -1091,7 +1151,7 @@ func (ma *master) run() error {
 		}
 	}
 	ma.draining = true
-	if err := ma.bcastLive(kindStop, stopMsg{}); err != nil {
+	if err := ma.bcastLive(kindStop, stopMsg{Gen: ma.gen}); err != nil {
 		return err
 	}
 	ma.stopJoiners()
@@ -1265,6 +1325,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	for _, w := range workers {
 		metrics.TotalInferences += w.totalInf()
 		metrics.GeneratedRules += w.generated
+		metrics.FencedFrames += w.fenced
 	}
 	return metrics, nil
 }

@@ -125,6 +125,14 @@ const (
 	// the initial load leaves remote workers empty, and the master must
 	// re-ship), and its orphan-reconnect count since the last report.
 	kindResumeInfo
+	// kindFenced (worker→master) rejects a master whose generation is
+	// stale: an asymmetric partition can leave a zombie master running
+	// while a resumed master (generation + 1) has taken the cluster over.
+	// The worker drops the stale frame (counted in Metrics.FencedFrames)
+	// and answers with its own generation; a master that learns of a
+	// higher generation self-fences — its run fails with ErrSuperseded
+	// instead of double-driving epochs. See DESIGN.md §9.
+	kindFenced
 )
 
 // loadMsg signals partition loading; Round distinguishes reloads. The
@@ -149,6 +157,12 @@ type loadDataMsg struct {
 	HasData bool
 	Pos     []logic.Term
 	Neg     []logic.Term
+
+	// Gen is the master generation (see kindFenced): zero for a master
+	// that never crash-restarted — and gob omits zero, so the wire bytes
+	// of an ordinary run are unchanged by the fencing layer. Every
+	// post-load message struct carries the same field.
+	Gen int
 
 	Width          int
 	Search         search.Settings
@@ -201,6 +215,7 @@ func (c Config) loadSettings() loadDataMsg {
 type startMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 	Width int
 }
 
@@ -218,6 +233,7 @@ type wireRule struct {
 type stageMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Origin int // worker that started this pipeline
 	Step   int // stage number about to run (1-based)
 	Bottom bottom.Bottom
@@ -229,6 +245,7 @@ type stageMsg struct {
 type rulesMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Origin int
 	Rules  []logic.Clause
 }
@@ -237,6 +254,7 @@ type rulesMsg struct {
 type evaluateMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 	Rules []logic.Clause
 }
 
@@ -244,6 +262,7 @@ type evaluateMsg struct {
 type evalResultMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Worker int
 	Pos    []int32
 	Neg    []int32
@@ -253,6 +272,7 @@ type evalResultMsg struct {
 type markCoveredMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 	Rule  logic.Clause
 }
 
@@ -260,6 +280,7 @@ type markCoveredMsg struct {
 type adoptMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 }
 
 // adoptedMsg reports the adopted example (Ok=false when the worker had no
@@ -267,19 +288,24 @@ type adoptMsg struct {
 type adoptedMsg struct {
 	Epoch   int
 	Seq     int64
+	Gen     int
 	Worker  int
 	Ok      bool
 	Example logic.Term
 }
 
 // stopMsg terminates workers; workers reply nothing (simulation) or a
-// final report (network).
-type stopMsg struct{}
+// final report (network). It carries the generation so a zombie master
+// cannot stop a cluster a newer generation is driving.
+type stopMsg struct {
+	Gen int
+}
 
 // gatherMsg requests the worker's alive positives.
 type gatherMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 }
 
 // gatheredMsg carries a worker's alive positives to the master. With
@@ -291,6 +317,7 @@ type gatherMsg struct {
 type gatheredMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Worker int
 	Pos    []logic.Term
 	// Costs, parallel to Pos, are per-example cost estimates (the
@@ -310,6 +337,7 @@ type gatheredMsg struct {
 type repartitionMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 	Pos   []logic.Term
 }
 
@@ -317,11 +345,19 @@ type repartitionMsg struct {
 type finalMsg struct {
 	Epoch      int
 	Seq        int64
+	Gen        int
 	Worker     int
 	Inferences int64
 	Generated  int64
 	Clock      int64 // the worker's final virtual time
 	Traffic    cluster.Traffic
+	// Link-resilience counters: stale-generation frames this worker
+	// fenced off, and its transport's flap/replay totals (zero on
+	// transports without a link-session layer). All zero — and off the
+	// wire — in an ordinary run.
+	Fenced   int
+	Flaps    int64
+	Replayed int64
 }
 
 // reassignMsg recovers from a worker failure (see kindReassign). Pos/Neg
@@ -331,6 +367,7 @@ type finalMsg struct {
 type reassignMsg struct {
 	Epoch   int
 	Seq     int64
+	Gen     int
 	Members []int // surviving worker ids, ascending — the new pipeline ring
 	Pos     []logic.Term
 	Neg     []logic.Term
@@ -350,6 +387,7 @@ type reassignMsg struct {
 type reassignAckMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Worker int
 	// Alive is the worker's uncovered-positive count after the merge; the
 	// master sums these to rebase `remaining` (the dead worker's share may
@@ -366,6 +404,7 @@ type reassignAckMsg struct {
 type welcomeMsg struct {
 	Epoch   int
 	Seq     int64
+	Gen     int
 	Members []int
 	Load    loadDataMsg
 }
@@ -378,6 +417,7 @@ type welcomeMsg struct {
 type rebalanceMsg struct {
 	Epoch   int
 	Seq     int64
+	Gen     int
 	Members []int // live worker ids, ascending — the new pipeline ring
 	Pos     []logic.Term
 }
@@ -392,12 +432,14 @@ type rebalanceAckMsg = reassignAckMsg
 type resumeQueryMsg struct {
 	Epoch int
 	Seq   int64
+	Gen   int
 }
 
 // resumeInfoMsg answers a resume query (see kindResumeInfo).
 type resumeInfoMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Worker int
 	// Loaded reports whether the worker holds a partition; false means the
 	// master crashed during the initial load and must re-ship kindLoad.
@@ -415,8 +457,18 @@ type resumeInfoMsg struct {
 type suspectMsg struct {
 	Epoch  int
 	Seq    int64
+	Gen    int
 	Worker int // the reporter
 	Peer   int // the peer it observed dying
+}
+
+// fencedMsg rejects a stale-generation master (see kindFenced): Gen is
+// the worker's — higher — current generation.
+type fencedMsg struct {
+	Epoch  int
+	Seq    int64
+	Gen    int
+	Worker int
 }
 
 // replyHdr is the dispatch header shared by every worker→master payload:
@@ -435,6 +487,23 @@ func (m *gatheredMsg) hdr() (int, int)    { return m.Epoch, m.Worker }
 func (m *finalMsg) hdr() (int, int)       { return m.Epoch, m.Worker }
 func (m *reassignAckMsg) hdr() (int, int) { return m.Epoch, m.Worker }
 func (m *resumeInfoMsg) hdr() (int, int)  { return m.Epoch, m.Worker }
+func (m *fencedMsg) hdr() (int, int)      { return m.Epoch, m.Worker }
+
+// genCarrier exposes the generation a worker stamped on its reply, so
+// the master can notice it has been superseded (see kindFenced) no
+// matter which reply kind delivers the news.
+type genCarrier interface {
+	gen() int
+}
+
+func (m *rulesMsg) gen() int       { return m.Gen }
+func (m *evalResultMsg) gen() int  { return m.Gen }
+func (m *adoptedMsg) gen() int     { return m.Gen }
+func (m *gatheredMsg) gen() int    { return m.Gen }
+func (m *finalMsg) gen() int       { return m.Gen }
+func (m *reassignAckMsg) gen() int { return m.Gen }
+func (m *resumeInfoMsg) gen() int  { return m.Gen }
+func (m *fencedMsg) gen() int      { return m.Gen }
 
 // epochOnly decodes just the Epoch tag of a payload — used by the
 // dispatch loop to distinguish a stale out-of-phase message (dropped) from

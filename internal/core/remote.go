@@ -69,8 +69,29 @@ func RunWorker(t cluster.Transport, kb *solve.KB, ms *mode.Set, cfg Config) (err
 		}
 	}()
 	cfg = cfg.withDefaults()
+	if err := checkLinkGrace(t, cfg); err != nil {
+		return err
+	}
 	w := newRemoteWorker(t, kb, ms, cfg)
 	return w.run()
+}
+
+// checkLinkGrace rejects a transport whose link-reconnect grace window
+// (DESIGN.md §9) is as long as the protocol's receive timeout: the grace
+// window is supposed to hide a transient partition INSIDE a receive wait,
+// so one that can outlast the wait guarantees a spurious protocol timeout
+// on every flap instead of a seamless replay.
+func checkLinkGrace(t cluster.Transport, cfg Config) error {
+	lg, ok := asLinkGracer(t)
+	if !ok {
+		return nil
+	}
+	grace := lg.LinkGrace()
+	if grace > 0 && cfg.RecvTimeout > 0 && grace >= cfg.RecvTimeout {
+		return fmt.Errorf("core: link grace window %s must be shorter than RecvTimeout %s (a flap must heal inside one receive wait)",
+			grace, cfg.RecvTimeout)
+	}
+	return nil
 }
 
 // RunMaster drives the p²-mdie master over an established transport whose
@@ -95,6 +116,9 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 	}
 	if cfg.CheckpointDir != "" && cfg.AddLearnedToBK {
 		return nil, fmt.Errorf("core: CheckpointDir is incompatible with AddLearnedToBK: rollback cannot retract asserted rules")
+	}
+	if err := checkLinkGrace(t, cfg); err != nil {
+		return nil, err
 	}
 
 	// Fig. 5 step 2: the same random even partition as the simulation
@@ -131,10 +155,18 @@ func RunMaster(t cluster.Transport, pos, neg []logic.Term, cfg Config) (*Metrics
 	for _, fm := range ma.finals {
 		metrics.TotalInferences += fm.Inferences
 		metrics.GeneratedRules += fm.Generated
+		metrics.FencedFrames += fm.Fenced
+		metrics.LinkFlaps += fm.Flaps
+		metrics.ReplayedFrames += fm.Replayed
 		if c := cluster.VTime(fm.Clock); c > makespan {
 			makespan = c
 		}
 		traffic.Merge(fm.Traffic)
+	}
+	if ls, ok := asLinkStatser(t); ok {
+		flaps, replayed := ls.LinkStats()
+		metrics.LinkFlaps += flaps
+		metrics.ReplayedFrames += replayed
 	}
 	metrics.VirtualTime = makespan.Duration()
 	metrics.Traffic = traffic

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultline"
+	"repro/internal/netcluster"
+)
+
+// tcpFlapRun drives one real-TCP p²-mdie run whose master's links are all
+// severed at the flapAt'th protocol op (0 = never). With LinkGrace on, the
+// session layer must re-dial and replay the gap so the protocol never
+// notices. Returns the metrics and the op count.
+func tcpFlapRun(t *testing.T, flapAt int64) (*Metrics, int64) {
+	t.Helper()
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(2, 10)
+	cfg.RecvTimeout = 60 * time.Second
+	ncfg := netcluster.Config{
+		Fingerprint: Fingerprint(kb, pos, neg),
+		LinkGrace:   5 * time.Second,
+	}
+	master, errCh := startNetCluster(t, 2, ncfg, func(node *netcluster.Node) error {
+		return RunWorker(node, kb, ms, Config{})
+	})
+	plan := faultline.Plan{}
+	if flapAt > 0 {
+		plan.FlapAtOp = flapAt
+		plan.OnFlap = func() { master.DropLinks() }
+	}
+	fl := faultline.Wrap(master, plan)
+	met, err := RunMaster(fl, pos, neg, cfg)
+	if err != nil {
+		t.Fatalf("flap at op %d: RunMaster: %v", flapAt, err)
+	}
+	master.Close()
+	for k := 0; k < 2; k++ {
+		if werr := <-errCh; werr != nil {
+			t.Fatalf("flap at op %d: worker error: %v", flapAt, werr)
+		}
+	}
+	return met, fl.Ops()
+}
+
+// TestTCPFlapReplayByteIdentity is the link-resilience acceptance check
+// over real TCP: sever every one of the master's live connections at
+// sampled protocol points and require the learned theory to be
+// byte-identical to the failure-free run's, with zero recoveries and zero
+// master restarts — the grace window and frame replay must make the
+// partition invisible to the protocol, while the flap counters record
+// that it really happened.
+func TestTCPFlapReplayByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP flap sweep is slow")
+	}
+	base, total := tcpFlapRun(t, 0)
+	if total < 10 {
+		t.Fatalf("probe run counted only %d ops", total)
+	}
+	want := fmt.Sprint(base.Theory)
+	if base.LinkFlaps != 0 || base.ReplayedFrames != 0 {
+		t.Fatalf("failure-free run reported link faults: flaps=%d replayed=%d", base.LinkFlaps, base.ReplayedFrames)
+	}
+	for _, op := range []int64{2, total / 3, (2 * total) / 3} {
+		met, _ := tcpFlapRun(t, op)
+		if got := fmt.Sprint(met.Theory); got != want {
+			t.Fatalf("flap at op %d: theory diverged\n got: %s\nwant: %s", op, got, want)
+		}
+		if met.Recoveries != 0 || met.MasterRestarts != 0 {
+			t.Fatalf("flap at op %d: Recoveries = %d MasterRestarts = %d, want 0/0 (the blip must heal below the protocol)",
+				op, met.Recoveries, met.MasterRestarts)
+		}
+		if met.FencedFrames != 0 {
+			t.Fatalf("flap at op %d: FencedFrames = %d, want 0", op, met.FencedFrames)
+		}
+		if met.LinkFlaps < 1 {
+			t.Fatalf("flap at op %d: LinkFlaps = %d, want ≥ 1 (the severed links must be counted)", op, met.LinkFlaps)
+		}
+	}
+}
+
+// TestRemoteRecoverAfterGraceExpiry pins the escalation backstop as a
+// regression guard on the PR 4 machinery: with a grace window configured,
+// a worker that genuinely dies (not a blip — its process, listener and
+// all, is gone) must still expire the window, surface as a peer-down and
+// be recovered from, exactly as before the link-resilience layer existed.
+func TestRemoteRecoverAfterGraceExpiry(t *testing.T) {
+	kb, pos, neg, ms := makeTask(t)
+	cfg := testConfig(3, 10)
+	cfg.Recover = true
+	cfg.RecvTimeout = 60 * time.Second
+	ncfg := netcluster.Config{
+		Fingerprint:    Fingerprint(kb, pos, neg),
+		HeartbeatEvery: 20 * time.Millisecond,
+		PeerTimeout:    500 * time.Millisecond,
+		LinkGrace:      250 * time.Millisecond,
+	}
+	master, errCh := startNetCluster(t, 3, ncfg, func(node *netcluster.Node) error {
+		if node.ID() == 2 {
+			return RunWorker(&crashOn{Node: node, kind: kindEvaluate}, kb, ms, Config{})
+		}
+		return RunWorker(node, kb, ms, Config{})
+	})
+	met, err := RunMaster(master, pos, neg, cfg)
+	if err != nil {
+		t.Fatalf("RunMaster failed despite recovery: %v", err)
+	}
+	master.Close()
+	for k := 0; k < 3; k++ {
+		<-errCh // survivors exit cleanly; the crashed worker's error is expected
+	}
+	if met.Recoveries < 1 {
+		t.Fatalf("Recoveries = %d, want ≥ 1 (grace expiry must still escalate)", met.Recoveries)
+	}
+	if met.LostWorkers != 1 {
+		t.Fatalf("LostWorkers = %d, want 1", met.LostWorkers)
+	}
+	theoryCoversAll(t, kb, met.Theory, pos)
+}

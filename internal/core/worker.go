@@ -36,6 +36,13 @@ type worker struct {
 	epoch int
 	seq   int64
 
+	// gen is the highest master generation observed (DESIGN.md §9): zero
+	// until a crash-restarted master announces itself. Frames stamped
+	// with a lower generation come from a superseded master and are
+	// fenced off; fenced counts them for Metrics.FencedFrames.
+	gen    int
+	fenced int
+
 	// ring is the live pipeline membership, ascending worker ids.
 	// Initially 1..p; replaced by kindReassign after a failure.
 	ring []int
@@ -217,10 +224,15 @@ func (w *worker) sendFinal() error {
 	fm := finalMsg{
 		Epoch:      w.epoch,
 		Seq:        w.nextSeq(),
+		Gen:        w.gen,
 		Worker:     w.id,
 		Inferences: w.totalInf(),
 		Generated:  w.generated,
 		Clock:      int64(w.node.Clock()),
+		Fenced:     w.fenced,
+	}
+	if ls, ok := asLinkStatser(w.node); ok {
+		fm.Flaps, fm.Replayed = ls.LinkStats()
 	}
 	if tr, ok := w.node.(cluster.TrafficReporter); ok {
 		// Snapshotted before the send, so the report excludes itself: the
@@ -298,6 +310,29 @@ func (w *worker) restore(boundary int) error {
 	w.ex.PosAlive = s.alive.Clone()
 	w.ring = append([]int(nil), s.ring...)
 	return nil
+}
+
+// fenceDrop applies the generation fence (DESIGN.md §9) to an inbound
+// message stamped with gen. A frame below the worker's generation comes
+// from a superseded master: it is dropped, and — when it came from the
+// master link itself — answered with kindFenced so the stale master
+// learns it must stand down. A frame above advances the worker's
+// generation (a crash-restarted master announcing itself). The fence
+// runs BEFORE the epoch-staleness check: a stale master's epoch clock
+// may be arbitrarily ahead of or behind ours, so epoch comparison
+// against its frames is meaningless.
+func (w *worker) fenceDrop(gen, from int) (drop bool, err error) {
+	if gen < w.gen {
+		w.fenced++
+		if from == 0 {
+			err = w.sendMaster(kindFenced, fencedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Worker: w.id})
+		}
+		return true, err
+	}
+	if gen > w.gen {
+		w.gen = gen
+	}
+	return false, nil
 }
 
 // sendMaster ships a protocol message to the master, swallowing the
@@ -474,7 +509,7 @@ func (w *worker) run() error {
 				w.deadPeers = make(map[int]bool)
 			}
 			w.deadPeers[msg.From] = true
-			err := w.node.Send(0, kindSuspect, suspectMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Peer: msg.From})
+			err := w.node.Send(0, kindSuspect, suspectMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Worker: w.id, Peer: msg.From})
 			if err != nil && !errors.Is(err, cluster.ErrPeerDown) {
 				return err
 			}
@@ -489,6 +524,11 @@ func (w *worker) run() error {
 				var lm loadDataMsg
 				if err := msg.Decode(&lm); err != nil {
 					return err
+				}
+				if drop, err := w.fenceDrop(lm.Gen, msg.From); err != nil {
+					return err
+				} else if drop {
+					continue
 				}
 				if err := w.loadRemote(&lm); err != nil {
 					return err
@@ -508,6 +548,11 @@ func (w *worker) run() error {
 			if err := msg.Decode(&sm); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(sm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			if sm.Epoch < w.epoch {
 				continue // stale re-issued epoch; nobody reads the result
 			}
@@ -520,6 +565,11 @@ func (w *worker) run() error {
 			if err := msg.Decode(&st); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(st.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue // a sibling still relaying a superseded master's epoch
+			}
 			if st.Epoch < w.epoch {
 				continue // residue of an abandoned epoch attempt
 			}
@@ -530,6 +580,11 @@ func (w *worker) run() error {
 			var em evaluateMsg
 			if err := msg.Decode(&em); err != nil {
 				return err
+			}
+			if drop, err := w.fenceDrop(em.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
 			}
 			if em.Epoch < w.epoch {
 				continue
@@ -543,6 +598,14 @@ func (w *worker) run() error {
 			if err := msg.Decode(&mm); err != nil {
 				return err
 			}
+			// Epoch-independent, but NOT generation-independent: a stale
+			// master's acceptance must not retract examples the live
+			// generation still owns.
+			if drop, err := w.fenceDrop(mm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			// Applied regardless of epoch: the accepted rule stays in the
 			// theory even when its epoch is re-issued (see messages.go).
 			w.markCovered(&mm)
@@ -550,6 +613,11 @@ func (w *worker) run() error {
 			var am adoptMsg
 			if err := msg.Decode(&am); err != nil {
 				return err
+			}
+			if drop, err := w.fenceDrop(am.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
 			}
 			if am.Epoch < w.epoch {
 				// Unlike markCovered, a stale adoption must NOT run: it
@@ -566,6 +634,11 @@ func (w *worker) run() error {
 			if err := msg.Decode(&gm); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(gm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			if gm.Epoch < w.epoch {
 				continue
 			}
@@ -578,6 +651,11 @@ func (w *worker) run() error {
 			if err := msg.Decode(&rm); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(rm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			if rm.Epoch < w.epoch {
 				continue
 			}
@@ -587,6 +665,11 @@ func (w *worker) run() error {
 			var rm reassignMsg
 			if err := msg.Decode(&rm); err != nil {
 				return err
+			}
+			if drop, err := w.fenceDrop(rm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
 			}
 			if rm.Epoch < w.epoch {
 				continue
@@ -603,6 +686,11 @@ func (w *worker) run() error {
 			if err := msg.Decode(&wm); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(wm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			if wm.Epoch < w.epoch {
 				continue
 			}
@@ -617,6 +705,11 @@ func (w *worker) run() error {
 			var rm rebalanceMsg
 			if err := msg.Decode(&rm); err != nil {
 				return err
+			}
+			if drop, err := w.fenceDrop(rm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
 			}
 			if rm.Epoch < w.epoch {
 				continue
@@ -634,9 +727,15 @@ func (w *worker) run() error {
 			if err := msg.Decode(&qm); err != nil {
 				return err
 			}
+			if drop, err := w.fenceDrop(qm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			err := w.sendMaster(kindResumeInfo, resumeInfoMsg{
 				Epoch:      w.epoch,
 				Seq:        w.nextSeq(),
+				Gen:        w.gen,
 				Worker:     w.id,
 				Loaded:     w.ex != nil,
 				Reconnects: w.orphanReconnects,
@@ -646,6 +745,17 @@ func (w *worker) run() error {
 			}
 			w.orphanReconnects = 0 // reported: the master accumulates deltas
 		case kindStop:
+			var tm stopMsg
+			if err := msg.Decode(&tm); err != nil {
+				return err
+			}
+			// A zombie master must not stop a cluster a newer generation
+			// is still driving.
+			if drop, err := w.fenceDrop(tm.Gen, msg.From); err != nil {
+				return err
+			} else if drop {
+				continue
+			}
 			if w.remote {
 				return w.sendFinal()
 			}
@@ -663,7 +773,7 @@ func (w *worker) startPipeline() error {
 	seedIdx := w.ex.FirstAlivePos()
 	if seedIdx < 0 {
 		// Nothing left locally: deliver an empty pipeline result.
-		return w.sendMaster(kindRules, rulesMsg{Epoch: w.epoch, Seq: w.nextSeq(), Origin: w.id})
+		return w.sendMaster(kindRules, rulesMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Origin: w.id})
 	}
 	before := w.totalInf()
 	bot, err := bottom.Construct(w.m, w.ms, w.ex.Pos[seedIdx], w.cfg.Bottom)
@@ -725,7 +835,7 @@ func (w *worker) deliverRules(st *stageMsg, res *search.Result) error {
 			rules = append(rules, g.Materialize(&st.Bottom).Canonical())
 		}
 	}
-	return w.sendMaster(kindRules, rulesMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Rules: rules})
+	return w.sendMaster(kindRules, rulesMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Gen: w.gen, Origin: st.Origin, Rules: rules})
 }
 
 // forward routes a stage's results: to the next worker while stages
@@ -740,7 +850,7 @@ func (w *worker) forward(st *stageMsg, res *search.Result) error {
 		for _, g := range res.Good {
 			seeds = append(seeds, wireRule{Indices: g.Indices})
 		}
-		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom, Seeds: seeds}
+		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Gen: w.gen, Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom, Seeds: seeds}
 		sent, err := w.forwardStage(next)
 		if sent || err != nil {
 			return err
@@ -751,7 +861,7 @@ func (w *worker) forward(st *stageMsg, res *search.Result) error {
 
 func (w *worker) forwardEmpty(st *stageMsg) error {
 	if st.Step < len(w.ring) {
-		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom}
+		next := stageMsg{Epoch: st.Epoch, Seq: w.nextSeq(), Gen: w.gen, Origin: st.Origin, Step: st.Step + 1, Bottom: st.Bottom}
 		sent, err := w.forwardStage(next)
 		if sent || err != nil {
 			return err
@@ -773,6 +883,7 @@ func (w *worker) evaluateBag(em *evaluateMsg) error {
 	out := evalResultMsg{
 		Epoch:  em.Epoch,
 		Seq:    w.nextSeq(),
+		Gen:    w.gen,
 		Worker: w.id,
 		Pos:    make([]int32, len(em.Rules)),
 		Neg:    make([]int32, len(em.Rules)),
@@ -800,7 +911,7 @@ func (w *worker) markCovered(mm *markCoveredMsg) {
 // cumulative work totals the master's balancer measures throughput from;
 // off, the fields stay zero and the message bytes are unchanged.
 func (w *worker) gatherAlive() error {
-	out := gatheredMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id}
+	out := gatheredMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Worker: w.id}
 	w.ex.PosAlive.ForEach(func(i int) bool {
 		out.Pos = append(out.Pos, w.ex.Pos[i])
 		return true
@@ -876,6 +987,7 @@ func (w *worker) reassign(rm *reassignMsg, prev int) error {
 	return w.sendMaster(kindReassignAck, reassignAckMsg{
 		Epoch:  w.epoch,
 		Seq:    w.nextSeq(),
+		Gen:    w.gen,
 		Worker: w.id,
 		Alive:  w.ex.PosAlive.Count(),
 	})
@@ -897,6 +1009,7 @@ func (w *worker) rebalance(rm *rebalanceMsg) error {
 	return w.sendMaster(kindRebalanceAck, rebalanceAckMsg{
 		Epoch:  w.epoch,
 		Seq:    w.nextSeq(),
+		Gen:    w.gen,
 		Worker: w.id,
 		Alive:  w.ex.PosAlive.Count(),
 	})
@@ -907,11 +1020,11 @@ func (w *worker) rebalance(rm *rebalanceMsg) error {
 func (w *worker) adoptOne() error {
 	idx := w.ex.FirstAlivePos()
 	if idx < 0 {
-		return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id})
+		return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Worker: w.id})
 	}
 	single := search.NewBitset(len(w.ex.Pos))
 	single.Set(idx)
 	w.ex.RetractPos(single)
 	w.compute(1)
-	return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
+	return w.sendMaster(kindAdopted, adoptedMsg{Epoch: w.epoch, Seq: w.nextSeq(), Gen: w.gen, Worker: w.id, Ok: true, Example: w.ex.Pos[idx]})
 }

@@ -15,6 +15,7 @@ package faultline
 import (
 	"context"
 	"errors"
+	"time"
 
 	"repro/internal/cluster"
 )
@@ -50,6 +51,33 @@ type Plan struct {
 	DelayRecv float64
 	// DelayOps is the holdback distance for DelayRecv (default 3).
 	DelayOps int64
+
+	// FlapAtOp starts a transient link blip at the op'th protocol point
+	// (1-based, once per run). With OnFlap set the blip is delegated —
+	// e.g. netcluster.Node.DropLinks severs every live TCP conn and the
+	// link-session layer replays the gap (DESIGN.md §9). Without OnFlap
+	// the wrapper simulates the blip itself: the node's NIC is "down" for
+	// FlapFor of wall time, so its protocol ops — sends and receives alike
+	// — stall until the window closes and then proceed. No loss, no
+	// reorder, so a run's protocol outcome is unchanged by the flap.
+	// 0 = never.
+	FlapAtOp int64
+	// FlapFor is the blip duration (default 40ms).
+	FlapFor time.Duration
+	// OnFlap, when non-nil, runs once at FlapAtOp in place of the
+	// built-in buffering blip.
+	OnFlap func()
+
+	// PartitionAtOp starts a lossy one-sided partition at the op'th
+	// protocol point (1-based, once per run): for PartitionFor of wall
+	// time, traffic on the PartitionSide is silently dropped — real loss,
+	// unlike a flap, so the protocol must recover on its own. 0 = never.
+	PartitionAtOp int64
+	// PartitionFor is the partition duration (default 40ms).
+	PartitionFor time.Duration
+	// PartitionSide selects what the window drops: "out" (this node's
+	// sends), "in" (its delivered data messages), or "both" (default).
+	PartitionSide string
 }
 
 // Transport wraps an inner cluster.Transport with a Plan. It is safe for
@@ -70,6 +98,14 @@ type Transport struct {
 	// holds delayed messages with the recv-op count at which they release.
 	ready []cluster.Message
 	held  []heldMsg
+
+	// Flap/partition window state: each fires at most once; flapUntil and
+	// partUntil are zero outside their windows.
+	flapFired bool
+	flapUntil time.Time
+	partFired bool
+	partUntil time.Time
+	flaps     int64
 }
 
 type heldMsg struct {
@@ -101,6 +137,9 @@ func (t *Transport) Recvs() int64 { return t.recvs }
 // Crashed reports whether the crash schedule has fired.
 func (t *Transport) Crashed() bool { return t.crashed }
 
+// Flaps returns the number of flap windows fired (0 or 1 per plan).
+func (t *Transport) Flaps() int64 { return t.flaps }
+
 // Inner exposes the wrapped transport, so capability probes (address
 // books, link liveness) can see through the fault layer — faults apply to
 // protocol traffic, not to out-of-band endpoint introspection.
@@ -117,8 +156,9 @@ func (t *Transport) rand() float64 {
 	return float64((s*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
 }
 
-// tick numbers the next protocol point and fires the crash schedule when
-// its op comes up. It reports whether the op may proceed.
+// tick numbers the next protocol point and fires the crash, flap and
+// partition schedules when their ops come up. It reports whether the op
+// may proceed.
 func (t *Transport) tick() bool {
 	t.ops++
 	if t.plan.CrashAtOp > 0 && t.ops >= t.plan.CrashAtOp {
@@ -129,7 +169,60 @@ func (t *Transport) tick() bool {
 		}
 		return false
 	}
+	if t.plan.FlapAtOp > 0 && !t.flapFired && t.ops >= t.plan.FlapAtOp {
+		t.flapFired = true
+		t.flaps++
+		if t.plan.OnFlap != nil {
+			t.plan.OnFlap()
+		} else {
+			t.flapUntil = time.Now().Add(windowDur(t.plan.FlapFor))
+		}
+	}
+	if t.plan.PartitionAtOp > 0 && !t.partFired && t.ops >= t.plan.PartitionAtOp {
+		t.partFired = true
+		t.partUntil = time.Now().Add(windowDur(t.plan.PartitionFor))
+	}
 	return true
+}
+
+// windowDur applies the default flap/partition window length.
+func windowDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 40 * time.Millisecond
+	}
+	return d
+}
+
+// stallFlap blocks until the built-in flap window has closed, then clears
+// it. The node is single-threaded, so stalling its next protocol op is
+// exactly what a NIC-down blip does to it — and unlike buffering, a stall
+// cannot strand traffic if the node's run ends during the window.
+func (t *Transport) stallFlap() {
+	if t.flapUntil.IsZero() {
+		return
+	}
+	if d := time.Until(t.flapUntil); d > 0 {
+		time.Sleep(d)
+	}
+	t.flapUntil = time.Time{}
+}
+
+// partActive reports whether the partition window is open for side,
+// clearing the window once the wall clock has passed.
+func (t *Transport) partActive(side string) bool {
+	if t.partUntil.IsZero() {
+		return false
+	}
+	if !time.Now().Before(t.partUntil) {
+		t.partUntil = time.Time{}
+		return false
+	}
+	switch t.plan.PartitionSide {
+	case "", "both":
+		return true
+	default:
+		return t.plan.PartitionSide == side
+	}
 }
 
 func (t *Transport) ID() int                { return t.inner.ID() }
@@ -159,6 +252,10 @@ func (t *Transport) Send(to int, kind int, v any) error {
 	if t.plan.DropSend > 0 && t.rand() < t.plan.DropSend {
 		return nil // swallowed: the caller believes it went out
 	}
+	if t.partActive("out") {
+		return nil // partitioned away: real loss, the protocol must recover
+	}
+	t.stallFlap()
 	return t.inner.Send(to, kind, v)
 }
 
@@ -172,7 +269,9 @@ func (t *Transport) Broadcast(targets []int, kind int, v any) error {
 		return ErrCrashed
 	}
 	crashInWindow := t.plan.CrashAtOp > 0 && t.plan.CrashAtOp <= t.ops+int64(len(targets))
-	if !crashInWindow && t.plan.DropSend == 0 {
+	flapLive := t.plan.FlapAtOp > 0 && (!t.flapFired || !t.flapUntil.IsZero())
+	partLive := t.plan.PartitionAtOp > 0 && (!t.partFired || !t.partUntil.IsZero())
+	if !crashInWindow && t.plan.DropSend == 0 && !flapLive && !partLive {
 		t.ops += int64(len(targets))
 		t.sends += int64(len(targets))
 		return t.inner.Broadcast(targets, kind, v)
@@ -192,6 +291,21 @@ func (t *Transport) ReceiveCtx(ctx context.Context) (cluster.Message, error) {
 		if t.crashed {
 			return cluster.Message{}, ErrCrashed
 		}
+		if !t.flapUntil.IsZero() {
+			// The node's NIC is "down": wait the blip out before reading.
+			// The caller's deadline still applies — the grace machinery
+			// hides a flap from the protocol, never from its timeouts.
+			if d := time.Until(t.flapUntil); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return cluster.Message{}, ctx.Err()
+				case <-timer.C:
+				}
+			}
+			t.flapUntil = time.Time{}
+		}
 		msg, fromQueue, err := t.next(ctx)
 		if err != nil {
 			return cluster.Message{}, err
@@ -208,6 +322,9 @@ func (t *Transport) ReceiveCtx(ctx context.Context) (cluster.Message, error) {
 		}
 		if t.plan.DropRecv > 0 && t.rand() < t.plan.DropRecv {
 			continue
+		}
+		if t.partActive("in") {
+			continue // partitioned away before the caller saw it
 		}
 		if t.plan.DupRecv > 0 && t.rand() < t.plan.DupRecv {
 			t.ready = append(t.ready, msg)

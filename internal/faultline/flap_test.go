@@ -1,0 +1,145 @@
+package faultline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestFlapStallsSendsThenDeliversInOrder pins the built-in blip
+// semantics: the flap stalls the node's next op until the window closes,
+// then everything proceeds — nothing is lost, nothing reordered, and no
+// traffic can be stranded if the run ends right after the flap point.
+func TestFlapStallsSendsThenDeliversInOrder(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	sender := Wrap(nw.Node(0), Plan{FlapAtOp: 2, FlapFor: 60 * time.Millisecond})
+	start := time.Now()
+	for i := 1; i <= 5; i++ {
+		if err := sender.Send(1, 7, payload{N: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("five sends across the flap point took %v — the blip window was not waited out", elapsed)
+	}
+	if sender.Flaps() != 1 {
+		t.Fatalf("Flaps() = %d, want 1", sender.Flaps())
+	}
+	if got := drain(t, nw.Node(1)); fmt.Sprint(got) != "[1 2 3 4 5]" {
+		t.Fatalf("delivered %v, want [1 2 3 4 5] exactly once in order", got)
+	}
+}
+
+// TestFlapReceiveWaitsOutWindow pins the receive side of a blip: while the
+// window is open the node's NIC is "down", so the next receive waits the
+// blip out and then delivers normally — nothing is dropped.
+func TestFlapReceiveWaitsOutWindow(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	for i := 1; i <= 2; i++ {
+		if err := nw.Node(0).Send(1, 7, payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	receiver := Wrap(nw.Node(1), Plan{FlapAtOp: 1, FlapFor: 120 * time.Millisecond})
+	if _, err := recvOne(t, receiver); err != nil {
+		t.Fatalf("recv 1 (fires the flap after delivery): %v", err)
+	}
+	start := time.Now()
+	msg, err := recvOne(t, receiver)
+	if err != nil {
+		t.Fatalf("recv 2: %v", err)
+	}
+	var p payload
+	if err := msg.Decode(&p); err != nil || p.N != 2 {
+		t.Fatalf("recv 2 decoded %v (err %v), want N=2", p, err)
+	}
+	if waited := time.Since(start); waited < 80*time.Millisecond {
+		t.Fatalf("recv 2 returned after %v — the blip window was not waited out", waited)
+	}
+}
+
+// TestFlapReceiveHonorsCallerDeadline pins that the blip wait is still
+// context-aware: a caller deadline shorter than the remaining window fires
+// as a deadline, it does not hang until the blip heals.
+func TestFlapReceiveHonorsCallerDeadline(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	if err := nw.Node(0).Send(1, 7, payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	receiver := Wrap(nw.Node(1), Plan{FlapAtOp: 1, FlapFor: 2 * time.Second})
+	if _, err := recvOne(t, receiver); err != nil {
+		t.Fatalf("recv 1: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := receiver.ReceiveCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("recv during blip: got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFlapOnFlapDelegatesToHook pins the TCP mode: with OnFlap set the
+// wrapper injects nothing itself — the hook (DropLinks on a real node)
+// runs exactly once and traffic keeps flowing through the wrapper.
+func TestFlapOnFlapDelegatesToHook(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	fired := 0
+	sender := Wrap(nw.Node(0), Plan{FlapAtOp: 2, OnFlap: func() { fired++ }})
+	for i := 1; i <= 4; i++ {
+		if err := sender.Send(1, 7, payload{N: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("OnFlap ran %d times, want 1", fired)
+	}
+	if got := drain(t, nw.Node(1)); fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("delivered %v, want all four in order (hook mode buffers nothing)", got)
+	}
+}
+
+// TestPartitionDropsSends pins the "out" side of the lossy partition:
+// sends inside the window vanish — real loss, unlike a flap.
+func TestPartitionDropsSends(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	sender := Wrap(nw.Node(0), Plan{PartitionAtOp: 2, PartitionFor: 80 * time.Millisecond, PartitionSide: "out"})
+	for i := 1; i <= 3; i++ {
+		if err := sender.Send(1, 7, payload{N: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := sender.Send(1, 7, payload{N: 4}); err != nil {
+		t.Fatalf("post-partition send: %v", err)
+	}
+	if got := drain(t, nw.Node(1)); fmt.Sprint(got) != "[1 4]" {
+		t.Fatalf("delivered %v, want [1 4] (2 and 3 partitioned away)", got)
+	}
+}
+
+// TestPartitionDropsReceives pins the "in" side: delivered data messages
+// inside the window are discarded before the caller sees them.
+func TestPartitionDropsReceives(t *testing.T) {
+	nw := cluster.NewNetwork(2, cluster.DefaultCostModel)
+	defer nw.Shutdown()
+	for i := 1; i <= 5; i++ {
+		if err := nw.Node(0).Send(1, 7, payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	receiver := Wrap(nw.Node(1), Plan{PartitionAtOp: 1, PartitionFor: 300 * time.Millisecond, PartitionSide: "in"})
+	if got := drain(t, receiver); len(got) != 0 {
+		t.Fatalf("delivered %v, want nothing (all five inside the partition window)", got)
+	}
+	if receiver.Recvs() != 5 {
+		t.Fatalf("Recvs() = %d, want 5 (dropped messages still count as ops)", receiver.Recvs())
+	}
+}

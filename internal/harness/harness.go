@@ -103,6 +103,13 @@ type Results struct {
 	// crash-restart.
 	Restarts map[Key][]float64
 	Orphans  map[Key][]float64
+	// Flaps, Replayed and Fenced track the link-resilience counters
+	// (core.Metrics.LinkFlaps / ReplayedFrames / FencedFrames): zero on
+	// the simulated transport and on a flap-free TCP sweep, non-zero when
+	// a run absorbed transient link failures or fenced a stale master.
+	Flaps    map[Key][]float64
+	Replayed map[Key][]float64
+	Fenced   map[Key][]float64
 
 	// Links keeps the first fold's per-link traffic table per cell — the
 	// drill-down behind Table 4's averages. The same accounting backs a
@@ -125,6 +132,9 @@ func newResults(cfg Config) *Results {
 		Joined:   map[Key][]float64{},
 		Restarts: map[Key][]float64{},
 		Orphans:  map[Key][]float64{},
+		Flaps:    map[Key][]float64{},
+		Replayed: map[Key][]float64{},
+		Fenced:   map[Key][]float64{},
 		Links:    map[Key]cluster.Traffic{},
 	}
 }
@@ -195,6 +205,9 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 					res.Joined[key] = append(res.Joined[key], float64(met.JoinedWorkers))
 					res.Restarts[key] = append(res.Restarts[key], float64(met.MasterRestarts))
 					res.Orphans[key] = append(res.Orphans[key], float64(met.OrphanReconnects))
+					res.Flaps[key] = append(res.Flaps[key], float64(met.LinkFlaps))
+					res.Replayed[key] = append(res.Replayed[key], float64(met.ReplayedFrames))
+					res.Fenced[key] = append(res.Fenced[key], float64(met.FencedFrames))
 					recovered := ""
 					if met.Recoveries > 0 || met.LostWorkers > 0 {
 						recovered = fmt.Sprintf(", recoveries=%d lost=%d", met.Recoveries, met.LostWorkers)

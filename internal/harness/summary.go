@@ -48,6 +48,11 @@ type CellSummary struct {
 	// (fold means); zero for a failure-free sweep.
 	MasterRestarts   float64 `json:"master_restarts"`
 	OrphanReconnects float64 `json:"orphan_reconnects"`
+	// LinkFlaps, ReplayedFrames and FencedFrames are the link-resilience
+	// counters (fold means); zero for a flap-free sweep.
+	LinkFlaps      float64 `json:"link_flaps"`
+	ReplayedFrames float64 `json:"replayed_frames"`
+	FencedFrames   float64 `json:"fenced_frames"`
 }
 
 // Summary collapses the per-fold measurements into fold means.
@@ -83,6 +88,9 @@ func (r *Results) Summary() Summary {
 					JoinedWorkers:    stats.Mean(r.Joined[k]),
 					MasterRestarts:   stats.Mean(r.Restarts[k]),
 					OrphanReconnects: stats.Mean(r.Orphans[k]),
+					LinkFlaps:        stats.Mean(r.Flaps[k]),
+					ReplayedFrames:   stats.Mean(r.Replayed[k]),
+					FencedFrames:     stats.Mean(r.Fenced[k]),
 				})
 			}
 		}

@@ -94,3 +94,46 @@ func TestSummaryCarriesElasticCounters(t *testing.T) {
 		t.Fatalf("elastic fold means = %v/%v, want 2/0.5", c2.Rebalances, c2.JoinedWorkers)
 	}
 }
+
+// TestSummaryCarriesLinkResilienceCounters pins the link-resilience fields
+// of the machine-readable summary: present in the JSON so chaos sweeps can
+// confirm a flap really happened (flaps > 0) and really healed (fenced and
+// recoveries 0), zero on a failure-free run, and fold-meaned like every
+// other cell metric.
+func TestSummaryCarriesLinkResilienceCounters(t *testing.T) {
+	res := sharedRun(t)
+	for _, c := range res.Summary().Datasets[0].Cells {
+		if c.LinkFlaps != 0 || c.ReplayedFrames != 0 || c.FencedFrames != 0 {
+			t.Fatalf("failure-free sweep reported link faults: %+v", c)
+		}
+	}
+	out, err := res.MarshalSummary(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(out, &raw); err != nil {
+		t.Fatal(err)
+	}
+	ds := raw["datasets"].([]any)[0].(map[string]any)
+	cell := ds["cells"].([]any)[0].(map[string]any)
+	for _, key := range []string{"link_flaps", "replayed_frames", "fenced_frames"} {
+		if _, ok := cell[key]; !ok {
+			t.Fatalf("summary JSON cell lacks %s: %v", key, cell)
+		}
+	}
+
+	// Synthetic results with link activity fold-mean through Summary().
+	ds2 := &datasets.Dataset{Name: "x"}
+	k := Key{Dataset: "x", Width: 10, Procs: 2}
+	r2 := newResults(Config{Folds: 2, Seed: 1, Procs: []int{2}, Widths: []int{10}, Datasets: []*datasets.Dataset{ds2}})
+	r2.Time[k] = []float64{1, 1}
+	r2.Flaps[k] = []float64{1, 3}
+	r2.Replayed[k] = []float64{10, 20}
+	r2.Fenced[k] = []float64{0, 4}
+	c2 := r2.Summary().Datasets[0].Cells[0]
+	if c2.LinkFlaps != 2 || c2.ReplayedFrames != 15 || c2.FencedFrames != 2 {
+		t.Fatalf("link-resilience fold means = %v/%v/%v, want 2/15/2",
+			c2.LinkFlaps, c2.ReplayedFrames, c2.FencedFrames)
+	}
+}

@@ -30,6 +30,9 @@ func ConnectOn(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error)
 
 func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	p := len(workerAddrs)
 	if p < 1 {
 		return nil, fmt.Errorf("netcluster: no worker addresses")
@@ -56,6 +59,7 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			n.Abort() // a failed join is a failure, not an orderly departure
 			return nil, fmt.Errorf("netcluster: worker %d at %s: %w", k, workerAddrs[k-1], err)
 		}
+		sess := n.newSession(workerAddrs[k-1])
 		welcome := &frame{
 			Ctrl:        ctrlWelcome,
 			NodeID:      int32(k),
@@ -63,6 +67,7 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			Peers:       n.peers,
 			Fingerprint: cfg.Fingerprint,
 			Model:       cfg.Model,
+			Session:     sess.sid,
 		}
 		if err := writeFrame(conn, welcome); err != nil {
 			conn.Close()
@@ -93,7 +98,7 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("netcluster: worker %d fingerprint %x does not match master %x (different dataset or settings loaded)",
 				k, ack.Fingerprint, cfg.Fingerprint)
 		}
-		if _, err := n.registerLink(k, conn, true); err != nil {
+		if _, err := n.registerLink(k, conn, true, sess); err != nil {
 			conn.Close()
 			n.Abort() // a failed join is a failure, not an orderly departure
 			return nil, err
@@ -167,6 +172,10 @@ func Serve(addr string, cfg Config) (*Node, error) {
 // ":0" and publish the real address before the blocking join.
 func ServeOn(ln net.Listener, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		ln.Close()
+		return nil, err
+	}
 	n := &Node{
 		cfg:     cfg,
 		inbox:   newInbox(),
@@ -229,7 +238,7 @@ func ServeOn(ln net.Listener, cfg Config) (*Node, error) {
 			ln.Close()
 			return nil, fmt.Errorf("netcluster: join ack: %w", err)
 		}
-		if _, err := n.registerLink(0, conn, true); err != nil {
+		if _, err := n.registerLink(0, conn, true, n.acceptedSession(f)); err != nil {
 			ln.Close()
 			return nil, err
 		}
@@ -298,6 +307,10 @@ func (n *Node) handshake(conn net.Conn) {
 }
 
 func (n *Node) acceptPeer(conn net.Conn, f *frame) {
+	if f.Ctrl == ctrlLinkResume {
+		n.acceptLinkResume(conn, f)
+		return
+	}
 	if f.Ctrl == ctrlJoinReq {
 		if n.id == 0 {
 			n.acceptJoin(conn, f)
@@ -334,7 +347,7 @@ func (n *Node) acceptPeer(conn net.Conn, f *frame) {
 		return
 	}
 	// Receive-only: data to this peer goes out on a link we dial ourselves.
-	n.registerLink(int(f.From), conn, false)
+	n.registerLink(int(f.From), conn, false, n.acceptedSession(f))
 }
 
 // ListenForJoins opens a join listener on a running master, so late
@@ -443,15 +456,18 @@ func (n *Node) acceptJoin(conn net.Conn, f *frame) {
 	n.trMu.Lock()
 	n.tr.Grow(id + 1)
 	n.trMu.Unlock()
-	if _, err := n.registerLink(id, conn, true); err != nil {
+	if _, err := n.registerLink(id, conn, true, n.acceptedSession(f)); err != nil {
 		conn.Close()
 		return
 	}
-	upd := &frame{Ctrl: ctrlPeerUpdate, Nodes: int32(id + 1), Peers: peers}
 	for _, l := range workerLinks {
 		// Best-effort: a broken link surfaces through its own failure
 		// detection, and the dead worker will never dial the joiner.
-		l.write(upd)
+		// Sequenced (own copy per link, sendSequenced stamps the header in
+		// place) so a flap between the update and the ring's first dial
+		// cannot lose the new address book.
+		upd := &frame{Ctrl: ctrlPeerUpdate, Nodes: int32(id + 1), Peers: peers}
+		n.sendSequenced(l, upd)
 	}
 	n.inbox.put(cluster.Message{From: id, To: n.id, Kind: cluster.KindPeerUp})
 }
@@ -479,11 +495,18 @@ func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
 		ln.Close()
 		return nil, err
 	}
+	if err := cfg.validate(); err != nil {
+		return fail(err)
+	}
 	conn, err := dialRetry(masterAddr, cfg.JoinTimeout)
 	if err != nil {
 		return fail(fmt.Errorf("netcluster: join master at %s: %w", masterAddr, err))
 	}
-	req := &frame{Ctrl: ctrlJoinReq, Addr: ln.Addr().String(), Fingerprint: cfg.Fingerprint}
+	sess := linkSession{}
+	if cfg.LinkGrace > 0 {
+		sess = linkSession{sid: newSessionID(), dialer: true, addr: masterAddr}
+	}
+	req := &frame{Ctrl: ctrlJoinReq, Addr: ln.Addr().String(), Fingerprint: cfg.Fingerprint, Session: sess.sid}
 	if err := writeFrame(conn, req); err != nil {
 		conn.Close()
 		return fail(fmt.Errorf("netcluster: join request: %w", err))
@@ -525,7 +548,7 @@ func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
 		conn.Close()
 		return fail(fmt.Errorf("netcluster: join ack: %w", err))
 	}
-	if _, err := n.registerLink(0, conn, true); err != nil {
+	if _, err := n.registerLink(0, conn, true, sess); err != nil {
 		return fail(err)
 	}
 	n.wg.Add(1)

@@ -61,6 +61,17 @@ type Config struct {
 	JoinTimeout time.Duration
 	// MaxFrameBytes bounds one frame. Default 256 MiB.
 	MaxFrameBytes int
+	// LinkGrace is the reconnect grace window for transient link failures.
+	// Zero (the default) disables the link-session layer entirely: a read,
+	// write or heartbeat failure escalates immediately, as it always has.
+	// When positive, a failed link is suspended and re-dialed with backoff
+	// for up to this long before the failure surfaces as a peer death.
+	LinkGrace time.Duration
+	// MaxRetainedFrames bounds the per-link ring of sent-but-unacked
+	// frames kept for replay. Overflow — a peer that stops acking for
+	// longer than the window the ring covers — escalates like a link
+	// failure. Default 4096.
+	MaxRetainedFrames int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +88,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = 256 << 20
 	}
+	if c.MaxRetainedFrames <= 0 {
+		c.MaxRetainedFrames = 4096
+	}
 	return c
+}
+
+// validate rejects knob combinations that cannot work, after defaults
+// are applied: a heartbeat period at least as long as PeerTimeout
+// declares every idle-but-healthy peer dead before the next keep-alive
+// can be written, and a negative grace window is meaningless.
+func (c Config) validate() error {
+	if c.HeartbeatEvery >= c.PeerTimeout {
+		return fmt.Errorf("netcluster: HeartbeatEvery %s must be shorter than PeerTimeout %s (a peer is declared dead after PeerTimeout of silence, so the keep-alive must fit inside it)",
+			c.HeartbeatEvery, c.PeerTimeout)
+	}
+	if c.LinkGrace < 0 {
+		return fmt.Errorf("netcluster: LinkGrace %s must not be negative (zero disables the grace window)", c.LinkGrace)
+	}
+	return nil
 }
 
 // inbox is the unbounded receive queue shared by all of a node's links,
@@ -170,6 +199,11 @@ type Node struct {
 	// notify switches peer-failure handling from poisoning the inbox to
 	// delivering in-band KindPeerDown events (see Transport.NotifyFailures).
 	notify atomic.Bool
+
+	// Link-resilience counters (see LinkStats): suspensions entered and
+	// retained frames replayed by successful resumes.
+	linkFlaps      atomic.Int64
+	replayedFrames atomic.Int64
 
 	trMu sync.Mutex
 	tr   cluster.Traffic // outgoing payload traffic, this node's rows
@@ -378,7 +412,7 @@ func (n *Node) sendPayload(to, kind int, payload []byte) error {
 		Ctrl: ctrlData, From: int32(n.id), To: int32(to), Kind: int32(kind),
 		SendTime: int64(sendTime), Payload: payload,
 	}
-	if err := l.write(f); err != nil {
+	if err := n.sendSequenced(l, f); err != nil {
 		if n.notify.Load() {
 			n.peerDown(to)
 			return fmt.Errorf("netcluster: send from %d to %d kind %d: %v: %w", n.id, to, kind, err, cluster.ErrPeerDown)
@@ -476,8 +510,8 @@ func (n *Node) noteDeparture(peer int) bool {
 }
 
 // registerLink installs a link and starts its reader and heartbeater.
-func (n *Node) registerLink(peer int, conn net.Conn, sendable bool) (*link, error) {
-	l := newLink(peer, conn, n.cfg.PeerTimeout)
+func (n *Node) registerLink(peer int, conn net.Conn, sendable bool, sess linkSession) (*link, error) {
+	l := newLink(peer, conn, n.cfg.PeerTimeout, sess)
 	n.mu.Lock()
 	if n.closing {
 		n.mu.Unlock()
@@ -494,10 +528,17 @@ func (n *Node) registerLink(peer int, conn net.Conn, sendable bool) (*link, erro
 	}
 	n.all = append(n.all, l)
 	n.mu.Unlock()
-	n.wg.Add(2)
-	go n.readLoop(l)
-	go n.heartbeatLoop(l)
+	n.startLinkLoops(l, conn)
 	return l, nil
+}
+
+// startLinkLoops launches the reader and heartbeater bound to one conn
+// incarnation; a resume swaps the conn and starts fresh loops, and the
+// old ones recognise the swap and exit.
+func (n *Node) startLinkLoops(l *link, conn net.Conn) {
+	n.wg.Add(2)
+	go n.readLoop(l, conn)
+	go n.heartbeatLoop(l, conn)
 }
 
 // linkTo returns the send link for peer, dialing it on first use (the lazy
@@ -520,30 +561,40 @@ func (n *Node) linkTo(peer int) (*link, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcluster: dial node %d at %s: %w", peer, addr, err)
 	}
-	hello := &frame{Ctrl: ctrlHello, From: int32(n.id), Fingerprint: n.cfg.Fingerprint}
+	sess := n.newSession(addr)
+	hello := &frame{Ctrl: ctrlHello, From: int32(n.id), Fingerprint: n.cfg.Fingerprint, Session: sess.sid}
 	if err := writeFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netcluster: hello to node %d: %w", peer, err)
 	}
-	return n.registerLink(peer, conn, true)
+	return n.registerLink(peer, conn, true, sess)
 }
 
-// readLoop decodes frames off one link until it dies. Any frame refreshes
-// liveness; data frames join the shared inbox with their virtual arrival
-// time computed under the cost model.
-func (n *Node) readLoop(l *link) {
+// readLoop decodes frames off one conn incarnation of a link until it
+// dies. Any frame refreshes liveness; data frames join the shared inbox
+// with their virtual arrival time computed under the cost model.
+// Sequenced frames are deduplicated (a resume replay may overlap frames
+// that arrived before the flap) and their piggybacked acks prune the
+// reverse direction's retained ring.
+func (n *Node) readLoop(l *link, conn net.Conn) {
 	defer n.wg.Done()
 	for {
-		f, err := readFrame(l.conn, n.cfg.MaxFrameBytes)
+		f, err := readFrame(conn, n.cfg.MaxFrameBytes)
 		if err != nil {
 			if !n.isClosing() && !l.isClosed() {
-				n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: link to node %d failed: %w", n.id, l.peer, err))
+				n.linkTrouble(l, conn, fmt.Errorf("netcluster: node %d: link to node %d failed: %w", n.id, l.peer, err))
 			}
 			return
 		}
 		l.touch()
+		if f.Ack > 0 {
+			l.prune(f.Ack)
+		}
 		switch f.Ctrl {
 		case ctrlData:
+			if f.Seq > 0 && !l.acceptSeq(f.Seq) {
+				continue // replay duplicate, already delivered
+			}
 			sendTime := cluster.VTime(f.SendTime)
 			n.inbox.put(cluster.Message{
 				From: int(f.From), To: int(f.To), Kind: int(f.Kind), Payload: f.Payload,
@@ -552,6 +603,9 @@ func (n *Node) readLoop(l *link) {
 		case ctrlHeartbeat:
 			// touch above is all a heartbeat does.
 		case ctrlPeerUpdate:
+			if f.Seq > 0 && !l.acceptSeq(f.Seq) {
+				continue
+			}
 			n.applyPeerUpdate(f)
 		case ctrlGoodbye:
 			// Orderly peer departure: every protocol frame it sent was
@@ -572,10 +626,12 @@ func (n *Node) readLoop(l *link) {
 	}
 }
 
-// heartbeatLoop keeps the link observably alive and declares the peer dead
-// after PeerTimeout of silence — the only way a hung (rather than closed)
-// peer surfaces while this node is blocked in ReceiveCtx.
-func (n *Node) heartbeatLoop(l *link) {
+// heartbeatLoop keeps one conn incarnation of a link observably alive and
+// declares the peer dead after PeerTimeout of silence — the only way a
+// hung (rather than closed) peer surfaces while this node is blocked in
+// ReceiveCtx. Heartbeats piggyback the cumulative delivery ack, so a
+// quiet reverse direction still prunes the peer's retained ring.
+func (n *Node) heartbeatLoop(l *link, conn net.Conn) {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
 	defer ticker.Stop()
@@ -588,15 +644,20 @@ func (n *Node) heartbeatLoop(l *link) {
 		if n.isClosing() || l.isClosed() {
 			return
 		}
+		if l.currentConn() != conn {
+			return // suspended or resumed onto a fresh conn; its loops took over
+		}
 		if l.sinceSeen() > n.cfg.PeerTimeout {
-			n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: peer %d unresponsive for %s", n.id, l.peer, n.cfg.PeerTimeout))
-			l.close()
+			err := fmt.Errorf("netcluster: node %d: peer %d unresponsive for %s", n.id, l.peer, n.cfg.PeerTimeout)
+			if !n.linkTrouble(l, conn, err) {
+				l.close()
+			}
 			return
 		}
-		hb := &frame{Ctrl: ctrlHeartbeat, From: int32(n.id)}
+		hb := &frame{Ctrl: ctrlHeartbeat, From: int32(n.id), Ack: l.loadRecvSeq()}
 		if err := l.write(hb); err != nil {
 			if !n.isClosing() && !l.isClosed() {
-				n.linkFailed(l.peer, fmt.Errorf("netcluster: node %d: heartbeat to node %d: %w", n.id, l.peer, err))
+				n.linkTrouble(l, conn, fmt.Errorf("netcluster: node %d: heartbeat to node %d: %w", n.id, l.peer, err))
 			}
 			return
 		}

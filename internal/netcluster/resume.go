@@ -17,6 +17,9 @@ import (
 // in-band cluster.KindPeerUp event the resume protocol collects.
 func Resume(addr string, size int, peers []string, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if size < 2 {
 		return nil, fmt.Errorf("netcluster: resume with cluster size %d", size)
 	}
@@ -121,7 +124,7 @@ func (n *Node) acceptRejoin(conn net.Conn, f *frame) {
 		n.peers[id] = f.Addr
 		n.mu.Unlock()
 	}
-	if _, err := n.registerLink(id, conn, true); err != nil {
+	if _, err := n.registerLink(id, conn, true, n.acceptedSession(f)); err != nil {
 		conn.Close()
 		return
 	}
@@ -185,7 +188,8 @@ func (n *Node) tryRejoin(addr string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	req := &frame{Ctrl: ctrlRejoinReq, From: int32(n.id), Addr: n.Addr(), Fingerprint: n.cfg.Fingerprint}
+	sess := n.newSession(addr)
+	req := &frame{Ctrl: ctrlRejoinReq, From: int32(n.id), Addr: n.Addr(), Fingerprint: n.cfg.Fingerprint, Session: sess.sid}
 	if err := writeFrame(conn, req); err != nil {
 		conn.Close()
 		return false, err
@@ -237,7 +241,7 @@ func (n *Node) tryRejoin(addr string) (bool, error) {
 	n.trMu.Lock()
 	n.tr.Grow(int(f.Nodes))
 	n.trMu.Unlock()
-	if _, err := n.registerLink(0, conn, true); err != nil {
+	if _, err := n.registerLink(0, conn, true, sess); err != nil {
 		conn.Close()
 		return true, err
 	}

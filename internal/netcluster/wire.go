@@ -53,6 +53,17 @@ const (
 	// refused (wrong fingerprint, unknown id, or a peer already declared
 	// dead by a still-running master).
 	ctrlRejoinReq
+	// ctrlLinkResume reopens a dropped link session after a transient
+	// failure (Config.LinkGrace): From names the dialer, Session the link
+	// session being resumed, Ack the highest frame sequence the dialer has
+	// delivered from the acceptor. The acceptor answers ctrlLinkResumeAck
+	// with its own Ack — or Err when the session is unknown or resumption
+	// is refused — and both sides replay their retained frames above the
+	// peer's ack, restoring exactly-once in-order delivery.
+	ctrlLinkResume
+	// ctrlLinkResumeAck completes (or, with Err set, refuses) a link
+	// resume.
+	ctrlLinkResumeAck
 )
 
 // frame is the single on-the-wire record. Every frame is individually
@@ -66,6 +77,17 @@ type frame struct {
 	Kind     int32
 	SendTime int64
 	Payload  []byte
+
+	// Link-session fields (Config.LinkGrace). Session identifies one
+	// dialer-chosen link incarnation, Seq is the per-link send sequence of
+	// a retained frame, and Ack piggybacks the sender's cumulative
+	// last-delivered sequence for the reverse direction. All three stay
+	// zero — and, gob omitting zero fields, off the wire — when the grace
+	// window is disabled, keeping the frame encoding byte-identical to
+	// earlier releases.
+	Session uint64
+	Seq     uint64
+	Ack     uint64
 
 	// Handshake fields (ctrlHello / ctrlWelcome / ctrlWelcomeAck /
 	// ctrlJoinReq / ctrlPeerUpdate).
@@ -121,6 +143,17 @@ func readFrame(r io.Reader, maxBytes int) (*frame, error) {
 // bidirectional); every link — dialed or accepted — runs a reader that
 // feeds the node's inbox and a heartbeater that keeps the reverse
 // direction's liveness tracking fed.
+// linkSession carries the session identity a link is registered with.
+// sid is the dialer-chosen session id (zero when LinkGrace is off, in
+// which case the link behaves exactly as before this layer existed);
+// dialer marks the side that re-dials after a transient failure; addr is
+// the remote listen address the dialer reconnects to.
+type linkSession struct {
+	sid    uint64
+	dialer bool
+	addr   string
+}
+
 type link struct {
 	peer int
 	conn net.Conn
@@ -132,25 +165,92 @@ type link struct {
 	// broken the stall.
 	writeTimeout time.Duration
 
+	// Session identity (immutable after newLink).
+	sess linkSession
+
 	wmu sync.Mutex // serialises writeFrame calls
 
 	mu       sync.Mutex
 	lastSeen time.Time
 	closed   bool
+
+	// Link-session state (guarded by mu). While suspended the conn is
+	// dead and outbound frames only accumulate in retained; a successful
+	// resume swaps a fresh conn in and replays the unacked tail. flap
+	// counts suspensions, so stale failure reports and expired grace
+	// watchers recognise that the incarnation they observed is gone.
+	suspended bool
+	flap      int
+	sendSeq   uint64   // last sequence assigned to an outbound frame
+	recvSeq   uint64   // last sequence delivered from the peer
+	retained  []*frame // sent-but-unacked frames, ascending Seq
 }
 
-func newLink(peer int, conn net.Conn, writeTimeout time.Duration) *link {
-	return &link{peer: peer, conn: conn, writeTimeout: writeTimeout, lastSeen: time.Now()}
+func newLink(peer int, conn net.Conn, writeTimeout time.Duration, sess linkSession) *link {
+	return &link{peer: peer, conn: conn, writeTimeout: writeTimeout, sess: sess, lastSeen: time.Now()}
 }
 
 func (l *link) write(f *frame) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
+	l.mu.Lock()
+	conn := l.conn
+	l.mu.Unlock()
 	if l.writeTimeout > 0 {
-		l.conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
-		defer l.conn.SetWriteDeadline(time.Time{})
+		conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
-	return writeFrame(l.conn, f)
+	return writeFrame(conn, f)
+}
+
+// currentConn returns the live conn, or nil while suspended/closed.
+func (l *link) currentConn() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.suspended || l.closed {
+		return nil
+	}
+	return l.conn
+}
+
+// acceptSeq records delivery of sequence seq and reports whether the
+// frame is new; duplicates (a replay overlapping frames that already
+// arrived before the flap) are dropped by the caller.
+func (l *link) acceptSeq(seq uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.recvSeq {
+		return false
+	}
+	l.recvSeq = seq
+	return true
+}
+
+func (l *link) loadRecvSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recvSeq
+}
+
+// prune drops retained frames the peer has cumulatively acked.
+func (l *link) prune(ack uint64) {
+	l.mu.Lock()
+	l.pruneLocked(ack)
+	l.mu.Unlock()
+}
+
+func (l *link) pruneLocked(ack uint64) {
+	i := 0
+	for i < len(l.retained) && l.retained[i].Seq <= ack {
+		i++
+	}
+	if i > 0 {
+		kept := copy(l.retained, l.retained[i:])
+		for j := kept; j < len(l.retained); j++ {
+			l.retained[j] = nil // release the payloads
+		}
+		l.retained = l.retained[:kept]
+	}
 }
 
 func (l *link) touch() {
