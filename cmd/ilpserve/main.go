@@ -1,0 +1,151 @@
+// Command ilpserve serves classification queries over a learned theory
+// snapshot (the learn-then-serve pipeline: `p2mdie -publish DIR` writes
+// snapshots, ilpserve serves them).
+//
+// Serve one pinned snapshot file:
+//
+//	ilpserve -snapshot runs/trains/snap-0000000000000003.isnap -addr :8080
+//
+// Follow a live (or finished) learning run, hot-swapping to every new
+// snapshot the master publishes:
+//
+//	p2mdie -dataset trains -workers 4 -publish runs/trains &
+//	ilpserve -watch runs/trains -addr :8080
+//
+// Query it:
+//
+//	curl -s localhost:8080/classify -d '{"example": "eastbound(east1)"}'
+//	curl -s localhost:8080/snapshots
+//	curl -s localhost:8080/activate -d '{"snapshot": "v2"}'
+//
+// The first stdout line is always "ilpserve: listening on <addr>" so
+// orchestrators can scrape the actual address when -addr uses port 0.
+//
+// With -bench the process instead drives sustained load against its own
+// endpoint (cycling through the snapshot's training examples) and prints a
+// QPS/latency summary, then exits — the measurement published in PERF.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		snapshot = flag.String("snapshot", "", "serve this one snapshot file (pinned; no watching)")
+		watch    = flag.String("watch", "", "watch this publish directory and hot-swap to each new snapshot (starts serving 503s until the first snapshot appears)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (use host:0 for an ephemeral port)")
+		machines = flag.Int("machines", 0, "solver machines per snapshot — the max classify requests answered concurrently (0 = GOMAXPROCS)")
+		poll     = flag.Duration("poll", 200*time.Millisecond, "with -watch: directory poll interval")
+		bench    = flag.Duration("bench", 0, "instead of serving forever, load-test the endpoint for this long, print QPS and latency percentiles, and exit")
+		clients  = flag.Int("clients", 4, "with -bench: concurrent load-generator connections")
+		noProof  = flag.Bool("noproof", false, "with -bench: request coverage bits only, no proof traces")
+		quiet    = flag.Bool("q", false, "suppress per-swap log lines")
+	)
+	flag.Parse()
+	if (*snapshot == "") == (*watch == "") {
+		fail(errors.New("need exactly one of -snapshot FILE or -watch DIR"))
+	}
+
+	reg := serve.NewRegistry(*machines)
+	var pinned *serve.Artifact
+	if *snapshot != "" {
+		f := serve.SnapshotFile{Path: *snapshot, Seq: serve.SeqFromPath(*snapshot)}
+		if f.Seq == 0 {
+			f.Seq = 1 // a renamed file still gets a valid version id
+		}
+		a, err := reg.LoadFile(f)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := reg.Activate(a.ID); err != nil {
+			fail(err)
+		}
+		pinned = a
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// Always the first stdout line, so orchestrators can scrape the port.
+	fmt.Printf("ilpserve: listening on %s\n", ln.Addr())
+	if pinned != nil && !*quiet {
+		logSwap(pinned)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *watch != "" {
+		go func() {
+			onSwap := logSwap
+			if *quiet {
+				onSwap = nil
+			}
+			if err := reg.Watch(ctx, *watch, *poll, onSwap); err != nil && !errors.Is(err, context.Canceled) {
+				fail(err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: serve.NewServer(reg)}
+	if *bench > 0 {
+		go httpSrv.Serve(ln)
+		runBench(reg, "http://"+ln.Addr().String(), *clients, *bench, !*noProof)
+		return
+	}
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+}
+
+// logSwap announces an activation: which version serves, from which epoch,
+// with how many rules.
+func logSwap(a *serve.Artifact) {
+	fmt.Printf("ilpserve: serving %s — %s epoch %d, %d rules, fingerprint %016x\n",
+		a.ID, a.Snap.Name, a.Snap.Epoch, len(a.Rules), a.Snap.Fingerprint)
+}
+
+// runBench waits for an active snapshot (a -watch run may still be waiting
+// on its first publish), then drives the load generator against the
+// in-process endpoint using the snapshot's own training examples.
+func runBench(reg *serve.Registry, baseURL string, clients int, d time.Duration, withProof bool) {
+	var active *serve.Artifact
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if active = reg.Active(); active != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail(errors.New("bench: no snapshot became active within 30s"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap := active.Snap
+	examples := make([]string, 0, len(snap.Pos)+len(snap.Neg))
+	for _, e := range snap.Pos {
+		examples = append(examples, e.String())
+	}
+	for _, e := range snap.Neg {
+		examples = append(examples, e.String())
+	}
+	res, err := serve.Bench(baseURL, examples, clients, d, withProof)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ilpserve bench [%s %s, %d rules, %d machines, proof=%v]: %s\n",
+		snap.Name, active.ID, len(active.Rules), active.Pool().Size(), withProof, res)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ilpserve:", err)
+	os.Exit(1)
+}

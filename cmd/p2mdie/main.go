@@ -45,6 +45,7 @@ import (
 	"repro/internal/faultline"
 	"repro/internal/netcluster"
 	"repro/internal/search"
+	srv "repro/internal/serve"
 
 	ilp "repro"
 )
@@ -73,6 +74,7 @@ func main() {
 		crashAt  = flag.Int64("crashat", 0, "fault injection: kill this master process (exit 137, no cleanup — as if kill -9) when its N'th protocol op is reached; deterministic under a fixed dataset and seed (testing aid for -checkpoint/-resume)")
 		flapAt   = flag.Int64("flapat", 0, "fault injection: drop all of this master's TCP links (a transient partition) when its N'th protocol op is reached; with -linkgrace the session layer replays the gap and the run completes with zero recoveries (testing aid for the link-resilience layer)")
 		linkGr   = flag.Duration("linkgrace", 0, "TCP link-reconnect grace window (netcluster LinkGrace): a failed link gets this long to redial and replay before it escalates to a peer-down event; 0 = fail immediately (the pre-grace behaviour)")
+		pubDir   = flag.String("publish", "", "learn-then-serve pipeline: write an immutable serving snapshot (theory + background + examples, internal/serve format) under this directory at every epoch boundary and after the final epoch, for ilpserve -watch to hot-swap in; with the sequential baseline the final theory publishes once (master flag; workers ignore it)")
 		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
 		hbEvery  = flag.Duration("heartbeat", 0, "TCP per-link heartbeat period (netcluster HeartbeatEvery); 0 = default 500ms")
 		joinTO   = flag.Duration("jointimeout", 0, "TCP join timeout: a worker's wait for the master's welcome and the master's dial retries (netcluster JoinTimeout); 0 = default 60s")
@@ -116,6 +118,7 @@ func main() {
 		crashAt:       *crashAt,
 		flapAt:        *flapAt,
 		linkGrace:     *linkGr,
+		publishDir:    *pubDir,
 	}
 
 	if *resume {
@@ -156,6 +159,13 @@ func main() {
 		fmt.Printf("sequential: %d rules (%d adopted facts), %d searches, %d generated rules, %d inferences, %.2fs wall\n",
 			res.RulesLearned, res.GroundFactsAdopted, res.Searches, res.GeneratedRules,
 			res.Inferences, res.Duration.Seconds())
+		// The sequential baseline has no epoch boundaries: publish the final
+		// theory once so -publish works in every learning mode.
+		if hook := publishHook(ds, opts.publishDir); hook != nil {
+			if err := hook(1, theory); err != nil {
+				fail(err)
+			}
+		}
 	} else {
 		met, err := ilp.LearnParallel(ds, workerCount, *width, ilp.ParallelOptions{
 			Seed:             *seed,
@@ -164,6 +174,7 @@ func main() {
 			RecvTimeout:      opts.recvTimeout,
 			Balance:          opts.balance,
 			CheckpointDir:    opts.checkpointDir,
+			PublishDir:       opts.publishDir,
 		})
 		if err != nil {
 			fail(err)
@@ -194,6 +205,18 @@ type runOptions struct {
 	crashAt       int64
 	flapAt        int64
 	linkGrace     time.Duration
+	publishDir    string
+}
+
+// publishHook builds the core.Config.Publish hook for -publish, or nil when
+// the flag is unset. The snapshot carries the full task, so a fresh ilpserve
+// process can serve it with no other inputs.
+func publishHook(ds *ilp.Dataset, dir string) func(int, []ilp.Clause) error {
+	if dir == "" {
+		return nil
+	}
+	fp := core.Fingerprint(ds.KB, ds.Pos, ds.Neg)
+	return srv.Publisher(dir, ds.Name, fp, ds.KB, ds.Budget, ds.Pos, ds.Neg)
 }
 
 // crashExitCode is the -crashat exit status: 128+9, what a kill -9 would
@@ -348,6 +371,7 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 		CheckpointDir: opts.checkpointDir,
 		OrphanTimeout: opts.orphanTimeout,
 		Fingerprint:   core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
+		Publish:       publishHook(ds, opts.publishDir),
 	})
 	if err != nil {
 		dieIfCrashed(err)
@@ -400,6 +424,7 @@ func runResume(ds *ilp.Dataset, trafficMode string, opts runOptions, verbose, qu
 		RecvTimeout:   opts.recvTimeout,
 		CheckpointDir: opts.checkpointDir, // stay durable across further crashes
 		Fingerprint:   fp,
+		Publish:       publishHook(ds, opts.publishDir),
 	})
 	if err != nil {
 		dieIfCrashed(err)

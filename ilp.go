@@ -40,6 +40,7 @@ import (
 	"repro/internal/mode"
 	"repro/internal/parcov"
 	"repro/internal/search"
+	"repro/internal/serve"
 	"repro/internal/solve"
 	"repro/internal/stats"
 	"repro/internal/theory"
@@ -198,6 +199,11 @@ type ParallelOptions struct {
 	// written there atomically so a crashed master can resume
 	// (Metrics.MasterRestarts counts resumes). Wire traffic is unchanged.
 	CheckpointDir string
+	// PublishDir streams serving snapshots: the master writes an immutable
+	// internal/serve artifact (theory + background + examples) there at
+	// every epoch boundary and after the final epoch, for cmd/ilpserve to
+	// pick up with -watch. Wire traffic is unchanged.
+	PublishDir string
 }
 
 // LearnParallel runs p²-mdie (the paper's pipelined data-parallel
@@ -211,6 +217,11 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	var publish func(int, []logic.Clause) error
+	if o.PublishDir != "" {
+		fp := core.Fingerprint(ds.KB, ds.Pos, ds.Neg)
+		publish = serve.Publisher(o.PublishDir, ds.Name, fp, ds.KB, ds.Budget, ds.Pos, ds.Neg)
 	}
 	return core.Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, core.Config{
 		Workers:              workers,
@@ -227,6 +238,7 @@ func LearnParallel(ds *Dataset, workers, width int, opts ...ParallelOptions) (*P
 		Recover:              o.Recover,
 		RecvTimeout:          o.RecvTimeout,
 		CheckpointDir:        o.CheckpointDir,
+		Publish:              publish,
 	})
 }
 

@@ -47,13 +47,28 @@ var ErrNoSnapshot = errors.New("ckpt: no valid snapshot")
 // needed, then prunes all but the newest keepSnapshots snapshot files. seq
 // must increase across calls — LoadLatest trusts it for recency ordering.
 func Save(dir string, seq uint64, payload []byte) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("ckpt: %w", err)
-	}
 	final := filepath.Join(dir, fmt.Sprintf("ckpt-%016d.snap", seq))
-	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err := WriteFile(final, payload); err != nil {
+		return "", err
+	}
+	prune(dir)
+	return final, nil
+}
+
+// WriteFile atomically writes payload to path in the checked snapshot
+// format (magic, format version, payload length, CRC-32; tmp + fsync +
+// rename + directory fsync), creating the parent directory if needed. It is
+// the raw write primitive behind Save, exported for other durable-artifact
+// stores (the serving layer's theory snapshots) that want the same
+// integrity guarantees under their own naming and retention policy.
+func WriteFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return "", fmt.Errorf("ckpt: %w", err)
+		return fmt.Errorf("ckpt: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
 
@@ -67,21 +82,20 @@ func Save(dir string, seq uint64, payload []byte) (string, error) {
 	}
 	if err != nil {
 		tmp.Close()
-		return "", fmt.Errorf("ckpt: write %s: %w", tmp.Name(), err)
+		return fmt.Errorf("ckpt: write %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return "", fmt.Errorf("ckpt: fsync %s: %w", tmp.Name(), err)
+		return fmt.Errorf("ckpt: fsync %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("ckpt: close %s: %w", tmp.Name(), err)
+		return fmt.Errorf("ckpt: close %s: %w", tmp.Name(), err)
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return "", fmt.Errorf("ckpt: %w", err)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
 	}
 	syncDir(dir) // make the rename itself durable; best-effort
-	prune(dir)
-	return final, nil
+	return nil
 }
 
 // LoadLatest returns the payload and sequence number of the newest snapshot
@@ -100,6 +114,10 @@ func LoadLatest(dir string) ([]byte, uint64, error) {
 	}
 	return nil, 0, ErrNoSnapshot
 }
+
+// ReadFile validates and returns one checked-format file's payload —
+// the read side of WriteFile.
+func ReadFile(path string) ([]byte, error) { return read(path) }
 
 // read validates and returns one snapshot file's payload.
 func read(path string) ([]byte, error) {

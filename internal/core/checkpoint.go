@@ -321,6 +321,10 @@ func resumedMaster(t cluster.Transport, ck *Checkpoint, cfg Config, metrics *Met
 		bal:         sched.NewBalancer(),
 		resumed:     true,
 		ckptSeq:     ck.seq + 1,
+		// The crashed run already published every boundary up to the
+		// checkpoint; a resumed master must not re-emit the same epoch
+		// under a fresh sequence number.
+		published: rec.Epochs,
 	}
 	if remote {
 		// Non-nil but empty: marks the remote regime (welcome loads carry

@@ -119,6 +119,15 @@ type Config struct {
 	CoverParallelism int
 	// Trace, when set, observes every simulated cluster event.
 	Trace func(cluster.Event)
+	// Publish, when set, is called by the master at every completed-epoch
+	// boundary — the same quiescent point checkpoints name — with the
+	// number of completed epochs and a copy of the theory accepted so far,
+	// and once more after the final epoch with the finished theory. The
+	// serving integration installs a snapshot writer here
+	// (serve.Publisher via `p2mdie -publish`), pipelining learn and serve
+	// live. Publishing is master-local and never touches the wire: runs
+	// are byte-identical with it on or off. An error aborts the run.
+	Publish func(epochsDone int, theory []logic.Clause) error
 }
 
 func (c Config) withDefaults() Config {

@@ -96,6 +96,11 @@ type master struct {
 	lostPos []logic.Term
 	lostNeg []logic.Term
 
+	// published is the completed-epoch count of the last Publish call, so
+	// boundaries revisited without progress (recovery re-entries) and the
+	// final post-loop publish never emit duplicates.
+	published int
+
 	// pendingJoin holds worker ids whose transport-level join has
 	// completed (a KindPeerUp event arrived, or the simulation spawned
 	// them) but that are not yet protocol members; admission — welcome,
@@ -1100,6 +1105,21 @@ func (ma *master) runEpoch() error {
 	return nil
 }
 
+// maybePublish hands the theory-so-far to the configured publish hook at a
+// completed-epoch boundary. It is a no-op without a hook, before the first
+// completed epoch, and at boundaries already published.
+func (ma *master) maybePublish() error {
+	if ma.cfg.Publish == nil || ma.metrics.Epochs == 0 || ma.metrics.Epochs == ma.published {
+		return nil
+	}
+	theory := append([]logic.Clause(nil), ma.theory...)
+	if err := ma.cfg.Publish(ma.metrics.Epochs, theory); err != nil {
+		return fmt.Errorf("publish after epoch %d: %w", ma.metrics.Epochs, err)
+	}
+	ma.published = ma.metrics.Epochs
+	return nil
+}
+
 // run executes the epochs until every positive is covered (Fig. 5),
 // recovering from worker failures when configured.
 func (ma *master) run() error {
@@ -1132,8 +1152,12 @@ func (ma *master) run() error {
 	}
 	for ma.remaining > 0 && ma.metrics.Epochs < ma.cfg.MaxEpochs {
 		// The loop top is the only place the whole cluster is quiescent at a
-		// completed epoch — the one state a snapshot can name.
+		// completed epoch — the one state a snapshot can name. Serving
+		// snapshots publish from the same boundary.
 		if err := ma.maybeCheckpoint(); err != nil {
+			return err
+		}
+		if err := ma.maybePublish(); err != nil {
 			return err
 		}
 		err := ma.prepEpoch()
@@ -1149,6 +1173,11 @@ func (ma *master) run() error {
 		if err := ma.recoverMembership(); err != nil {
 			return err
 		}
+	}
+	// The final theory completed after the last boundary the loop top saw;
+	// publish it before the cluster is told to stop.
+	if err := ma.maybePublish(); err != nil {
+		return err
 	}
 	ma.draining = true
 	if err := ma.bcastLive(kindStop, stopMsg{Gen: ma.gen}); err != nil {

@@ -6,16 +6,23 @@ import (
 	"repro/internal/stats"
 )
 
+// SummarySchemaVersion stamps every emitted Summary so downstream tooling
+// comparing BENCH_<n>.json files across commits can detect shape changes
+// instead of mis-parsing. Bump it when a field is renamed, removed, or
+// changes meaning; purely additive fields keep the version.
+const SummarySchemaVersion = 2
+
 // Summary is the machine-readable form of a harness run, emitted by
 // `ilpbench -json` and archived by CI as BENCH_<n>.json so benchmark
 // trajectories can be compared across commits without scraping tables.
 type Summary struct {
-	Scale    float64          `json:"scale,omitempty"`
-	Folds    int              `json:"folds"`
-	Seed     int64            `json:"seed"`
-	Procs    []int            `json:"procs"`
-	Widths   []int            `json:"widths"`
-	Datasets []DatasetSummary `json:"datasets"`
+	SchemaVersion int              `json:"schema_version"`
+	Scale         float64          `json:"scale,omitempty"`
+	Folds         int              `json:"folds"`
+	Seed          int64            `json:"seed"`
+	Procs         []int            `json:"procs"`
+	Widths        []int            `json:"widths"`
+	Datasets      []DatasetSummary `json:"datasets"`
 }
 
 // DatasetSummary is one dataset's sweep: the sequential baseline plus one
@@ -58,10 +65,11 @@ type CellSummary struct {
 // Summary collapses the per-fold measurements into fold means.
 func (r *Results) Summary() Summary {
 	s := Summary{
-		Folds:  r.Cfg.Folds,
-		Seed:   r.Cfg.Seed,
-		Procs:  r.Cfg.Procs,
-		Widths: r.Cfg.Widths,
+		SchemaVersion: SummarySchemaVersion,
+		Folds:         r.Cfg.Folds,
+		Seed:          r.Cfg.Seed,
+		Procs:         r.Cfg.Procs,
+		Widths:        r.Cfg.Widths,
 	}
 	for _, ds := range r.Cfg.Datasets {
 		name, pos, neg := ds.Characterize()

@@ -46,6 +46,18 @@ func TestMarshalSummaryRoundTrips(t *testing.T) {
 	if back.Scale != 0.08 || len(back.Datasets) != 1 || len(back.Datasets[0].Cells) != 4 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
+	if back.SchemaVersion != SummarySchemaVersion {
+		t.Fatalf("schema version = %d, want %d", back.SchemaVersion, SummarySchemaVersion)
+	}
+	// The version must appear under the stable key in the raw JSON, so
+	// tooling can dispatch on it before binding the rest of the document.
+	var raw map[string]any
+	if err := json.Unmarshal(out, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := raw["schema_version"].(float64); !ok || int(v) != SummarySchemaVersion {
+		t.Fatalf("raw schema_version = %v, want %d", raw["schema_version"], SummarySchemaVersion)
+	}
 }
 
 // TestSummaryCarriesElasticCounters pins the elastic-scheduling fields of

@@ -51,7 +51,10 @@ type coverTask struct {
 // clocks driven by it — are deterministic across runs and identical to a
 // serial evaluation of the same calls.
 type ParallelEvaluator struct {
-	Ex       *Examples
+	Ex *Examples
+	// pool owns the shard machines (solve.Pool's fixed shard view: shard w
+	// exclusively owns machines[w]); machines caches pool.Machines().
+	pool     *solve.Pool
 	machines []*solve.Machine
 
 	fullPos Bitset // cached all-ones mask over positives
@@ -107,10 +110,8 @@ func NewParallelEvaluator(kb *solve.KB, ex *Examples, budget solve.Budget, worke
 	if workers < 1 {
 		workers = 1
 	}
-	pe := &ParallelEvaluator{Ex: ex, machines: make([]*solve.Machine, workers)}
-	for i := range pe.machines {
-		pe.machines[i] = solve.NewMachine(kb, budget)
-	}
+	pool := solve.NewPool(kb, budget, workers)
+	pe := &ParallelEvaluator{Ex: ex, pool: pool, machines: pool.Machines()}
 	if workers > 1 {
 		// The caller's goroutine drains the cursor with machines[0]; pool
 		// goroutines own machines[1..workers-1].
@@ -175,22 +176,10 @@ func (pe *ParallelEvaluator) PosLen() int { return len(pe.Ex.Pos) }
 func (pe *ParallelEvaluator) NegLen() int { return len(pe.Ex.Neg) }
 
 // OwnInferences sums the SLD work across all shard machines.
-func (pe *ParallelEvaluator) OwnInferences() int64 {
-	var n int64
-	for _, m := range pe.machines {
-		n += m.TotalInferences()
-	}
-	return n
-}
+func (pe *ParallelEvaluator) OwnInferences() int64 { return pe.pool.TotalInferences() }
 
 // CutoffQueries sums budget-truncated queries across all shard machines.
-func (pe *ParallelEvaluator) CutoffQueries() int64 {
-	var n int64
-	for _, m := range pe.machines {
-		n += m.CutoffQueries()
-	}
-	return n
-}
+func (pe *ParallelEvaluator) CutoffQueries() int64 { return pe.pool.CutoffQueries() }
 
 // Coverage returns bitsets of the alive positives and of the negatives that
 // rule covers, exactly as the serial Evaluator does. Non-nil candidate masks

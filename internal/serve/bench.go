@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BenchResult is one load-generation run against a serving endpoint.
+type BenchResult struct {
+	Requests int
+	Errors   int
+	Clients  int
+	Duration time.Duration
+	// QPS is sustained requests per second over the whole run (all
+	// clients; divide by GOMAXPROCS for QPS/core on a saturated box).
+	QPS float64
+	// P50/P90/P99 are end-to-end request latency percentiles.
+	P50, P90, P99 time.Duration
+}
+
+// String renders the result as a one-line summary.
+func (r *BenchResult) String() string {
+	return fmt.Sprintf("requests=%d errors=%d clients=%d duration=%s qps=%.0f p50=%s p90=%s p99=%s",
+		r.Requests, r.Errors, r.Clients, r.Duration.Round(time.Millisecond), r.QPS, r.P50, r.P90, r.P99)
+}
+
+// Bench drives sustained /classify load against baseURL from clients
+// concurrent connections for duration d, cycling through the example atoms
+// (one per request), and reports throughput and latency percentiles.
+// withProof requests proof traces, the full production response; without,
+// the response carries coverage bits only.
+func Bench(baseURL string, examples []string, clients int, d time.Duration, withProof bool) (*BenchResult, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("serve: bench needs at least one example")
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	// Pre-marshal one request body per example; clients cycle through them.
+	bodies := make([][]byte, len(examples))
+	for i, e := range examples {
+		b, err := json.Marshal(ClassifyRequest{Example: e, Proof: &withProof})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	defer transport.CloseIdleConnections()
+	url := baseURL + "/classify"
+
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, clients)
+	errs := make([]int, clients)
+	deadline := time.Now().Add(d)
+	for c := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Transport: transport}
+			for i := c; time.Now().Before(deadline); i++ {
+				body := bodies[i%len(bodies)]
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c]++
+					continue
+				}
+				lats[c] = append(lats[c], time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	res := &BenchResult{Clients: clients, Duration: d}
+	for c := range clients {
+		all = append(all, lats[c]...)
+		res.Errors += errs[c]
+	}
+	res.Requests = len(all) + res.Errors
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.QPS = float64(len(all)) / d.Seconds()
+		res.P50 = percentile(all, 50)
+		res.P90 = percentile(all, 90)
+		res.P99 = percentile(all, 99)
+	}
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

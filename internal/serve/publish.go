@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+// Publisher returns a core.Config.Publish hook that writes a serving
+// snapshot under dir at every completed-epoch boundary: sequence numbers
+// continue after any snapshots already in dir (a resumed learning run keeps
+// publishing monotonically), and each snapshot carries the full task — kb,
+// budget, examples, dataset identity — plus the theory as of that epoch.
+//
+// The hook runs on the learning master's goroutine at a cluster-quiescent
+// boundary; the write is atomic and CRC-framed (ckpt.WriteFile), so a
+// concurrently watching server never observes a torn artifact.
+func Publisher(dir, name string, fp uint64, kb *solve.KB, budget solve.Budget, pos, neg []logic.Term) func(int, []logic.Clause) error {
+	var seq uint64
+	if files, err := ListSnapshotFiles(dir); err == nil && len(files) > 0 {
+		seq = files[len(files)-1].Seq
+	}
+	return func(epochs int, theory []logic.Clause) error {
+		seq++
+		snap := NewSnapshot(name, fp, epochs, theory, kb, budget, pos, neg)
+		_, err := WriteSnapshot(dir, seq, snap)
+		return err
+	}
+}

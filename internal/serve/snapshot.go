@@ -1,0 +1,241 @@
+// Package serve is the learn-then-serve runtime: it compiles a learned
+// theory plus its background knowledge into an immutable, versioned
+// snapshot artifact, and serves concurrent classification over HTTP with
+// proof-trace explanations, hot-swapping to newer snapshots with zero
+// dropped requests. The learning master publishes a snapshot at every epoch
+// boundary (core.Config.Publish / `p2mdie -publish`), so a running service
+// tracks a live learning run.
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+// snapshotFormat versions the gob payload inside the ckpt-framed file.
+const snapshotFormat = 1
+
+// snapshotPrefix/Suffix name snapshot files: snap-<seq>.isnap, seq
+// zero-padded so lexical and numeric order agree.
+const (
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".isnap"
+)
+
+// Snapshot is one immutable serving artifact: everything a fresh process
+// needs to answer classification queries for a learned theory — no source
+// re-parsing, no dataset regeneration.
+//
+// Interned symbols are process-local, so terms are not portable as raw
+// gob: Symbols carries the writing process's symbol names in intern order,
+// and ReadSnapshot re-interns them and rewrites every term into the reading
+// process's table. Pos and Neg carry the training example atoms; they are
+// not needed to serve, but make a snapshot self-contained for parity
+// checking and load generation.
+type Snapshot struct {
+	// Name is the dataset name the theory was learned on.
+	Name string
+	// Fingerprint is core.Fingerprint of the learning task, the identity
+	// link between a serving artifact and the run that produced it.
+	Fingerprint uint64
+	// Epoch is the number of completed learning epochs behind Theory.
+	Epoch int
+	// Theory is the learned rule set in acceptance order.
+	Theory []logic.Clause
+	// Clauses is the full background knowledge (solve.KB.AllClauses order).
+	Clauses []logic.Clause
+	// Budget bounds serving-time proofs, same as learning-time coverage.
+	Budget solve.Budget
+	// Pos and Neg are the training example atoms.
+	Pos, Neg []logic.Term
+	// Symbols is the writer's interned symbol table, in intern order.
+	Symbols []string
+}
+
+// NewSnapshot captures a snapshot of theory over kb, stamping the current
+// process's symbol table.
+func NewSnapshot(name string, fp uint64, epoch int, theory []logic.Clause, kb *solve.KB, budget solve.Budget, pos, neg []logic.Term) *Snapshot {
+	syms := make([]string, logic.NumSymbols())
+	for i := range syms {
+		syms[i] = logic.Symbol(i).Name()
+	}
+	return &Snapshot{
+		Name:        name,
+		Fingerprint: fp,
+		Epoch:       epoch,
+		Theory:      append([]logic.Clause(nil), theory...),
+		Clauses:     kb.AllClauses(),
+		Budget:      budget,
+		Pos:         pos,
+		Neg:         neg,
+		Symbols:     syms,
+	}
+}
+
+// SnapshotPath returns the file name of snapshot seq under dir.
+func SnapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapshotPrefix, seq, snapshotSuffix))
+}
+
+// WriteSnapshot durably writes s as snapshot seq under dir using the ckpt
+// checked format (CRC-framed, atomic temp-file-and-rename), and returns the
+// file path. Unlike checkpoints, serving snapshots are never pruned by the
+// writer: the registry decides retention.
+func WriteSnapshot(dir string, seq uint64, s *Snapshot) (string, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(snapshotFormat); err != nil {
+		return "", fmt.Errorf("serve: encode snapshot: %w", err)
+	}
+	if err := enc.Encode(s); err != nil {
+		return "", fmt.Errorf("serve: encode snapshot: %w", err)
+	}
+	path := SnapshotPath(dir, seq)
+	if err := ckpt.WriteFile(path, buf.Bytes()); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadSnapshot loads, validates and re-interns one snapshot file. After it
+// returns, every term in the snapshot is expressed in the reading process's
+// symbol table.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	var format int
+	if err := dec.Decode(&format); err != nil {
+		return nil, fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	if format != snapshotFormat {
+		return nil, fmt.Errorf("serve: %s: unsupported snapshot format %d", path, format)
+	}
+	s := new(Snapshot)
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	s.rebind()
+	return s, nil
+}
+
+// rebind rewrites the snapshot's terms from the writer's symbol numbering
+// into this process's, interning names as needed. When the tables agree (a
+// reload within the writing process, or a server that interned nothing
+// else first) the rewrite is skipped entirely.
+func (s *Snapshot) rebind() {
+	remap := make([]logic.Symbol, len(s.Symbols))
+	identity := true
+	for i, name := range s.Symbols {
+		remap[i] = logic.Intern(name)
+		if int(remap[i]) != i {
+			identity = false
+		}
+	}
+	if identity {
+		return
+	}
+	for i := range s.Theory {
+		s.Theory[i] = remapClause(s.Theory[i], remap)
+	}
+	for i := range s.Clauses {
+		s.Clauses[i] = remapClause(s.Clauses[i], remap)
+	}
+	for i := range s.Pos {
+		s.Pos[i] = remapTerm(s.Pos[i], remap)
+	}
+	for i := range s.Neg {
+		s.Neg[i] = remapTerm(s.Neg[i], remap)
+	}
+}
+
+func remapClause(c logic.Clause, remap []logic.Symbol) logic.Clause {
+	out := logic.Clause{Head: remapTerm(c.Head, remap)}
+	if len(c.Body) > 0 {
+		out.Body = make([]logic.Literal, len(c.Body))
+		for i, l := range c.Body {
+			out.Body[i] = logic.Literal{Neg: l.Neg, Atom: remapTerm(l.Atom, remap)}
+		}
+	}
+	return out
+}
+
+// remapTerm rewrites functor and constant symbols; variables keep their
+// index (a Var's Sym is a variable number, not a symbol-table entry).
+func remapTerm(t logic.Term, remap []logic.Symbol) logic.Term {
+	switch t.Kind {
+	case logic.Atom:
+		t.Sym = remap[t.Sym]
+	case logic.Compound:
+		t.Sym = remap[t.Sym]
+		args := make([]logic.Term, len(t.Args))
+		for i := range t.Args {
+			args[i] = remapTerm(t.Args[i], remap)
+		}
+		t.Args = args
+	}
+	return t
+}
+
+// KB builds the indexed knowledge base from the snapshot's clauses.
+func (s *Snapshot) KB() *solve.KB {
+	kb := solve.NewKB()
+	kb.AddProgram(s.Clauses)
+	return kb
+}
+
+// SeqFromPath recovers the sequence number from a snapshot file path, or 0
+// when the name does not follow the snap-<seq>.isnap convention.
+func SeqFromPath(path string) uint64 {
+	name := filepath.Base(path)
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0
+	}
+	seq, _ := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix), 10, 64)
+	return seq
+}
+
+// SnapshotFile is one snapshot file found in a publish directory.
+type SnapshotFile struct {
+	Path string
+	Seq  uint64
+}
+
+// ListSnapshotFiles returns the snapshot files under dir in ascending
+// sequence order. A missing directory lists as empty: a watcher may start
+// before its learning master has published anything.
+func ListSnapshotFiles(dir string) ([]SnapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var out []SnapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, SnapshotFile{Path: filepath.Join(dir, name), Seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

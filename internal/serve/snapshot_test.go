@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+func trainsSnapshot(t *testing.T, epoch int, nRules int) *Snapshot {
+	t.Helper()
+	ds, err := datasets.ByName("trains", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theory := ds.TrueConcept
+	if nRules < len(theory) {
+		theory = theory[:nRules]
+	}
+	fp := core.Fingerprint(ds.KB, ds.Pos, ds.Neg)
+	return NewSnapshot(ds.Name, fp, epoch, theory, ds.KB, ds.Budget, ds.Pos, ds.Neg)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := trainsSnapshot(t, 3, 99)
+	path, err := WriteSnapshot(dir, 7, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SnapshotPath(dir, 7); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	if got := SeqFromPath(path); got != 7 {
+		t.Fatalf("SeqFromPath = %d, want 7", got)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != snap.Name || got.Fingerprint != snap.Fingerprint || got.Epoch != snap.Epoch {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Theory) != len(snap.Theory) || len(got.Clauses) != len(snap.Clauses) {
+		t.Fatalf("size mismatch: %d/%d theory, %d/%d clauses",
+			len(got.Theory), len(snap.Theory), len(got.Clauses), len(snap.Clauses))
+	}
+	for i := range snap.Theory {
+		if got.Theory[i].String() != snap.Theory[i].String() {
+			t.Fatalf("theory[%d] = %v, want %v", i, got.Theory[i], snap.Theory[i])
+		}
+	}
+	// The re-read KB must answer exactly like the original: same covered
+	// bits for every example under every rule.
+	m1 := solve.NewMachine(snap.KB(), snap.Budget)
+	m2 := solve.NewMachine(got.KB(), got.Budget)
+	for ri := range snap.Theory {
+		for _, ex := range append(append([]logic.Term{}, snap.Pos...), snap.Neg...) {
+			if m1.CoversExample(&snap.Theory[ri], ex) != m2.CoversExample(&got.Theory[ri], ex) {
+				t.Fatalf("coverage diverged after round trip: rule %d example %v", ri, ex)
+			}
+		}
+	}
+}
+
+// TestSnapshotRebindsForeignSymbols simulates loading a snapshot written by
+// a process with a different intern table: the stored table is padded and
+// shifted, and every stored term renumbered to match. ReadSnapshot must
+// rewrite all terms back into this process's numbering.
+func TestSnapshotRebindsForeignSymbols(t *testing.T) {
+	dir := t.TempDir()
+	snap := trainsSnapshot(t, 1, 99)
+
+	// Forge the foreign numbering: symbol i becomes i+3 behind three dummy
+	// names this process never interned in those slots.
+	shift := 3
+	foreign := &Snapshot{
+		Name:        snap.Name,
+		Fingerprint: snap.Fingerprint,
+		Epoch:       snap.Epoch,
+		Budget:      snap.Budget,
+		Symbols:     append([]string{"zz_pad_a", "zz_pad_b", "zz_pad_c"}, snap.Symbols...),
+	}
+	shiftMap := make([]logic.Symbol, len(snap.Symbols))
+	for i := range shiftMap {
+		shiftMap[i] = logic.Symbol(i + shift)
+	}
+	for _, c := range snap.Theory {
+		foreign.Theory = append(foreign.Theory, remapClause(c, shiftMap))
+	}
+	for _, c := range snap.Clauses {
+		foreign.Clauses = append(foreign.Clauses, remapClause(c, shiftMap))
+	}
+	for _, e := range snap.Pos {
+		foreign.Pos = append(foreign.Pos, remapTerm(e, shiftMap))
+	}
+	for _, e := range snap.Neg {
+		foreign.Neg = append(foreign.Neg, remapTerm(e, shiftMap))
+	}
+
+	path, err := WriteSnapshot(dir, 1, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Theory {
+		if got.Theory[i].String() != snap.Theory[i].String() {
+			t.Fatalf("theory[%d] = %v, want %v", i, got.Theory[i], snap.Theory[i])
+		}
+	}
+	for i := range snap.Pos {
+		if !logic.Equal(got.Pos[i], snap.Pos[i]) {
+			t.Fatalf("pos[%d] = %v, want %v", i, got.Pos[i], snap.Pos[i])
+		}
+	}
+	m := solve.NewMachine(got.KB(), got.Budget)
+	covered := 0
+	for ri := range got.Theory {
+		for _, ex := range got.Pos {
+			if m.CoversExample(&got.Theory[ri], ex) {
+				covered++
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("rebound snapshot covers nothing — symbol rewrite broken")
+	}
+}
+
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	snap := trainsSnapshot(t, 1, 1)
+	path, err := WriteSnapshot(dir, 1, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	bad := filepath.Join(dir, "snap-0000000000000002.isnap")
+	if err := os.WriteFile(bad, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bad); err == nil {
+		t.Fatal("corrupted snapshot read succeeded")
+	}
+	files, err := ListSnapshotFiles(dir)
+	if err != nil || len(files) != 2 {
+		t.Fatalf("ListSnapshotFiles = %v, %v", files, err)
+	}
+}
+
+// TestPublisherWithLearn pins the learn-then-serve pipeline in-process: a
+// simulated-cluster run with a Publish hook must emit one snapshot per
+// completed epoch plus the final theory, and the last snapshot's theory
+// must be exactly the learned theory.
+func TestPublisherWithLearn(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := datasets.ByName("trains", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.Fingerprint(ds.KB, ds.Pos, ds.Neg)
+	met, err := core.Learn(ds.KB, ds.Pos, ds.Neg, ds.Modes, core.Config{
+		Workers: 2,
+		Seed:    1,
+		Search:  ds.Search,
+		Bottom:  ds.Bottom,
+		Budget:  ds.Budget,
+		Publish: Publisher(dir, ds.Name, fp, ds.KB, ds.Budget, ds.Pos, ds.Neg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := ListSnapshotFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no snapshots published")
+	}
+	if len(files) != met.Epochs {
+		t.Fatalf("published %d snapshots over %d epochs", len(files), met.Epochs)
+	}
+	last, err := ReadSnapshot(files[len(files)-1].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Epoch != met.Epochs {
+		t.Fatalf("last snapshot epoch = %d, want %d", last.Epoch, met.Epochs)
+	}
+	if len(last.Theory) != len(met.Theory) {
+		t.Fatalf("last snapshot has %d rules, learned theory has %d", len(last.Theory), len(met.Theory))
+	}
+	for i := range met.Theory {
+		if last.Theory[i].String() != met.Theory[i].String() {
+			t.Fatalf("rule %d drifted: %v vs %v", i, last.Theory[i], met.Theory[i])
+		}
+	}
+	if last.Fingerprint != fp {
+		t.Fatalf("fingerprint = %x, want %x", last.Fingerprint, fp)
+	}
+}

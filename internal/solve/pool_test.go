@@ -1,0 +1,91 @@
+package solve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func poolKB(t *testing.T) *KB {
+	t.Helper()
+	kb := NewKB()
+	if err := kb.AddSource(`
+		parent(ann, bob). parent(bob, cat). parent(cat, dee).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func TestPoolGetPut(t *testing.T) {
+	kb := poolKB(t)
+	p := NewPool(kb, DefaultBudget, 3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	goal, err := logic.ParseTerm("anc(ann, dee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent checkout: more goroutines than machines, every proof must
+	// succeed and every machine must come back.
+	var wg sync.WaitGroup
+	for range 16 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := p.Get()
+			defer p.Put(m)
+			if !m.ProveAtom(goal) {
+				t.Error("proof failed on pooled machine")
+			}
+		}()
+	}
+	wg.Wait()
+	for range p.Size() {
+		p.Get()
+	}
+	select {
+	case <-p.free:
+		t.Fatal("machines left in pool after draining Size() of them")
+	default:
+	}
+}
+
+// TestPoolPutRestoresKB checks the Put-time reset: a checkout that swapped
+// the machine's KB must not leak that KB to the next user.
+func TestPoolPutRestoresKB(t *testing.T) {
+	kb := poolKB(t)
+	p := NewPool(kb, DefaultBudget, 1)
+	other := NewKB()
+	m := p.Get()
+	m.SetKB(other)
+	p.Put(m)
+	if got := p.Get().KB(); got != kb {
+		t.Fatalf("Put did not restore the pool KB: got %p, want %p", got, kb)
+	}
+}
+
+func TestPoolCounters(t *testing.T) {
+	kb := poolKB(t)
+	p := NewPool(kb, DefaultBudget, 2)
+	goal, err := logic.ParseTerm("anc(ann, dee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 4 {
+		m := p.Get()
+		m.ProveAtom(goal)
+		p.Put(m)
+	}
+	if p.TotalInferences() == 0 {
+		t.Fatal("TotalInferences = 0 after proofs")
+	}
+	p.ResetCounters()
+	if p.TotalInferences() != 0 || p.CutoffQueries() != 0 {
+		t.Fatal("ResetCounters left nonzero counters")
+	}
+}

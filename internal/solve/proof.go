@@ -1,0 +1,225 @@
+package solve
+
+import (
+	"repro/internal/logic"
+)
+
+// This file adds a *recording* prover next to the hot engine in machine.go:
+// the serving layer wants the proof tree behind a positive coverage answer
+// (the explanation artifact a classification API returns), but the engine's
+// CPS loop deliberately keeps nothing a tree could be built from. Rather
+// than thread recording hooks through step() — and tax the path every
+// coverage test in learning takes — the recorder is a separate recursive
+// SLD prover over the same KB, bindings, builtins and budget. It explores
+// goals in the same order as the engine (clause candidates exactly as
+// kb.lookup yields them), so it succeeds iff CoversExample succeeds within
+// budget, and it records the first proof found — the same proof the engine
+// commits to.
+
+// ProofKind classifies how one proof node was discharged.
+type ProofKind uint8
+
+const (
+	// ProofFact: the goal matched a KB fact.
+	ProofFact ProofKind = iota
+	// ProofRule: the goal resolved against a KB rule; children prove the body.
+	ProofRule
+	// ProofBuiltin: the goal was evaluated by the engine (=, is, <, ...).
+	ProofBuiltin
+	// ProofNAF: a negated goal whose positive form has no proof.
+	ProofNAF
+)
+
+// String names the kind for rendering ("fact", "rule", "builtin", "naf").
+func (k ProofKind) String() string {
+	switch k {
+	case ProofFact:
+		return "fact"
+	case ProofRule:
+		return "rule"
+	case ProofBuiltin:
+		return "builtin"
+	case ProofNAF:
+		return "naf"
+	}
+	return "?"
+}
+
+// ProofStep is one node of a proof tree. Goal is the node's goal atom fully
+// resolved under the proof's final bindings (ground wherever the proof bound
+// it); Clause is the KB clause the goal resolved against (nil for builtin
+// and negation-as-failure nodes); Children prove the clause body in order.
+type ProofStep struct {
+	Goal     logic.Term
+	Neg      bool // negation-as-failure goal (Kind == ProofNAF)
+	Kind     ProofKind
+	Clause   *logic.Clause
+	Children []*ProofStep
+
+	raw logic.Term // goal as posed, before final resolution
+	off int32      // renaming offset of raw's variables
+}
+
+// proofGoal is one pending goal of the recording prover. out points at the
+// Children slice of the proof node the goal's own node belongs under, so the
+// flat backtracking recursion builds the right tree shape without a barrier
+// between a clause body and the continuation.
+type proofGoal struct {
+	lit   logic.Literal
+	off   int32
+	depth int32
+	out   *[]*ProofStep
+}
+
+// ProveExample is CoversExample with a proof: it reports whether rule covers
+// the ground example atom and, when it does, returns the proof tree rooted
+// at the example (root Clause is rule, children prove the rule body against
+// the KB). The recorder shares the machine's budget; a proof attempt that
+// exhausts it fails, exactly like the non-recording engine.
+func (m *Machine) ProveExample(rule *logic.Clause, example logic.Term) (*ProofStep, bool) {
+	nv := rule.NumVars()
+	m.beginQuery(nv)
+	defer m.endQuery()
+	if !m.bs.Unify(rule.Head, example) {
+		return nil, false
+	}
+	root := &ProofStep{raw: example, Kind: ProofRule, Clause: rule}
+	if len(rule.Body) == 0 {
+		root.Kind = ProofFact
+	}
+	goals := make([]proofGoal, len(rule.Body))
+	for i, l := range rule.Body {
+		goals[i] = proofGoal{lit: l, depth: 1, out: &root.Children}
+	}
+	if !m.proveTrace(goals) {
+		return nil, false
+	}
+	m.resolveProof(root)
+	return root, true
+}
+
+// TraceProve proves a single positive goal atom and returns its proof tree.
+func (m *Machine) TraceProve(goal logic.Term) (*ProofStep, bool) {
+	m.beginQuery(goal.MaxVar() + 1)
+	defer m.endQuery()
+	var out []*ProofStep
+	if !m.proveTrace([]proofGoal{{lit: logic.Lit(goal), out: &out}}) {
+		return nil, false
+	}
+	m.resolveProof(out[0])
+	return out[0], true
+}
+
+// proveTrace proves the goal list with full SLD backtracking, appending one
+// proof node per discharged goal to that goal's out slice (and removing it
+// again when the branch fails). It returns on the first complete proof,
+// leaving the bindings in place for resolveProof.
+func (m *Machine) proveTrace(goals []proofGoal) bool {
+	if len(goals) == 0 {
+		return true
+	}
+	if !m.charge() {
+		return false
+	}
+	g := goals[0]
+	rest := goals[1:]
+	atom := g.lit.Atom
+	off := int(g.off)
+	if atom.Kind == logic.Var {
+		t, _ := m.bs.WalkOff(atom, off)
+		if t.Kind == logic.Var {
+			return false // unbound goal is not callable
+		}
+		atom, off = t, 0
+	}
+	if g.lit.Neg {
+		// Negation as failure, same isolation as the engine's subProve.
+		if m.subProve(atom, int32(off), g.depth+1, atom.IsGround()) {
+			return false
+		}
+		node := &ProofStep{raw: atom, off: int32(off), Neg: true, Kind: ProofNAF}
+		*g.out = append(*g.out, node)
+		if m.proveTrace(rest) {
+			return true
+		}
+		*g.out = (*g.out)[:len(*g.out)-1]
+		return false
+	}
+	if fn := builtinFor(atom); fn != nil {
+		goal := m.builtinGoal(atom, off)
+		mark := m.bs.Mark()
+		if fn(m, goal) {
+			node := &ProofStep{raw: atom, off: int32(off), Kind: ProofBuiltin}
+			*g.out = append(*g.out, node)
+			if m.proveTrace(rest) {
+				return true
+			}
+			*g.out = (*g.out)[:len(*g.out)-1]
+		}
+		m.bs.Undo(mark)
+		return false
+	}
+	if g.depth >= int32(m.budget.MaxDepth) {
+		m.budgetHit = true
+		return false
+	}
+	// Collect the candidates first: kb.lookup's visitor must not re-enter
+	// the prover, and after indexing candidate sets are small.
+	var cands []*storedClause
+	m.kb.lookup(m.bs, atom, off, func(sc *storedClause, _ int) bool {
+		cands = append(cands, sc)
+		return true
+	})
+	for _, sc := range cands {
+		if !m.charge() {
+			return false
+		}
+		base := m.nextVar
+		m.nextVar += sc.numVars
+		mark := m.bs.Mark()
+		if m.unifyHead(atom, off, &sc.clause.Head, base, -1) {
+			kind := ProofRule
+			if sc.clause.IsFact() {
+				kind = ProofFact
+			}
+			node := &ProofStep{raw: atom, off: int32(off), Kind: kind, Clause: &sc.clause}
+			*g.out = append(*g.out, node)
+			sub := make([]proofGoal, 0, len(sc.clause.Body)+len(rest))
+			for _, bl := range sc.clause.Body {
+				sub = append(sub, proofGoal{lit: bl, off: int32(base), depth: g.depth + 1, out: &node.Children})
+			}
+			sub = append(sub, rest...)
+			if m.proveTrace(sub) {
+				return true
+			}
+			*g.out = (*g.out)[:len(*g.out)-1]
+		}
+		m.bs.Undo(mark)
+		m.nextVar = base
+	}
+	return false
+}
+
+// resolveProof rewrites every node's raw goal into its final resolved form
+// under the machine's (still live) bindings.
+func (m *Machine) resolveProof(n *ProofStep) {
+	n.Goal = m.resolveOff(n.raw, int(n.off))
+	for _, c := range n.Children {
+		m.resolveProof(c)
+	}
+}
+
+// resolveOff deep-dereferences t whose variables are shifted by off. Unlike
+// Bindings.Resolve it threads the renaming offset, so it can materialize
+// goals that were posed inside renamed clause instances.
+func (m *Machine) resolveOff(t logic.Term, off int) logic.Term {
+	t, off = m.bs.WalkOff(t, off)
+	if t.Kind != logic.Compound {
+		return t
+	}
+	args := make([]logic.Term, len(t.Args))
+	for i := range t.Args {
+		args[i] = m.resolveOff(t.Args[i], off)
+	}
+	return logic.Term{Kind: logic.Compound, Sym: t.Sym, Args: args}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/solve"
+)
+
+// Proof rendering: the serving layer returns the SLD proof behind a positive
+// classification as its explanation artifact. solve.ProofStep is the
+// in-memory tree; this file fixes its two external encodings — an indented
+// plain-text form for humans and a stable JSON form for machines. The JSON
+// shape (field names, kind strings, child ordering) is a wire contract
+// pinned by a golden test: /classify clients parse it.
+
+// ProofJSONVersion identifies the proof JSON shape. Bump only with a
+// corresponding golden update and changelog note.
+const ProofJSONVersion = 1
+
+// ProofNode is the JSON form of one proof step. Goal and Clause are
+// canonical logic syntax (the same strings the parser accepts); Kind is one
+// of "fact", "rule", "builtin", "naf". Children appear in clause-body
+// order.
+type ProofNode struct {
+	Goal     string      `json:"goal"`
+	Neg      bool        `json:"neg,omitempty"`
+	Kind     string      `json:"kind"`
+	Clause   string      `json:"clause,omitempty"`
+	Children []ProofNode `json:"children,omitempty"`
+}
+
+// NewProofNode converts a proof tree into its JSON form.
+func NewProofNode(p *solve.ProofStep) ProofNode {
+	n := ProofNode{Goal: p.Goal.String(), Neg: p.Neg, Kind: p.Kind.String()}
+	if p.Clause != nil {
+		n.Clause = p.Clause.String()
+	}
+	for _, c := range p.Children {
+		n.Children = append(n.Children, NewProofNode(c))
+	}
+	return n
+}
+
+// ProofJSON renders a proof tree as its stable JSON encoding.
+func ProofJSON(p *solve.ProofStep) ([]byte, error) {
+	return json.MarshalIndent(NewProofNode(p), "", "  ")
+}
+
+// RenderProof writes the indented plain-text form: one line per node,
+// `\+`-prefixed for negation-as-failure, with the discharging clause after
+// the goal for rule nodes.
+func RenderProof(w io.Writer, p *solve.ProofStep) {
+	renderProofNode(w, p, 0)
+}
+
+// ProofText renders the plain-text form as a string.
+func ProofText(p *solve.ProofStep) string {
+	var sb strings.Builder
+	renderProofNode(&sb, p, 0)
+	return sb.String()
+}
+
+func renderProofNode(w io.Writer, p *solve.ProofStep, depth int) {
+	for range depth {
+		io.WriteString(w, "  ")
+	}
+	switch p.Kind {
+	case solve.ProofNAF:
+		fmt.Fprintf(w, "\\+ %s  [naf]\n", p.Goal)
+	case solve.ProofRule:
+		fmt.Fprintf(w, "%s  [rule %s]\n", p.Goal, p.Clause)
+	case solve.ProofBuiltin:
+		fmt.Fprintf(w, "%s  [builtin]\n", p.Goal)
+	default:
+		fmt.Fprintf(w, "%s  [fact]\n", p.Goal)
+	}
+	for _, c := range p.Children {
+		renderProofNode(w, c, depth+1)
+	}
+}
