@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,10 +40,39 @@ func main() {
 		chart    = flag.Bool("chart", false, "draw a text speedup-vs-processors chart after the tables")
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); results are identical, wall-clock drops")
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
+		noVM     = flag.Bool("novm", false, "resolve clauses with the tree-walking interpreter instead of the compiled bytecode VM (A/B baseline; results are identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		jsonOut  = flag.String("json", "", "also write the run's machine-readable per-dataset summary (fold means of the Table 2-6 quantities) to this file, or '-' for stdout")
 		quiet    = flag.Bool("q", false, "suppress per-fold progress output")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Written on normal completion only; an early fail() exits without a
+		// heap snapshot.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	procs, err := parseInts(*procsArg)
 	if err != nil {
@@ -53,10 +84,11 @@ func main() {
 	}
 
 	dss := datasets.PaperScaled(*scale, *seed)
-	if *noBatch {
+	if *noBatch || *noVM {
 		// Applied at the dataset level so the ablations inherit it too.
 		for _, ds := range dss {
-			ds.Search.NoBatchEval = true
+			ds.Search.NoBatchEval = ds.Search.NoBatchEval || *noBatch
+			ds.Search.NoVM = ds.Search.NoVM || *noVM
 		}
 	}
 	if *only != "" {

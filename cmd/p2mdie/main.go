@@ -61,6 +61,7 @@ func main() {
 		strategy = flag.String("strategy", "bfs", "search strategy: bfs (paper) or bestfirst")
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); with workers the pool is per worker, so total concurrency is workers*N; in -serve mode this applies to the local worker only")
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
+		noVM     = flag.Bool("novm", false, "resolve clauses with the tree-walking interpreter instead of the compiled bytecode VM (A/B baseline; results are identical)")
 		serve    = flag.String("serve", "", "run as a TCP worker: listen on this address, join the master, receive a partition (use host:0 for an ephemeral port; the listen address and a final status line always print so orchestrators can scrape them)")
 		masterMd = flag.Bool("master", false, "run as the TCP master over the workers listed in -workers")
 		listen   = flag.String("listen", "", "with -master: also accept mid-run worker joins on this address (the actual address prints so orchestrators can scrape it); joiners attach with -join")
@@ -102,6 +103,7 @@ func main() {
 		ds.Search.Strategy = st
 	}
 	ds.Search.NoBatchEval = *noBatch
+	ds.Search.NoVM = *noVM
 	if *traffic != "" && *traffic != "json" && *traffic != "text" {
 		fail(fmt.Errorf("unknown -traffic mode %q (want json or text)", *traffic))
 	}

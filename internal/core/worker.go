@@ -144,6 +144,7 @@ func newWorker(id, p int, node cluster.Transport, kb *solve.KB, ex *search.Examp
 		machineKB = kb.Clone()
 	}
 	m := solve.NewMachine(machineKB, cfg.Budget)
+	m.SetNoVM(cfg.Search.NoVM)
 	w := &worker{
 		id:       id,
 		ring:     fullRing(p),
@@ -213,6 +214,7 @@ func (w *worker) loadRemote(lm *loadDataMsg) error {
 		machineKB = w.kb.Clone()
 	}
 	w.m = solve.NewMachine(machineKB, w.cfg.Budget)
+	w.m.SetNoVM(w.cfg.Search.NoVM)
 	w.ex = search.NewExamples(lm.Pos, lm.Neg)
 	w.ev = w.newEvaluator()
 	w.covCache = make(map[uint64][]covCacheEntry)

@@ -81,6 +81,26 @@ func (bs *Bindings) WalkOff(t Term, off int) (Term, int) {
 	return t, off
 }
 
+// WalkRef is WalkOff without the term copies: it follows the chain through
+// pointers, returning a pointer to the term the walk ends at — into the
+// caller's structure or into the binding slots — plus the pending offset.
+// The unbound-variable case must materialize the shifted variable, so the
+// caller provides scratch storage for it. The result is read-only and its
+// content is stable until a variable bound before the call is undone (slot
+// growth reallocates the array but never mutates reachable contents).
+func (bs *Bindings) WalkRef(t *Term, off int, scratch *Term) (*Term, int) {
+	for t.Kind == Var {
+		i := int(t.Sym) + off
+		off = 0
+		if i >= len(bs.slots) || bs.slots[i].Kind == Invalid {
+			*scratch = Term{Kind: Var, Sym: Symbol(i)}
+			return scratch, 0
+		}
+		t = &bs.slots[i]
+	}
+	return t, off
+}
+
 // bindOff records v ↦ t with t's variables shifted by off, materializing the
 // shift into a fresh copy only when t actually contains variables (ground
 // terms — the vast majority in ILP workloads — are shared as-is).

@@ -137,6 +137,9 @@ type stopMsg struct{}
 type loadMsg struct {
 	Pos, Neg []logic.Term
 	Budget   solve.Budget
+	// NoVM pins the worker's prover to the interpreter; it travels with the
+	// load because parcov's wire protocol ships no other search settings.
+	NoVM bool
 }
 
 // finalMsg is a remote worker's end-of-run report (see kindFinal).
@@ -179,6 +182,7 @@ func (w *pcWorker) run() error {
 				return err
 			}
 			w.m = solve.NewMachine(w.kb, lm.Budget)
+			w.m.SetNoVM(lm.NoVM)
 			w.ex = search.NewExamples(lm.Pos, lm.Neg)
 			w.ev = search.NewEvaluator(w.m, w.ex)
 			w.node.Compute(int64(len(lm.Pos) + len(lm.Neg)))
@@ -513,6 +517,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 			wneg = append(wneg, neg[gi])
 		}
 		m := solve.NewMachine(kb, cfg.Budget)
+		m.SetNoVM(cfg.Search.NoVM)
 		ex := search.NewExamples(wpos, wneg)
 		workers[k] = &pcWorker{id: k + 1, node: nw.Node(k + 1), kb: kb, m: m, ex: ex, ev: search.NewEvaluator(m, ex)}
 	}
@@ -581,6 +586,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 // runMaster is the serial covering loop with distributed coverage tests.
 func runMaster(node cluster.Transport, kb *solve.KB, pos []logic.Term, ms *mode.Set, cfg Config, dc *distCoverer, met *Metrics) error {
 	m := solve.NewMachine(kb, cfg.Budget) // master machine: saturation only
+	m.SetNoVM(cfg.Search.NoVM)
 	alive := search.FullBitset(len(pos))
 	targets := dc.targets
 

@@ -59,7 +59,7 @@ func RunMaster(t cluster.Transport, kb *solve.KB, pos, neg []logic.Term, ms *mod
 	targets := make([]int, p)
 	for k := 0; k < p; k++ {
 		targets[k] = k + 1
-		lm := loadMsg{Budget: cfg.Budget}
+		lm := loadMsg{Budget: cfg.Budget, NoVM: cfg.Search.NoVM}
 		for _, gi := range posParts[k] {
 			posMap[k] = append(posMap[k], gi)
 			lm.Pos = append(lm.Pos, pos[gi])

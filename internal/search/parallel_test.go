@@ -111,6 +111,31 @@ func TestLearnRuleSameWithParallelCoverer(t *testing.T) {
 	}
 }
 
+// TestCoverageSharesCompiledProgram pins the compile-once contract at the
+// search layer: the fixture machine, the serial evaluator and every
+// ParallelEvaluator shard prove against one KB, so across all of them the
+// bytecode compiler runs exactly once per KB load.
+func TestCoverageSharesCompiledProgram(t *testing.T) {
+	fx := newFixture(t)
+	if solve.NewMachine(fx.kb, solve.DefaultBudget).NoVM() {
+		t.Skip("ILP_NOVM set; nothing compiles")
+	}
+	rule := fx.bot.Materialize([]int32{0, 1, 2})
+	fx.ev.Coverage(&rule, nil, nil)
+	for _, workers := range []int{2, 4, 8} {
+		pe := NewParallelEvaluator(fx.kb, fx.ex, solve.DefaultBudget, workers)
+		pe.Coverage(&rule, nil, nil)
+		pe.CoverageFull(&rule)
+		pe.Close()
+	}
+	fc := NewFullCoverer(fx.m, fx.ex, solve.DefaultBudget, 4)
+	fc.Coverage(&rule, nil, nil)
+	fc.Close()
+	if n := fx.kb.Compilations(); n != 1 {
+		t.Fatalf("shared KB compiled %d times across coverers, want 1", n)
+	}
+}
+
 func assertSameBits(t *testing.T, what string, want, got Bitset) {
 	t.Helper()
 	if len(want) != len(got) {

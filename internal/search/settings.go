@@ -114,6 +114,12 @@ type Settings struct {
 	// hot path, kept for A/B benchmarking). Search results are identical
 	// either way; only synchronisation cost changes.
 	NoBatchEval bool
+	// NoVM pins clause resolution to the tree-walking interpreter instead of
+	// the compiled bytecode VM (see internal/solve). The two engines are
+	// bit-identical in solution order, inference counts and budget cutoffs;
+	// only speed differs. Kept for A/B benchmarking and as the differential
+	// reference path.
+	NoVM bool
 }
 
 // WithDefaults returns s with zero fields replaced by defaults.

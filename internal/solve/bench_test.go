@@ -44,9 +44,10 @@ func BenchmarkProveFailUnknownConstant(b *testing.B) {
 	}
 }
 
-func BenchmarkCoversExample(b *testing.B) {
+func benchCoversExample(b *testing.B, novm bool) {
 	kb := benchKB(2000)
 	m := NewMachine(kb, DefaultBudget)
+	m.SetNoVM(novm)
 	rule := logic.MustParseClause("active(M) :- atm(M, A, carbon, T, C), bond(M, A, B, 1).")
 	example := logic.MustParseTerm("active(m7)")
 	b.ReportAllocs()
@@ -57,6 +58,13 @@ func BenchmarkCoversExample(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCoversExample is the coverage-check kernel on the default engine
+// (the compiled VM); BenchmarkCoversExampleInterp is the same workload
+// pinned to the tree-walking interpreter, so one bench run reports the
+// interpreter-vs-VM delta.
+func BenchmarkCoversExample(b *testing.B)       { benchCoversExample(b, false) }
+func BenchmarkCoversExampleInterp(b *testing.B) { benchCoversExample(b, true) }
 
 func BenchmarkSolveEnumerate(b *testing.B) {
 	kb := benchKB(2000)
@@ -95,9 +103,10 @@ func benchRuleKB(n int) *KB {
 	return kb
 }
 
-func BenchmarkCoversExampleRules(b *testing.B) {
+func benchCoversExampleRules(b *testing.B, novm bool) {
 	kb := benchRuleKB(2000)
 	m := NewMachine(kb, DefaultBudget)
+	m.SetNoVM(novm)
 	rule := logic.MustParseClause("active(M) :- heavy(M), linked(M, A, B).")
 	example := logic.MustParseTerm("active(m7)")
 	b.ReportAllocs()
@@ -108,6 +117,9 @@ func BenchmarkCoversExampleRules(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkCoversExampleRules(b *testing.B)       { benchCoversExampleRules(b, false) }
+func BenchmarkCoversExampleRulesInterp(b *testing.B) { benchCoversExampleRules(b, true) }
 
 func BenchmarkProveRecursiveRules(b *testing.B) {
 	kb := benchRuleKB(2000)

@@ -1,0 +1,431 @@
+package solve
+
+import (
+	"repro/internal/logic"
+)
+
+// This file is the clause compiler: it translates a populated KB into the
+// flat bytecode form the VM in vm.go executes. Compilation happens once per
+// KB (lazily, on the first query of any machine with the VM enabled) and the
+// resulting program is immutable, so it is shared read-only by every machine
+// over that KB — all pool checkouts and evaluator shards resolve against the
+// same compiled clauses. KB.Add invalidates the cached program; the next
+// query recompiles.
+//
+// The compilation scheme specializes exactly the decisions the tree-walking
+// interpreter makes dynamically, so the VM's observable behaviour — solution
+// order, binding/trail traffic, inference counts, budget cutoffs — is
+// bit-identical to the interpreter's:
+//
+//   - Each head argument position becomes one instruction chosen by the
+//     argument's shape (get-atom, get-number, get-variable, or a general
+//     unify for repeated variables and structures).
+//   - Ground facts additionally get an equality-only stream (eq-atom,
+//     eq-number, eq-term) used when the goal is statically ground — the
+//     compiled form of the interpreter's trail-free groundMatch fast path.
+//   - The first-/second-argument fact indexes become switch instructions
+//     that jump from a goal argument constant straight to a precomputed
+//     candidate list: the index bucket merged with the never-indexed facts
+//     in insertion order followed by the rules, exactly the sequence the
+//     interpreter's scanMerged + scanRules produces at runtime. Symbol keys
+//     dispatch through a dense array (symbols are small interned integers)
+//     instead of a hash map.
+//   - Predicate dispatch likewise compiles to a direct symbol-indexed table
+//     for the common case of one arity per functor symbol.
+//   - Clause bodies become pre-built goal frames (literal + static
+//     groundness) that are block-copied onto the goal stack with only the
+//     renaming offset and depth patched in.
+
+// op is a VM instruction opcode.
+type op uint8
+
+const (
+	// opGetAtom matches a head argument that is a constant symbol: the goal
+	// argument is dereferenced, then bound (if a variable) or compared.
+	opGetAtom op = iota
+	// opGetNum matches a numeric head argument (Int and Float compare
+	// numerically, as unification does).
+	opGetNum
+	// opGetVar matches the first executed occurrence of a head variable.
+	// Its fresh slot is guaranteed unbound, so the general unifier's walk of
+	// the clause side is skipped: the goal argument is dereferenced and one
+	// side is bound to the other.
+	opGetVar
+	// opUnify is the general case — repeated head variables and compound
+	// arguments — and defers to the interpreter's offset unifier.
+	opUnify
+	// opEqAtom / opEqNum / opEqTerm are the ground-fact equality stream:
+	// the goal is statically ground so arguments need no dereferencing, and
+	// matching cannot bind anything.
+	opEqAtom
+	opEqNum
+	opEqTerm
+)
+
+// instr is one head-matching instruction. arg addresses the goal argument
+// position; the remaining fields are the operands the opcode needs. term
+// points at the head argument itself inside the stored clause (stable for
+// the program's lifetime — KB mutation invalidates the program), so binding
+// a goal variable stores the exact term value the interpreter would, and the
+// instruction stays at 32 bytes for cache-friendly dispatch.
+type instr struct {
+	term *logic.Term
+	num  float64
+	sym  logic.Symbol
+	arg  int32
+	v    int32 // head variable index (opGetVar)
+	op   op
+}
+
+// compiledClause is the bytecode form of one stored clause. Head streams are
+// compiled per skip variant: skip is the argument position an index lookup
+// already proved equal (-1, 0 or 1), and the variant simply omits that
+// position's instruction (which also re-derives first-occurrence status for
+// head variables under the executed order).
+type compiledClause struct {
+	numVars int
+	// head[skip+1] is the head-matching stream for that skip variant.
+	head [3][]instr
+	// eq[skip+1] is the equality-only stream; non-nil only for ground facts.
+	eq [3][]instr
+	// frames holds the body goals as pre-built stack frames in push (reverse)
+	// order with static groundness flags baked in; off and depth are patched
+	// when the clause is resolved against.
+	frames []goalFrame
+}
+
+// vmCand is one entry of a precomputed candidate list: a clause plus the
+// head/eq streams matching how this entry was selected (indexed entries use
+// the skip variant, unindexed entries and rules the full stream).
+type vmCand struct {
+	cc   *compiledClause
+	head []instr
+	eq   []instr
+}
+
+// candList is a precomputed candidate sequence: selected facts in insertion
+// order, then every rule. nFacts counts only the facts — it mirrors the
+// candidate count the interpreter's selectIndex compares buckets by (bucket
+// length plus the always-scanned unindexed facts).
+type candList struct {
+	cands  []vmCand
+	nFacts int
+}
+
+// vmSwitch is the compiled form of an argIndex: constant → merged candidate
+// list. Symbol keys resolve through a dense array indexed by the interned
+// symbol id; numeric keys keep a map. miss is the list for constants with
+// no bucket (the unindexed facts plus rules), matching the interpreter's
+// empty-bucket scan.
+type vmSwitch struct {
+	dense []*candList
+	byNum map[float64]*candList
+	miss  *candList
+}
+
+// lookup mirrors argIndex.bucket: a constant goal argument always selects
+// some list (possibly the miss list); anything else reports no index.
+func (sw *vmSwitch) lookup(t *logic.Term) (*candList, bool) {
+	switch t.Kind {
+	case logic.Atom:
+		if s := int(t.Sym); s < len(sw.dense) {
+			if l := sw.dense[s]; l != nil {
+				return l, true
+			}
+		}
+		return sw.miss, true
+	case logic.Int, logic.Float:
+		if l, ok := sw.byNum[t.Num]; ok {
+			return l, true
+		}
+		return sw.miss, true
+	}
+	return nil, false
+}
+
+// compiledPred holds the compiled clauses of one predicate: the full
+// candidate list and the two argument switches.
+type compiledPred struct {
+	arity int32
+	all   *candList
+	arg1  vmSwitch
+	arg2  vmSwitch
+}
+
+// program is an immutable compiled KB. It is built once per KB and shared
+// read-only across machines; it holds no mutable state.
+type program struct {
+	// direct is the fast dispatch path: symbol id → compiled predicate, for
+	// symbols used at exactly one arity (the overwhelmingly common case).
+	direct []*compiledPred
+	// bySym is the fallback for symbols overloaded at several arities.
+	bySym [][]progEntry
+}
+
+// progEntry pairs an arity with its compiled predicate for the fallback
+// dispatch, mirroring KB.predEntry.
+type progEntry struct {
+	arity int32
+	cp    *compiledPred
+}
+
+// predFor resolves the compiled predicate for a callable goal, or nil.
+func (pr *program) predFor(goal logic.Term) *compiledPred {
+	s := int(goal.Sym)
+	if s < len(pr.direct) {
+		if cp := pr.direct[s]; cp != nil && int(cp.arity) == len(goal.Args) {
+			return cp
+		}
+	}
+	if s < len(pr.bySym) {
+		for _, e := range pr.bySym[s] {
+			if int(e.arity) == len(goal.Args) {
+				return e.cp
+			}
+		}
+	}
+	return nil
+}
+
+// unknownPred is the compiled predicate for body goals that reference no KB
+// predicate: empty candidate lists, so resolution exhausts immediately with
+// no charges — exactly the interpreter's behaviour for an unknown predicate.
+var unknownPred = &compiledPred{
+	all:  &candList{},
+	arg1: vmSwitch{miss: &candList{}},
+	arg2: vmSwitch{miss: &candList{}},
+}
+
+// compiler accumulates every compiled clause so the second compilation phase
+// can patch cross-predicate references into the body frames.
+type compiler struct {
+	clauses []*compiledClause
+}
+
+// compileKB translates every predicate of kb into compiled form. It runs in
+// two phases: first every clause is compiled, then each body literal is
+// statically resolved to its compiled predicate (frame.cp), letting the VM's
+// step skip the negation/variable/builtin dispatch whose outcome is already
+// known at compile time.
+func compileKB(kb *KB) *program {
+	n := len(kb.bySym)
+	pr := &program{direct: make([]*compiledPred, n), bySym: make([][]progEntry, n)}
+	var c compiler
+	for s, entries := range kb.bySym {
+		if len(entries) == 1 {
+			pr.direct[s] = compilePred(&c, entries[0].p, entries[0].arity)
+			continue
+		}
+		for _, e := range entries {
+			pr.bySym[s] = append(pr.bySym[s], progEntry{arity: e.arity, cp: compilePred(&c, e.p, e.arity)})
+		}
+	}
+	for _, cc := range c.clauses {
+		for i := range cc.frames {
+			fr := &cc.frames[i]
+			a := fr.lit.Atom
+			// Only positive, callable, non-builtin goals dispatch statically;
+			// everything else keeps the interpreter's dynamic checks.
+			if fr.lit.Neg || (a.Kind != logic.Atom && a.Kind != logic.Compound) || builtinFor(a) != nil {
+				continue
+			}
+			if cp := pr.predFor(a); cp != nil {
+				fr.cp = cp
+			} else {
+				fr.cp = unknownPred
+			}
+		}
+	}
+	return pr
+}
+
+func compilePred(c *compiler, p *pred, arity int32) *compiledPred {
+	facts := make([]*compiledClause, len(p.facts))
+	for i := range p.facts {
+		facts[i] = compileClause(c, &p.facts[i])
+	}
+	rules := make([]vmCand, len(p.rules))
+	for i := range p.rules {
+		cc := compileClause(c, &p.rules[i])
+		rules[i] = vmCand{cc: cc, head: cc.head[0]}
+	}
+	cp := &compiledPred{arity: arity}
+	var allIdx []int32
+	if len(facts) > 0 {
+		allIdx = make([]int32, len(facts))
+		for i := range allIdx {
+			allIdx[i] = int32(i)
+		}
+	}
+	cp.all = mergeList(facts, rules, allIdx, nil, -1)
+	cp.arg1 = compileSwitch(facts, rules, &p.arg1, 0)
+	cp.arg2 = compileSwitch(facts, rules, &p.arg2, 1)
+	return cp
+}
+
+// compileSwitch precomputes, for every constant key of ix, the merged
+// bucket-plus-unindexed candidate sequence scanMerged would produce
+// (followed by the rules). Symbol keys become a dense jump table.
+func compileSwitch(facts []*compiledClause, rules []vmCand, ix *argIndex, skip int) vmSwitch {
+	sw := vmSwitch{miss: mergeList(facts, rules, nil, ix.unindexed, skip)}
+	if len(ix.byAtom) > 0 {
+		maxSym := logic.Symbol(0)
+		for k := range ix.byAtom {
+			if k > maxSym {
+				maxSym = k
+			}
+		}
+		sw.dense = make([]*candList, int(maxSym)+1)
+		for k, bucket := range ix.byAtom {
+			sw.dense[k] = mergeList(facts, rules, bucket, ix.unindexed, skip)
+		}
+	}
+	if len(ix.byNum) > 0 {
+		sw.byNum = make(map[float64]*candList, len(ix.byNum))
+		for k, bucket := range ix.byNum {
+			sw.byNum[k] = mergeList(facts, rules, bucket, ix.unindexed, skip)
+		}
+	}
+	return sw
+}
+
+// mergeList interleaves an index bucket with the unindexed facts in
+// insertion order, then appends the rules. Bucket entries carry the skip
+// variant (the index proved that argument equal); unindexed entries and
+// rules must match in full.
+func mergeList(facts []*compiledClause, rules []vmCand, idx, un []int32, skip int) *candList {
+	l := &candList{nFacts: len(idx) + len(un)}
+	if l.nFacts+len(rules) == 0 {
+		return l
+	}
+	l.cands = make([]vmCand, 0, l.nFacts+len(rules))
+	i, j := 0, 0
+	for i < len(idx) || j < len(un) {
+		if j >= len(un) || (i < len(idx) && idx[i] < un[j]) {
+			l.cands = append(l.cands, candFor(facts[idx[i]], skip))
+			i++
+		} else {
+			l.cands = append(l.cands, candFor(facts[un[j]], -1))
+			j++
+		}
+	}
+	l.cands = append(l.cands, rules...)
+	return l
+}
+
+func candFor(cc *compiledClause, skip int) vmCand {
+	return vmCand{cc: cc, head: cc.head[skip+1], eq: cc.eq[skip+1]}
+}
+
+func compileClause(c *compiler, sc *storedClause) *compiledClause {
+	cc := &compiledClause{numVars: sc.numVars}
+	c.clauses = append(c.clauses, cc)
+	body := sc.clause.Body
+	if len(body) > 0 {
+		cc.frames = make([]goalFrame, 0, len(body))
+		for i := len(body) - 1; i >= 0; i-- {
+			fr := goalFrame{lit: body[i]}
+			if sc.bodyGround != nil && sc.bodyGround[i] {
+				fr.ground = true
+			}
+			cc.frames = append(cc.frames, fr)
+		}
+	}
+	nArgs := len(sc.clause.Head.Args)
+	cc.head[0] = compileHead(sc, -1)
+	if sc.clause.IsFact() {
+		// Only facts are reachable through the argument switches, so only
+		// they need the skip variants.
+		if nArgs > 0 {
+			cc.head[1] = compileHead(sc, 0)
+		}
+		if nArgs > 1 {
+			cc.head[2] = compileHead(sc, 1)
+		}
+	}
+	if sc.ground {
+		cc.eq[0] = compileEq(sc, -1)
+		if nArgs > 0 {
+			cc.eq[1] = compileEq(sc, 0)
+		}
+		if nArgs > 1 {
+			cc.eq[2] = compileEq(sc, 1)
+		}
+	}
+	return cc
+}
+
+// compileHead emits one instruction per head argument (minus the skipped
+// position). A head variable compiles to opGetVar only at its first executed
+// occurrence — counting occurrences inside earlier compound arguments, since
+// unifying those may already have bound its slot — and to the general
+// unifier afterwards.
+func compileHead(sc *storedClause, skip int) []instr {
+	head := &sc.clause.Head
+	if len(head.Args) == 0 {
+		return nil
+	}
+	out := make([]instr, 0, len(head.Args))
+	var seen map[int32]bool
+	if sc.numVars > 0 {
+		seen = make(map[int32]bool, sc.numVars)
+	}
+	for i := range head.Args {
+		if i == skip {
+			continue
+		}
+		a := &head.Args[i]
+		ins := instr{arg: int32(i), term: a}
+		switch a.Kind {
+		case logic.Atom:
+			ins.op, ins.sym = opGetAtom, a.Sym
+		case logic.Int, logic.Float:
+			ins.op, ins.num = opGetNum, a.Num
+		case logic.Var:
+			if seen[int32(a.Sym)] {
+				ins.op = opUnify
+			} else {
+				ins.op, ins.v = opGetVar, int32(a.Sym)
+			}
+		default:
+			ins.op = opUnify
+		}
+		markVars(*a, seen)
+		out = append(out, ins)
+	}
+	return out
+}
+
+func markVars(t logic.Term, seen map[int32]bool) {
+	switch t.Kind {
+	case logic.Var:
+		seen[int32(t.Sym)] = true
+	case logic.Compound:
+		for i := range t.Args {
+			markVars(t.Args[i], seen)
+		}
+	}
+}
+
+// compileEq emits the equality-only stream for a ground fact head.
+func compileEq(sc *storedClause, skip int) []instr {
+	head := &sc.clause.Head
+	out := make([]instr, 0, len(head.Args))
+	for i := range head.Args {
+		if i == skip {
+			continue
+		}
+		a := &head.Args[i]
+		ins := instr{arg: int32(i), term: a}
+		switch a.Kind {
+		case logic.Atom:
+			ins.op, ins.sym = opEqAtom, a.Sym
+		case logic.Int, logic.Float:
+			ins.op, ins.num = opEqNum, a.Num
+		default:
+			ins.op = opEqTerm
+		}
+		out = append(out, ins)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package solve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// TestCompileOncePerKB pins the sharing contract of the bytecode compiler:
+// however many machines prove against one KB — pool checkouts, the fixed
+// shard view, or a standalone machine — the KB is compiled exactly once,
+// and only a mutation forces a recompile.
+func TestCompileOncePerKB(t *testing.T) {
+	if envNoVM {
+		t.Skip("ILP_NOVM set; nothing compiles")
+	}
+	kb := poolKB(t)
+	if n := kb.Compilations(); n != 0 {
+		t.Fatalf("fresh KB reports %d compilations, want 0", n)
+	}
+	goal, err := logic.ParseTerm("anc(ann, dee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent Get/Put checkouts racing the first compile: exactly one
+	// build must win, everyone shares it.
+	p := NewPool(kb, DefaultBudget, 4)
+	var wg sync.WaitGroup
+	for range 16 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := p.Get()
+			defer p.Put(m)
+			if !m.ProveAtom(goal) {
+				t.Error("proof failed on pooled machine")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := kb.Compilations(); n != 1 {
+		t.Fatalf("after concurrent pool checkouts: %d compilations, want 1", n)
+	}
+
+	// The shard view and an unrelated standalone machine reuse the same
+	// published program.
+	for _, m := range p.Machines() {
+		if !m.ProveAtom(goal) {
+			t.Fatal("proof failed on sharded machine")
+		}
+	}
+	if !NewMachine(kb, DefaultBudget).ProveAtom(goal) {
+		t.Fatal("proof failed on standalone machine")
+	}
+	if n := kb.Compilations(); n != 1 {
+		t.Fatalf("after shard + standalone reuse: %d compilations, want 1", n)
+	}
+
+	// Mutation invalidates; the next query triggers exactly one rebuild.
+	kb.Add(logic.MustParseClause("parent(dee, eve)."))
+	if !NewMachine(kb, DefaultBudget).ProveAtom(goal) {
+		t.Fatal("proof failed after KB.Add")
+	}
+	if n := kb.Compilations(); n != 2 {
+		t.Fatalf("after Add + requery: %d compilations, want 2", n)
+	}
+}
+
+// TestInterpreterDoesNotCompile checks that a -novm machine never touches
+// the compiler: pinning the interpreter must not cost a compilation.
+func TestInterpreterDoesNotCompile(t *testing.T) {
+	kb := poolKB(t)
+	goal, err := logic.ParseTerm("anc(ann, dee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(kb, DefaultBudget)
+	m.SetNoVM(true)
+	if !m.ProveAtom(goal) {
+		t.Fatal("interpreter proof failed")
+	}
+	if envNoVM {
+		// Under ILP_NOVM=1 the VM machine below is also pinned to the
+		// interpreter, so the compile-on-demand half cannot be observed.
+		t.Skip("ILP_NOVM set; compile-on-demand unobservable")
+	}
+	if n := kb.Compilations(); n != 0 {
+		t.Fatalf("interpreter run compiled the KB %d times, want 0", n)
+	}
+	vm := NewMachine(kb, DefaultBudget)
+	if !vm.ProveAtom(goal) {
+		t.Fatal("VM proof failed")
+	}
+	if n := kb.Compilations(); n != 1 {
+		t.Fatalf("VM run: %d compilations, want 1", n)
+	}
+}

@@ -10,6 +10,8 @@ package solve
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -122,6 +124,14 @@ type KB struct {
 	// replaces a map access on the hottest dispatch in the engine.
 	bySym [][]predEntry
 	size  int
+
+	// prog caches the compiled bytecode program (compile.go). It is built
+	// lazily by the first VM-enabled query and shared read-only by every
+	// machine over this KB; Add invalidates it. compiles counts builds so
+	// tests can assert the compile-once-per-KB contract.
+	prog      atomic.Pointer[program]
+	compileMu sync.Mutex
+	compiles  atomic.Int64
 }
 
 // NewKB returns an empty knowledge base.
@@ -150,9 +160,37 @@ func (kb *KB) predFor(goal logic.Term) *pred {
 	return nil
 }
 
+// program returns the compiled form of the KB, building it on first use.
+// The loaded-pointer fast path inlines into the per-query setup; concurrent
+// first callers are safe — one compiles under the mutex, the rest load the
+// published pointer.
+func (kb *KB) program() *program {
+	if p := kb.prog.Load(); p != nil {
+		return p
+	}
+	return kb.compileProgram()
+}
+
+func (kb *KB) compileProgram() *program {
+	kb.compileMu.Lock()
+	defer kb.compileMu.Unlock()
+	if p := kb.prog.Load(); p != nil {
+		return p
+	}
+	p := compileKB(kb)
+	kb.compiles.Add(1)
+	kb.prog.Store(p)
+	return p
+}
+
+// Compilations reports how many times this KB has been compiled to bytecode
+// (for tests asserting the compile-once sharing contract).
+func (kb *KB) Compilations() int64 { return kb.compiles.Load() }
+
 // Add inserts a clause. Facts (empty body) join the indexed store; rules are
 // kept in insertion order and always scanned.
 func (kb *KB) Add(c logic.Clause) {
+	kb.prog.Store(nil) // mutation invalidates the compiled program
 	key := c.Head.Pred()
 	p := kb.preds[key]
 	if p == nil {

@@ -15,18 +15,25 @@ type Budget struct {
 	MaxInferences int64
 }
 
+// The default bounds, defined once: withDefaults, DefaultBudget and any
+// other defaulting site must agree on these numbers.
+const (
+	defaultMaxDepth      = 64
+	defaultMaxInferences = 1 << 20
+)
+
 func (b Budget) withDefaults() Budget {
 	if b.MaxDepth <= 0 {
-		b.MaxDepth = 64
+		b.MaxDepth = defaultMaxDepth
 	}
 	if b.MaxInferences <= 0 {
-		b.MaxInferences = 1 << 20
+		b.MaxInferences = defaultMaxInferences
 	}
 	return b
 }
 
 // DefaultBudget is a generous bound suitable for the bundled datasets.
-var DefaultBudget = Budget{MaxDepth: 64, MaxInferences: 1 << 20}
+var DefaultBudget = Budget{MaxDepth: defaultMaxDepth, MaxInferences: defaultMaxInferences}
 
 // goalFrame is one pending goal on the machine's reusable goal stack. Each
 // frame carries its own resolution depth (clause-body goals deepen while
@@ -41,6 +48,11 @@ type goalFrame struct {
 	// literal as written), enabling the equality-only match against ground
 	// facts without any per-candidate groundness probing.
 	ground bool
+	// cp is the compiled predicate this goal statically resolves to, set
+	// only on frames pushed from compiled clause bodies (the VM path): for
+	// those the negation/variable/builtin dispatch was decided at compile
+	// time. nil means the goal dispatches dynamically.
+	cp *compiledPred
 }
 
 // Machine is a single-goroutine SLD resolution engine over a shared KB.
@@ -56,6 +68,13 @@ type Machine struct {
 	bs     *logic.Bindings
 	budget Budget
 
+	// novm pins the machine to the tree-walking interpreter; by default
+	// queries resolve through the compiled bytecode VM (vm.go). prog is the
+	// compiled program snapshot for the current query, nil on the
+	// interpreter path.
+	novm bool
+	prog *program
+
 	nextVar    int   // next fresh variable index for clause renaming
 	queryInf   int64 // inferences spent in the current query
 	totalInf   int64 // inferences spent since construction/reset
@@ -65,11 +84,17 @@ type Machine struct {
 	stack   []goalFrame  // pending goals; the top is the last element
 	base    int          // stack bottom of the current (sub)proof
 	binArgs []logic.Term // scratch for builtin argument materialization
+
+	// wbuf/wtop form the arena for the VM's per-step goal-argument walk
+	// caches: nested resolution steps carve disjoint windows off wbuf so no
+	// per-step zeroing or allocation happens.
+	wbuf []walked
+	wtop int
 }
 
 // NewMachine returns a machine over kb with the given budget.
 func NewMachine(kb *KB, budget Budget) *Machine {
-	return &Machine{kb: kb, bs: logic.NewBindings(64), budget: budget.withDefaults()}
+	return &Machine{kb: kb, bs: logic.NewBindings(64), budget: budget.withDefaults(), novm: envNoVM}
 }
 
 // KB returns the machine's knowledge base.
@@ -96,12 +121,18 @@ func (m *Machine) ResetCounters() { m.totalInf = 0; m.anyCutoffs = 0 }
 // beginQuery prepares per-query state; vars [0, nVars) are reserved for the
 // caller's goal variables.
 func (m *Machine) beginQuery(nVars int) {
+	if m.novm || m.kb == nil {
+		m.prog = nil
+	} else {
+		m.prog = m.kb.program()
+	}
 	m.bs.Undo(0)
 	m.nextVar = nVars
 	m.queryInf = 0
 	m.budgetHit = false
 	m.stack = m.stack[:0]
 	m.base = 0
+	m.wtop = 0
 }
 
 func (m *Machine) endQuery() {
@@ -217,6 +248,16 @@ func (m *Machine) step(fr goalFrame, k func() bool) bool {
 	if !m.charge() {
 		return true // budget: abandon this branch, enumeration "completes"
 	}
+	if fr.cp != nil {
+		// Statically dispatched compiled goal: the compiler proved it is a
+		// positive non-variable non-builtin atom, so only the depth check
+		// remains before KB resolution.
+		if fr.depth >= int32(m.budget.MaxDepth) {
+			m.budgetHit = true
+			return true
+		}
+		return m.resolveVM(fr.cp, fr.lit.Atom, int(fr.off), fr, k)
+	}
 	g := fr.lit
 	if g.Neg {
 		// Negation as failure: succeed iff the positive goal has no proof.
@@ -252,6 +293,21 @@ func (m *Machine) step(fr goalFrame, k func() bool) bool {
 		m.budgetHit = true
 		return true
 	}
+	if m.prog != nil {
+		cp := m.prog.predFor(atom)
+		if cp == nil {
+			return true
+		}
+		return m.resolveVM(cp, atom, off, fr, k)
+	}
+	return m.resolveInterp(atom, off, fr, k)
+}
+
+// resolveInterp resolves a goal by tree-walking the KB directly: the
+// reference engine the compiled VM (vm.go) must match bit for bit. It stays
+// in-tree behind Settings.NoVM / ILP_NOVM both as the differential-testing
+// oracle and as the fallback path.
+func (m *Machine) resolveInterp(atom logic.Term, off int, fr goalFrame, k func() bool) bool {
 	restTop := len(m.stack)
 	cont := true
 	m.kb.lookup(m.bs, atom, off, func(sc *storedClause, skip int) bool {
