@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/harness"
 )
@@ -41,6 +42,7 @@ func main() {
 		coverPar = flag.Int("coverpar", 0, "shard coverage tests across N goroutines per learner (-1 = all cores, 0/1 = serial); results are identical, wall-clock drops")
 		noBatch  = flag.Bool("nobatch", false, "evaluate search candidates one Coverage call at a time instead of per-node batches (A/B baseline; results are identical)")
 		noVM     = flag.Bool("novm", false, "resolve clauses with the tree-walking interpreter instead of the compiled bytecode VM (A/B baseline; results are identical)")
+		wcodec   = flag.String("wirecodec", "wire", "protocol payload encoding for the simulated cluster: wire (compact symbol-interned frames) or gob (legacy stdlib frames); theories are identical, only the Table 4 byte columns change")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		jsonOut  = flag.String("json", "", "also write the run's machine-readable per-dataset summary (fold means of the Table 2-6 quantities) to this file, or '-' for stdout")
@@ -75,6 +77,10 @@ func main() {
 	}
 
 	procs, err := parseInts(*procsArg)
+	if err != nil {
+		fail(err)
+	}
+	codec, err := cluster.ParseCodec(*wcodec)
 	if err != nil {
 		fail(err)
 	}
@@ -137,6 +143,7 @@ func main() {
 		Seed:             *seed,
 		CoverParallelism: *coverPar,
 		NoBatchEval:      *noBatch,
+		WireCodec:        codec,
 	}
 	progress := os.Stderr
 	if *quiet {

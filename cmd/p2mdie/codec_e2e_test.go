@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCodecByteIdentity is the acceptance bar for the wire codec: on each
+// paper dataset the learned theory must be byte-identical across
+// -wirecodec wire and -wirecodec gob, on both transports. The codec may
+// change every frame on the wire, but never the run.
+func TestCodecByteIdentity(t *testing.T) {
+	bin := binary(t)
+	for _, dataset := range []string{"pyrimidines", "mesh", "carcinogenesis"} {
+		dataset := dataset
+		t.Run(dataset, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			dsArgs := []string{"-dataset", dataset, "-scale", "0.05", "-seed", "1"}
+			simArgs := append(append([]string{}, dsArgs...), "-workers", "2", "-width", "10", "-v", "-q")
+
+			simWire := run(t, ctx, bin, append(append([]string{}, simArgs...), "-wirecodec", "wire")...)
+			simGob := run(t, ctx, bin, append(append([]string{}, simArgs...), "-wirecodec", "gob")...)
+			if a, b := theorySection(t, simWire), theorySection(t, simGob); a != b {
+				t.Fatalf("sim theories differ across codecs on %s:\n--- wire ---\n%s--- gob ---\n%s", dataset, a, b)
+			}
+
+			// TCP under the legacy codec: the master's -wirecodec gob is
+			// negotiated to the workers at join, so only the master carries
+			// the flag.
+			w1 := startWorker(t, ctx, bin, dsArgs)
+			w2 := startWorker(t, ctx, bin, dsArgs)
+			tcpGob := run(t, ctx, bin, append(append([]string{}, dsArgs...),
+				"-master", "-workers", w1.addr+","+w2.addr, "-width", "10",
+				"-wirecodec", "gob", "-v", "-q")...)
+			if err := w1.cmd.Wait(); err != nil {
+				t.Fatalf("worker 1: %v\n%s", err, w1.out.String())
+			}
+			if err := w2.cmd.Wait(); err != nil {
+				t.Fatalf("worker 2: %v\n%s", err, w2.out.String())
+			}
+			if a, b := theorySection(t, simWire), theorySection(t, tcpGob); a != b {
+				t.Fatalf("gob TCP theory differs from wire sim on %s:\n--- sim/wire ---\n%s--- tcp/gob ---\n%s", dataset, a, b)
+			}
+			simShape := shapeRe.FindString(simWire)
+			tcpShape := shapeRe.FindString(tcpGob)
+			if simShape == "" || simShape != tcpShape {
+				t.Fatalf("run shapes differ: sim/wire %q vs tcp/gob %q", simShape, tcpShape)
+			}
+		})
+	}
+}
+
+// TestShapedLinkMatchesLoopback runs master + 2 workers through the
+// userspace link shaper (every process wrapped, symmetric links) and
+// requires the same theory as raw loopback: shaping stretches time, not
+// semantics.
+func TestShapedLinkMatchesLoopback(t *testing.T) {
+	bin := binary(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+	dsArgs := []string{"-dataset", "trains", "-seed", "1"}
+	shapeArg := []string{"-shape", "lat=1ms,bw=200mbit"}
+
+	w1 := startWorker(t, ctx, bin, dsArgs)
+	w2 := startWorker(t, ctx, bin, dsArgs)
+	plainOut := run(t, ctx, bin, append(append([]string{}, dsArgs...),
+		"-master", "-workers", w1.addr+","+w2.addr, "-width", "5", "-v", "-q")...)
+	w1.cmd.Wait()
+	w2.cmd.Wait()
+
+	s1 := startWorker(t, ctx, bin, append(append([]string{}, dsArgs...), shapeArg...))
+	s2 := startWorker(t, ctx, bin, append(append([]string{}, dsArgs...), shapeArg...))
+	shapedOut := run(t, ctx, bin, append(append(append([]string{}, dsArgs...), shapeArg...),
+		"-master", "-workers", s1.addr+","+s2.addr, "-width", "5", "-v", "-q")...)
+	if err := s1.cmd.Wait(); err != nil {
+		t.Fatalf("shaped worker 1: %v\n%s", err, s1.out.String())
+	}
+	if err := s2.cmd.Wait(); err != nil {
+		t.Fatalf("shaped worker 2: %v\n%s", err, s2.out.String())
+	}
+
+	if a, b := theorySection(t, plainOut), theorySection(t, shapedOut); a != b {
+		t.Fatalf("shaped link changed the theory:\n--- loopback ---\n%s--- shaped ---\n%s", a, b)
+	}
+	if a, b := shapeRe.FindString(plainOut), shapeRe.FindString(shapedOut); a == "" || a != b {
+		t.Fatalf("run shapes differ: loopback %q vs shaped %q", a, b)
+	}
+}
+
+// runErr runs the binary expecting a non-zero exit, returning combined
+// output and the exec error.
+func runErr(ctx context.Context, bin string, args ...string) (string, error) {
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+// TestWirecodecFlagRejectsJunk pins the CLI contract.
+func TestWirecodecFlagRejectsJunk(t *testing.T) {
+	bin := binary(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := runErr(ctx, bin, "-dataset", "trains", "-wirecodec", "json", "-q")
+	if err == nil || !strings.Contains(out, "wire") || !strings.Contains(out, "gob") {
+		t.Fatalf("bad -wirecodec accepted: err=%v out=%s", err, out)
+	}
+	out, err = runErr(ctx, bin, "-dataset", "trains", "-shape", "lat=fast", "-q")
+	if err == nil || !strings.Contains(out, "shape") {
+		t.Fatalf("bad -shape accepted: err=%v out=%s", err, out)
+	}
+}

@@ -45,10 +45,21 @@ import (
 	"repro/internal/faultline"
 	"repro/internal/netcluster"
 	"repro/internal/search"
+	"repro/internal/shape"
 	srv "repro/internal/serve"
 
 	ilp "repro"
 )
+
+// defaultCodec lets CI re-run whole test suites under the legacy codec
+// (ILP_WIRECODEC=gob) without threading a flag through every spawn, the
+// same pattern as solve's ILP_NOVM. An explicit -wirecodec still wins.
+func defaultCodec() string {
+	if v := os.Getenv("ILP_WIRECODEC"); v != "" {
+		return v
+	}
+	return "wire"
+}
 
 func main() {
 	var (
@@ -79,13 +90,22 @@ func main() {
 		recvTO   = flag.Duration("recvtimeout", 0, "bound every blocking protocol receive (core.Config.RecvTimeout); 0 = no deadline, rely on the transport's failure detection")
 		hbEvery  = flag.Duration("heartbeat", 0, "TCP per-link heartbeat period (netcluster HeartbeatEvery); 0 = default 500ms")
 		joinTO   = flag.Duration("jointimeout", 0, "TCP join timeout: a worker's wait for the master's welcome and the master's dial retries (netcluster JoinTimeout); 0 = default 60s")
+		wcodec   = flag.String("wirecodec", defaultCodec(), "protocol payload encoding: wire (compact symbol-interned binary, the default) or gob (the original encoding/gob framing, kept for A/B); the master's choice rules the cluster — TCP workers adopt it at join, and a build that does not speak it is refused (default also via ILP_WIRECODEC)")
+		shapeFl  = flag.String("shape", "", "throttle every TCP link in userspace (tc/netem-style, no root needed): comma-separated lat=<duration>,bw=<rate>, e.g. lat=5ms,bw=100mbit; pass the same value to every process for symmetric links. The master's shape also becomes the cluster's virtual-clock cost model, so sim-clock predictions can be checked against measured wall time")
 		verbose  = flag.Bool("v", false, "print the learned theory")
 		quiet    = flag.Bool("q", false, "suppress everything except the metrics line")
 	)
 	flag.Parse()
+	codec, err := cluster.ParseCodec(*wcodec)
+	if err != nil {
+		fail(err)
+	}
+	shp, err := shape.Parse(*shapeFl)
+	if err != nil {
+		fail(err)
+	}
 
 	var ds *ilp.Dataset
-	var err error
 	if *file != "" {
 		var src []byte
 		if src, err = os.ReadFile(*file); err == nil {
@@ -109,6 +129,8 @@ func main() {
 	}
 
 	opts := runOptions{
+		codec:         codec,
+		shape:         shp,
 		recover:       *recov,
 		recvTimeout:   *recvTO,
 		heartbeat:     *hbEvery,
@@ -171,6 +193,8 @@ func main() {
 	} else {
 		met, err := ilp.LearnParallel(ds, workerCount, *width, ilp.ParallelOptions{
 			Seed:             *seed,
+			Cost:             shapeCostModel(shp),
+			WireCodec:        codec,
 			CoverParallelism: *coverPar,
 			Recover:          opts.recover,
 			RecvTimeout:      opts.recvTimeout,
@@ -196,6 +220,8 @@ func main() {
 // deployment modes (README "Timeouts and fault tolerance" documents the
 // defaults).
 type runOptions struct {
+	codec         cluster.Codec
+	shape         shape.Config
 	recover       bool
 	recvTimeout   time.Duration
 	heartbeat     time.Duration
@@ -208,6 +234,40 @@ type runOptions struct {
 	flapAt        int64
 	linkGrace     time.Duration
 	publishDir    string
+}
+
+// applyTransport stamps the codec and link-shaping options onto a
+// netcluster config. With -shape set, every conn (dialed or accepted) is
+// wrapped in the userspace throttle, and on the master the cost model's
+// transfer terms are aligned to the shaped link — workers adopt the
+// master's model at join — so the virtual clock predicts exactly what the
+// throttle enforces. A term -shape leaves out is modelled as free (1 ns
+// latency, ~unbounded bandwidth), matching the unthrottled loopback
+// underneath, rather than falling back to the Beowulf defaults.
+func applyTransport(ncfg netcluster.Config, opts runOptions) netcluster.Config {
+	ncfg.Codec = opts.codec
+	if opts.shape.Enabled() {
+		ncfg.ShapeConn = opts.shape.Wrap
+		ncfg.Model = shapeCostModel(opts.shape)
+	}
+	return ncfg
+}
+
+// shapeCostModel translates a link shape into the cluster cost model with
+// the same transfer terms. Zero when unshaped, so callers fall back to
+// their usual default (the paper's Beowulf model).
+func shapeCostModel(c shape.Config) cluster.CostModel {
+	if !c.Enabled() {
+		return cluster.CostModel{}
+	}
+	m := cluster.CostModel{Latency: c.Latency, BandwidthBps: c.BandwidthBps}
+	if m.Latency <= 0 {
+		m.Latency = time.Nanosecond
+	}
+	if m.BandwidthBps <= 0 {
+		m.BandwidthBps = 1e18
+	}
+	return m
 }
 
 // publishHook builds the core.Config.Publish hook for -publish, or nil when
@@ -259,12 +319,12 @@ func runServe(ds *ilp.Dataset, addr string, coverPar int, opts runOptions, quiet
 		fail(err)
 	}
 	fmt.Printf("p2mdie: worker listening on %s\n", ln.Addr())
-	node, err := netcluster.ServeOn(ln, netcluster.Config{
+	node, err := netcluster.ServeOn(ln, applyTransport(netcluster.Config{
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
 		LinkGrace:      opts.linkGrace,
-	})
+	}, opts))
 	if err != nil {
 		fail(err)
 	}
@@ -293,12 +353,12 @@ func runJoin(ds *ilp.Dataset, masterAddr, listenAddr string, coverPar int, opts 
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
 	}
-	node, err := netcluster.Join(masterAddr, listenAddr, netcluster.Config{
+	node, err := netcluster.Join(masterAddr, listenAddr, applyTransport(netcluster.Config{
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
 		LinkGrace:      opts.linkGrace,
-	})
+	}, opts))
 	if err != nil {
 		fail(err)
 	}
@@ -332,12 +392,12 @@ func runTCPMaster(ds *ilp.Dataset, addrList string, width int, seed int64, traff
 	if !quiet {
 		fmt.Println(ds.String())
 	}
-	ncfg := netcluster.Config{
+	ncfg := applyTransport(netcluster.Config{
 		Fingerprint:    core.Fingerprint(ds.KB, ds.Pos, ds.Neg),
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
 		LinkGrace:      opts.linkGrace,
-	}
+	}, opts)
 	var node *netcluster.Node
 	var err error
 	if opts.listen != "" {
@@ -411,12 +471,12 @@ func runResume(ds *ilp.Dataset, trafficMode string, opts runOptions, verbose, qu
 	if !quiet {
 		fmt.Println(ds.String())
 	}
-	node, err := netcluster.Resume(peers[0], ck.Size(), peers, netcluster.Config{
+	node, err := netcluster.Resume(peers[0], ck.Size(), peers, applyTransport(netcluster.Config{
 		Fingerprint:    fp,
 		HeartbeatEvery: opts.heartbeat,
 		JoinTimeout:    opts.joinTimeout,
 		LinkGrace:      opts.linkGrace,
-	})
+	}, opts))
 	if err != nil {
 		fail(err)
 	}

@@ -1,10 +1,32 @@
 package cluster
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
 
 type benchPayload struct {
 	Indices [][]int32
 	Label   string
+}
+
+func (p benchPayload) AppendWire(w *wire.Writer) {
+	w.Uvarint(uint64(len(p.Indices)))
+	for _, ix := range p.Indices {
+		w.I32s(ix)
+	}
+	w.String(p.Label)
+}
+
+func (p *benchPayload) DecodeWire(r *wire.Reader) {
+	if n := r.Len(); n > 0 {
+		p.Indices = make([][]int32, n)
+		for i := range p.Indices {
+			p.Indices[i] = r.I32s()
+		}
+	}
+	p.Label = r.String()
 }
 
 func BenchmarkSendReceiveRoundTrip(b *testing.B) {

@@ -5,8 +5,9 @@
 //
 // Two things make the simulation quantitative rather than just structural:
 //
-//   - every payload is gob-serialised, so per-message and per-link byte
-//     counts are real (Table 4 reproduces from these), and the receiver
+//   - every payload is serialised (compact wire codec by default, gob
+//     behind -wirecodec gob), so per-message and per-link byte counts
+//     are real (Table 4 reproduces from these), and the receiver
 //     decodes its own deep copy, giving MPI-like value isolation;
 //
 //   - each node carries a virtual clock in the spirit of Lamport: Compute
@@ -89,8 +90,11 @@ type Message struct {
 	From, To int
 	// Kind is an application-level tag used for dispatch.
 	Kind int
-	// Payload is the gob-encoded body.
+	// Payload is the encoded body; Codec says which encoding.
 	Payload []byte
+	// Codec is the encoding the payload was produced with. The transport
+	// that delivered the message stamps it, so Decode needs no guessing.
+	Codec Codec
 	// SendTime is the sender's virtual clock when the send happened.
 	SendTime VTime
 	// Arrive is the virtual arrival time at the receiver.
@@ -99,9 +103,10 @@ type Message struct {
 	Seq int64
 }
 
-// Decode unmarshals the payload into v (a pointer).
+// Decode unmarshals the payload into v (a pointer) using the codec the
+// message was delivered under.
 func (m *Message) Decode(v any) error {
-	return gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(v)
+	return DecodePayload(m.Codec, m.Payload, v)
 }
 
 // mailbox is an unbounded FIFO queue: sends never block (the paper's
@@ -177,6 +182,10 @@ func (mb *mailbox) close() {
 // cluster; it never shrinks — Kill marks nodes dead but keeps their ids.
 type Network struct {
 	model CostModel
+	// codec is the payload encoding every node on this network sends
+	// with. Set once via SetCodec before any node runs; read without
+	// synchronisation on the send path.
+	codec Codec
 	seq   atomic.Int64
 
 	// mu guards the growth state (nodes, per-link counter slices): Spawn
@@ -226,6 +235,14 @@ func (nw *Network) Node(i int) *Node {
 
 // Model returns the cost model in use.
 func (nw *Network) Model() CostModel { return nw.model }
+
+// SetCodec selects the payload encoding (default CodecWire). It must be
+// called before any node sends — the field is read unsynchronised on
+// the delivery hot path.
+func (nw *Network) SetCodec(c Codec) { nw.codec = c }
+
+// Codec returns the payload encoding in use.
+func (nw *Network) Codec() Codec { return nw.codec }
 
 // Spawn adds one fresh node to a running network — the simulated analogue
 // of a machine joining the cluster mid-run. The node starts with a zero
@@ -504,7 +521,8 @@ func (n *Node) ComputeDuration(d time.Duration) {
 	}
 }
 
-// Send gob-encodes v and delivers it to node `to` without blocking.
+// Send encodes v under the network's codec and delivers it to node `to`
+// without blocking.
 // The sender is charged no compute time (sends are asynchronous); the
 // receiver cannot observe the message before its arrival time. A
 // failure-notifying sender (NotifyFailures) gets ErrPeerDown for a
@@ -516,7 +534,7 @@ func (n *Node) Send(to int, kind int, v any) error {
 	if n.notify.Load() && n.nw.isDead(to) {
 		return fmt.Errorf("cluster: send from %d to %d kind %d: %w", n.id, to, kind, ErrPeerDown)
 	}
-	payload, err := encode(v)
+	payload, err := EncodePayload(n.nw.codec, v)
 	if err != nil {
 		return fmt.Errorf("cluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
 	}
@@ -524,11 +542,11 @@ func (n *Node) Send(to int, kind int, v any) error {
 	return nil
 }
 
-// Broadcast sends v to every node in targets (gob-encoded once). Like
+// Broadcast sends v to every node in targets (encoded once). Like
 // Send, a failure-notifying sender gets ErrPeerDown on the first dead
 // target (the live targets before it are delivered).
 func (n *Node) Broadcast(targets []int, kind int, v any) error {
-	payload, err := encode(v)
+	payload, err := EncodePayload(n.nw.codec, v)
 	if err != nil {
 		return fmt.Errorf("cluster: broadcast from %d kind %d: %w", n.id, kind, err)
 	}
@@ -557,6 +575,7 @@ func (n *Node) deliver(to int, kind int, payload []byte) {
 		To:       to,
 		Kind:     kind,
 		Payload:  payload,
+		Codec:    nw.codec,
 		SendTime: sendTime,
 		Arrive:   sendTime + nw.model.transferTime(len(payload)),
 		Seq:      seq,

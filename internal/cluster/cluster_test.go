@@ -4,11 +4,26 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 type ping struct {
 	N    int
 	Text string
+}
+
+// ping speaks both codecs, like every real protocol message, so the
+// transport tests run under the default wire codec. Tests shipping bare
+// strings or ints (which have no wire encoding) pin CodecGob instead.
+func (p ping) AppendWire(w *wire.Writer) {
+	w.Int(p.N)
+	w.String(p.Text)
+}
+
+func (p *ping) DecodeWire(r *wire.Reader) {
+	p.N = r.Int()
+	p.Text = r.String()
 }
 
 func TestSendReceiveRoundTrip(t *testing.T) {
@@ -305,6 +320,7 @@ func TestRingTokenStress(t *testing.T) {
 // and nodes that did not opt in hear nothing.
 func TestSpawnDeliversPeerUpAndGrowsAccounting(t *testing.T) {
 	nw := NewNetwork(2, CostModel{})
+	nw.SetCodec(CodecGob)           // bare string payloads below have no wire encoding
 	nw.Node(0).NotifyFailures(true) // the master opts in; node 1 does not
 
 	joiner := nw.Spawn()

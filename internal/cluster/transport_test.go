@@ -12,6 +12,7 @@ import (
 
 func TestReceiveCtxDeliversAndAdvancesClock(t *testing.T) {
 	nw := NewNetwork(2, CostModel{})
+	nw.SetCodec(CodecGob) // bare string payloads have no wire encoding
 	if err := nw.Node(0).Send(1, 3, "hello"); err != nil {
 		t.Fatal(err)
 	}
@@ -58,6 +59,7 @@ func TestReceiveCtxShutdown(t *testing.T) {
 
 func TestReceiveCtxPrefersQueuedMessageOverExpiredContext(t *testing.T) {
 	nw := NewNetwork(2, CostModel{})
+	nw.SetCodec(CodecGob) // bare int payloads have no wire encoding
 	if err := nw.Node(0).Send(1, 1, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -75,6 +77,7 @@ func TestReceiveCtxPrefersQueuedMessageOverExpiredContext(t *testing.T) {
 
 func TestTrafficTable(t *testing.T) {
 	nw := NewNetwork(3, CostModel{})
+	nw.SetCodec(CodecGob) // bare string payloads have no wire encoding
 	nw.Node(0).Send(1, 0, "x")
 	nw.Node(0).Send(1, 0, "x")
 	nw.Node(1).Send(2, 0, "longer payload")

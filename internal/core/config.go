@@ -117,6 +117,12 @@ type Config struct {
 	// machine with few cores keep the product near GOMAXPROCS or
 	// oversubscription eats the gain.
 	CoverParallelism int
+	// WireCodec selects the payload encoding for protocol messages (the
+	// zero value is the compact wire codec; cluster.CodecGob keeps the
+	// legacy gob framing for A/B). Learned theories are byte-identical
+	// either way — only frame sizes, and therefore the byte accounting
+	// and the virtual transfer times, change.
+	WireCodec cluster.Codec
 	// Trace, when set, observes every simulated cluster event.
 	Trace func(cluster.Event)
 	// Publish, when set, is called by the master at every completed-epoch

@@ -92,8 +92,11 @@ func TestDispatchErrorPaths(t *testing.T) {
 		{
 			name: "truncated stream",
 			inject: func(t *testing.T, r *dispatchRig) {
-				// A payload that is not a gob struct at all: the decode
+				// A payload that is not a protocol struct at all: the decode
 				// fails exactly as it would on a truncated/corrupt frame.
+				// Injected under the gob codec — bare strings have no wire
+				// encoding, and a mis-typed gob payload garbles the same way.
+				r.nw.SetCodec(cluster.CodecGob)
 				r.sendAs(t, 1, kindRules, "not a rules message")
 			},
 			wantErr: "truncated or garbled",
@@ -101,6 +104,7 @@ func TestDispatchErrorPaths(t *testing.T) {
 		{
 			name: "garbled foreign kind",
 			inject: func(t *testing.T, r *dispatchRig) {
+				r.nw.SetCodec(cluster.CodecGob)
 				r.sendAs(t, 1, kindAdopted, 12345)
 			},
 			wantErr: "garbled",

@@ -12,12 +12,12 @@ import (
 	"repro/internal/solve"
 )
 
-// TestMessageGobRoundTrip pins the wire format: every payload type of
-// every p²-mdie message kind must survive a gob round trip unchanged.
-// The simulated transport re-decodes each message anyway (that is what
-// makes its byte accounting real), but a regression here would otherwise
-// only surface as corrupted state on the TCP path between processes.
-func TestMessageGobRoundTrip(t *testing.T) {
+// testPayloads builds one representative payload per message kind, keyed
+// by the kind that carries it, so adding a kind without extending this
+// table fails the kind-count check in the round-trip tests. Both codec
+// round-trip tests (gob here, wire in wiremsg_test.go) and the per-kind
+// encode/decode benchmarks share it.
+func testPayloads() map[int]any {
 	mustTerm := logic.MustParseTerm
 	rule := logic.Clause{
 		Head: mustTerm("active(X)"),
@@ -34,11 +34,7 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		HeadVars: []int32{0},
 		NumVars:  2,
 	}
-
-	// One representative payload per message kind, keyed by the kind that
-	// carries it, so adding a kind without extending this table fails the
-	// length check below.
-	payloads := map[int]any{
+	return map[int]any{
 		kindLoad: loadDataMsg{
 			Round:   1,
 			HasData: true,
@@ -114,6 +110,16 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		kindResumeInfo:   resumeInfoMsg{Epoch: 11, Seq: 15, Gen: 2, Worker: 2, Loaded: true, Reconnects: 1},
 		kindFenced:       fencedMsg{Epoch: 12, Seq: 16, Gen: 3, Worker: 1},
 	}
+}
+
+// TestMessageGobRoundTrip pins the legacy encoding: every payload type of
+// every p²-mdie message kind must survive a gob round trip unchanged.
+// The simulated transport re-decodes each message anyway (that is what
+// makes its byte accounting real), but a regression here would otherwise
+// only surface as corrupted state on the TCP path between processes
+// running -wirecodec gob.
+func TestMessageGobRoundTrip(t *testing.T) {
+	payloads := testPayloads()
 	if got, want := len(payloads), kindFenced+1; got != want {
 		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
 	}
@@ -123,7 +129,7 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("kind %d: encode: %v", kind, err)
 		}
-		msg := cluster.Message{Kind: kind, Payload: enc}
+		msg := cluster.Message{Kind: kind, Payload: enc, Codec: cluster.CodecGob}
 		out := reflect.New(reflect.TypeOf(v)) // decode into a fresh zero value
 		if err := msg.Decode(out.Interface()); err != nil {
 			t.Fatalf("kind %d: decode: %v", kind, err)
@@ -144,7 +150,7 @@ func TestSimLoadMsgDecodesAsLoadData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg := cluster.Message{Kind: kindLoad, Payload: enc}
+	msg := cluster.Message{Kind: kindLoad, Payload: enc, Codec: cluster.CodecGob}
 	var ld loadDataMsg
 	if err := msg.Decode(&ld); err != nil {
 		t.Fatal(err)

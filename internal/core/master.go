@@ -1256,6 +1256,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	posParts, negParts := splitExamples(pos, neg, p, cfg.Seed)
 
 	nw := cluster.NewNetwork(p+1, cfg.Cost)
+	nw.SetCodec(cfg.WireCodec)
 	if cfg.Trace != nil {
 		nw.SetTrace(cfg.Trace)
 	}

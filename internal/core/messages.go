@@ -11,8 +11,10 @@ import (
 )
 
 // Message kinds of the p²-mdie protocol. Master is node 0; workers are
-// nodes 1..p. All payloads are gob-encoded by the cluster substrate, so
-// message sizes in the traffic accounting reflect real serialised content.
+// nodes 1..p. All payloads are encoded by the cluster substrate under the
+// codec in force — the compact wire codec by default, gob behind
+// -wirecodec gob (wiremsg.go holds the wire encoders) — so message sizes
+// in the traffic accounting reflect real serialised content.
 //
 // Since the event-driven master (see DESIGN.md §6), every protocol message
 // after the initial load carries an Epoch tag — the master's re-issue

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bottom"
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/search"
+	"repro/internal/solve"
+)
+
+// sortedKinds returns the payload table's kinds in protocol order so
+// subtests and benchmarks enumerate deterministically.
+func sortedKinds(payloads map[int]any) []int {
+	kinds := make([]int, 0, len(payloads))
+	for k := range payloads {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	return kinds
+}
+
+// TestMessageWireRoundTrip is the wire-codec twin of the gob round-trip
+// test: every payload type of every message kind must survive the compact
+// encoding unchanged, and — since both tests share testPayloads — decode
+// to exactly the value the gob codec yields. That equivalence is what
+// makes -wirecodec a pure transport choice with no semantic footprint.
+func TestMessageWireRoundTrip(t *testing.T) {
+	payloads := testPayloads()
+	if got, want := len(payloads), kindFenced+1; got != want {
+		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
+	}
+
+	for _, kind := range sortedKinds(payloads) {
+		v := payloads[kind]
+		enc, err := cluster.EncodePayload(cluster.CodecWire, v)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", kind, err)
+		}
+		msg := cluster.Message{Kind: kind, Payload: enc, Codec: cluster.CodecWire}
+		out := reflect.New(reflect.TypeOf(v))
+		if err := msg.Decode(out.Interface()); err != nil {
+			t.Fatalf("kind %d: decode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(out.Elem().Interface(), v) {
+			t.Errorf("kind %d round trip mismatch:\n got: %#v\nwant: %#v", kind, out.Elem().Interface(), v)
+		}
+	}
+}
+
+// TestEpochOnlyPartialDecode pins the header-peek path the master's
+// dispatch loop uses: an epochOnly decode of any full worker reply must
+// yield the reply's epoch, whatever the payload's tail holds.
+func TestEpochOnlyPartialDecode(t *testing.T) {
+	for _, v := range []any{
+		evalResultMsg{Epoch: 9, Worker: 2, Pos: []int32{3}},
+		adoptedMsg{Epoch: 17, Worker: 1, Ok: true, Example: logic.MustParseTerm("active(m9)")},
+		gatheredMsg{Epoch: 23, Worker: 2, Inferences: 42},
+		reassignAckMsg{Epoch: 31, Seq: 9, Worker: 3},
+	} {
+		enc, err := cluster.EncodePayload(cluster.CodecWire, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eo epochOnly
+		if err := cluster.DecodePayload(cluster.CodecWire, enc, &eo); err != nil {
+			t.Fatalf("%T: epoch peek: %v", v, err)
+		}
+		want := reflect.ValueOf(v).FieldByName("Epoch").Int()
+		if int64(eo.Epoch) != want {
+			t.Fatalf("%T: peeked epoch %d, want %d", v, eo.Epoch, want)
+		}
+	}
+}
+
+// TestWireDecodeRobustness drags every message kind's encoding through
+// systematic damage: all truncation points and all single-byte
+// corruptions. The decoder must survive each one — an error is fine, a
+// panic or a runaway allocation is not.
+func TestWireDecodeRobustness(t *testing.T) {
+	for _, kind := range sortedKinds(testPayloads()) {
+		v := testPayloads()[kind]
+		enc, err := cluster.EncodePayload(cluster.CodecWire, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ := reflect.TypeOf(v)
+		decode := func(data []byte) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("kind %d: decode panicked on damaged frame: %v", kind, p)
+				}
+			}()
+			_ = cluster.DecodePayload(cluster.CodecWire, data, reflect.New(typ).Interface())
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			decode(enc[:cut])
+		}
+		garbled := append([]byte(nil), enc...)
+		for i := range garbled {
+			orig := garbled[i]
+			garbled[i] ^= 0xff
+			decode(garbled)
+			garbled[i] = orig
+		}
+	}
+}
+
+// FuzzWireRoundTrip pins the wire codec against gob at the byte level for
+// every message kind: any frame the wire decoder accepts must re-encode
+// to a fixed point, and a gob round trip of the decoded value must
+// re-encode to the same wire bytes. Comparing encodings rather than
+// values keeps NaN-carrying floats (DeepEqual-hostile, bit-preserved by
+// both codecs) honest.
+func FuzzWireRoundTrip(f *testing.F) {
+	payloads := testPayloads()
+	for _, kind := range sortedKinds(payloads) {
+		enc, err := cluster.EncodePayload(cluster.CodecWire, payloads[kind])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(kind, enc)
+	}
+	f.Fuzz(func(t *testing.T, kind int, data []byte) {
+		proto, ok := payloads[kind]
+		if !ok {
+			return
+		}
+		typ := reflect.TypeOf(proto)
+		out := reflect.New(typ)
+		if err := cluster.DecodePayload(cluster.CodecWire, data, out.Interface()); err != nil {
+			return
+		}
+		v := out.Elem().Interface()
+		enc1, err := cluster.EncodePayload(cluster.CodecWire, v)
+		if err != nil {
+			t.Fatalf("re-encode of accepted value: %v", err)
+		}
+		out2 := reflect.New(typ)
+		if err := cluster.DecodePayload(cluster.CodecWire, enc1, out2.Interface()); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		enc2, err := cluster.EncodePayload(cluster.CodecWire, out2.Elem().Interface())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("wire encoding is not a fixed point for kind %d", kind)
+		}
+		// Cross-codec: ship the same value through gob and back; it must
+		// carry the identical information, i.e. re-encode to enc1.
+		gobEnc, err := cluster.EncodePayload(cluster.CodecGob, v)
+		if err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		out3 := reflect.New(typ)
+		if err := cluster.DecodePayload(cluster.CodecGob, gobEnc, out3.Interface()); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		enc3, err := cluster.EncodePayload(cluster.CodecWire, out3.Elem().Interface())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc3) {
+			t.Fatalf("gob round trip changed the value for kind %d", kind)
+		}
+	})
+}
+
+// bulkLoadMsg builds a kindLoad shipment at realistic scale: the paper's
+// smaller datasets ship hundreds of examples per worker in one frame.
+func bulkLoadMsg(n int) loadDataMsg {
+	pos := make([]logic.Term, n)
+	neg := make([]logic.Term, n*3/4)
+	for i := range pos {
+		pos[i] = logic.MustParseTerm(fmt.Sprintf("active(mol_p%d)", i))
+	}
+	for i := range neg {
+		neg[i] = logic.MustParseTerm(fmt.Sprintf("active(mol_n%d)", i))
+	}
+	return loadDataMsg{
+		Round:         1,
+		HasData:       true,
+		Pos:           pos,
+		Neg:           neg,
+		Width:         10,
+		Search:        search.Settings{MaxClauseLen: 4, NodesLimit: 5000, MinPos: 2, MinPrec: 0.7, W: 10, MEstimateM: 2, PosPrior: 0.5}.WithDefaults(),
+		Bottom:        bottom.Options{VarDepth: 3, MaxLiterals: 64, MaxRecall: 32},
+		Budget:        solve.Budget{MaxDepth: 64, MaxInferences: 1 << 20},
+		Checkpoint:    true,
+		OrphanTimeout: 30 * time.Second,
+	}
+}
+
+// TestWireLoadFrameShrinks pins the headline win the codec was built
+// for: a kindLoad-class bulk shipment must be at least 3x smaller on the
+// wire codec (varints + interned symbols + flate) than under gob.
+func TestWireLoadFrameShrinks(t *testing.T) {
+	lm := bulkLoadMsg(500)
+	gobEnc, err := cluster.EncodePayload(cluster.CodecGob, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireEnc, err := cluster.EncodePayload(cluster.CodecWire, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kindLoad %d examples: gob=%d bytes, wire=%d bytes (%.1fx)",
+		len(lm.Pos)+len(lm.Neg), len(gobEnc), len(wireEnc), float64(len(gobEnc))/float64(len(wireEnc)))
+	if len(gobEnc) < 3*len(wireEnc) {
+		t.Fatalf("wire kindLoad frame %d bytes, gob %d: want >= 3x reduction", len(wireEnc), len(gobEnc))
+	}
+	// And it still round-trips exactly.
+	var out loadDataMsg
+	if err := cluster.DecodePayload(cluster.CodecWire, wireEnc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, lm) {
+		t.Fatal("bulk kindLoad round trip mismatch")
+	}
+}
+
+// BenchmarkEncode measures per-kind encode cost under both codecs; the
+// bytes/op metric doubles as the size comparison CI's bench-smoke logs.
+func BenchmarkEncode(b *testing.B) {
+	payloads := testPayloads()
+	payloads[kindLoad] = bulkLoadMsg(500) // bench the bulk shipment at scale
+	for _, codec := range []cluster.Codec{cluster.CodecWire, cluster.CodecGob} {
+		for _, kind := range sortedKinds(payloads) {
+			v := payloads[kind]
+			b.Run(fmt.Sprintf("%s/kind%02d", codec, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				var n int
+				for i := 0; i < b.N; i++ {
+					enc, err := cluster.EncodePayload(codec, v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					n = len(enc)
+				}
+				b.ReportMetric(float64(n), "bytes/op")
+			})
+		}
+	}
+}
+
+// BenchmarkDecode measures per-kind decode cost under both codecs.
+func BenchmarkDecode(b *testing.B) {
+	payloads := testPayloads()
+	payloads[kindLoad] = bulkLoadMsg(500)
+	for _, codec := range []cluster.Codec{cluster.CodecWire, cluster.CodecGob} {
+		for _, kind := range sortedKinds(payloads) {
+			v := payloads[kind]
+			enc, err := cluster.EncodePayload(codec, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			typ := reflect.TypeOf(v)
+			b.Run(fmt.Sprintf("%s/kind%02d", codec, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(float64(len(enc)), "bytes/op")
+				for i := 0; i < b.N; i++ {
+					if err := cluster.DecodePayload(codec, enc, reflect.New(typ).Interface()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,9 +8,13 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/wire"
 )
 
 type payload struct{ N int }
+
+func (p payload) AppendWire(w *wire.Writer)  { w.Int(p.N) }
+func (p *payload) DecodeWire(r *wire.Reader) { p.N = r.Int() }
 
 func recvOne(t *testing.T, tr cluster.Transport) (cluster.Message, error) {
 	t.Helper()

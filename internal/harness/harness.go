@@ -51,6 +51,10 @@ type Config struct {
 	// identical, only per-node synchronisation cost changes. Kept for A/B
 	// measurement of the batch path.
 	NoBatchEval bool
+	// WireCodec selects the protocol payload encoding (zero value = the
+	// compact wire codec, cluster.CodecGob = the legacy stdlib frames).
+	// Theories are byte-identical either way; only Comm/Links change.
+	WireCodec cluster.Codec
 }
 
 // WithDefaults fills the paper's protocol values.
@@ -185,6 +189,7 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 						Budget:  ds.Budget,
 						Cost:    cfg.Cost,
 
+						WireCodec:        cfg.WireCodec,
 						CoverParallelism: cfg.CoverParallelism,
 					})
 					if err != nil {

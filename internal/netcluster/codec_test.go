@@ -1,0 +1,154 @@
+package netcluster
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestCodecGobCluster pins the -wirecodec gob escape hatch: a cluster
+// negotiated onto the legacy codec exchanges payloads intact and accounts
+// gob-sized frames.
+func TestCodecGobCluster(t *testing.T) {
+	master, workers := startCluster(t, 1, Config{Codec: cluster.CodecGob})
+	if err := master.Send(1, 7, payload{N: 5, S: "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msg, err := workers[1].ReceiveCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Codec != cluster.CodecGob {
+		t.Fatalf("delivered codec %v, want gob", msg.Codec)
+	}
+	var pl payload
+	if err := msg.Decode(&pl); err != nil {
+		t.Fatal(err)
+	}
+	if pl.N != 5 || pl.S != "legacy" {
+		t.Fatalf("payload corrupted: %+v", pl)
+	}
+	enc, err := cluster.EncodePayload(cluster.CodecGob, payload{N: 5, S: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := master.Traffic().LinkBytes(0, 1); got != int64(len(enc)) {
+		t.Fatalf("link bytes %d, want gob frame size %d", got, len(enc))
+	}
+}
+
+// TestSimTCPByteParity pins the cost-model honesty property the codec
+// work hinges on: the same logical message, under the same codec, must
+// account the same frame bytes on the simulated transport and on TCP —
+// otherwise sim-clock predictions and measured runs drift apart.
+func TestSimTCPByteParity(t *testing.T) {
+	for _, codec := range []cluster.Codec{cluster.CodecWire, cluster.CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			pl := payload{N: 123456, S: "parity across transports"}
+
+			nw := cluster.NewNetwork(2, cluster.CostModel{})
+			nw.SetCodec(codec)
+			if err := nw.Node(0).Send(1, 7, pl); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := nw.Node(1).Receive(); !ok {
+				t.Fatal("sim receive failed")
+			}
+			simBytes := nw.LinkBytes(0, 1)
+
+			master, workers := startCluster(t, 1, Config{Codec: codec})
+			if err := master.Send(1, 7, pl); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := workers[1].ReceiveCtx(ctx); err != nil {
+				t.Fatal(err)
+			}
+			tcpBytes := master.Traffic().LinkBytes(0, 1)
+
+			if simBytes != tcpBytes || simBytes <= 0 {
+				t.Fatalf("%v: sim accounts %d bytes, TCP %d — transports disagree", codec, simBytes, tcpBytes)
+			}
+		})
+	}
+}
+
+// TestWorkerRefusesLegacyMaster pins join-time refusal from the worker
+// side: a master whose welcome carries no negotiation byte (a pre-codec
+// build) must be rejected with a loud error, not decoded on faith.
+func TestWorkerRefusesLegacyMaster(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := ServeOn(ln, Config{Fingerprint: 7, JoinTimeout: 10 * time.Second})
+		serveErr <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A legacy master's welcome: right fingerprint, no codec byte.
+	welcome := &frame{Ctrl: ctrlWelcome, NodeID: 1, Nodes: 2, Peers: []string{"", ln.Addr().String()}, Fingerprint: 7}
+	if err := writeFrame(conn, welcome); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ack, err := readFrame(conn, 1<<20)
+	if err != nil {
+		t.Fatalf("reject ack: %v", err)
+	}
+	if ack.Ctrl != ctrlWelcomeAck || ack.Err == "" || !strings.Contains(ack.Err, "codec") {
+		t.Fatalf("want codec rejection ack, got ctrl %d err %q", ack.Ctrl, ack.Err)
+	}
+	select {
+	case err := <-serveErr:
+		if err == nil || !strings.Contains(err.Error(), "mixed-version") {
+			t.Fatalf("ServeOn error = %v, want mixed-version refusal", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeOn did not return")
+	}
+}
+
+// TestMasterRefusesUnconfirmedCodec pins the master side: a worker whose
+// join ack fails to echo the offered codec byte aborts the whole join.
+func TestMasterRefusesUnconfirmedCodec(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		f, err := readFrame(conn, 1<<20)
+		if err != nil || f.Ctrl != ctrlWelcome {
+			return
+		}
+		if want := codecByte(cluster.CodecWire); f.Codec != want {
+			t.Errorf("welcome codec byte %d, want %d", f.Codec, want)
+		}
+		// A pre-codec worker build echoes fingerprint but no codec byte.
+		writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: f.Fingerprint})
+	}()
+
+	_, err = Connect([]string{ln.Addr().String()}, Config{Fingerprint: 7, JoinTimeout: 10 * time.Second})
+	if err == nil || !strings.Contains(err.Error(), "mixed-version") {
+		t.Fatalf("Connect error = %v, want mixed-version refusal", err)
+	}
+}

@@ -59,6 +59,7 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			n.Abort() // a failed join is a failure, not an orderly departure
 			return nil, fmt.Errorf("netcluster: worker %d at %s: %w", k, workerAddrs[k-1], err)
 		}
+		conn = cfg.wrapConn(conn)
 		sess := n.newSession(workerAddrs[k-1])
 		welcome := &frame{
 			Ctrl:        ctrlWelcome,
@@ -68,6 +69,7 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			Fingerprint: cfg.Fingerprint,
 			Model:       cfg.Model,
 			Session:     sess.sid,
+			Codec:       codecByte(cfg.Codec),
 		}
 		if err := writeFrame(conn, welcome); err != nil {
 			conn.Close()
@@ -97,6 +99,12 @@ func connect(ln net.Listener, workerAddrs []string, cfg Config) (*Node, error) {
 			n.Abort() // a failed join is a failure, not an orderly departure
 			return nil, fmt.Errorf("netcluster: worker %d fingerprint %x does not match master %x (different dataset or settings loaded)",
 				k, ack.Fingerprint, cfg.Fingerprint)
+		}
+		if ack.Codec != codecByte(cfg.Codec) {
+			conn.Close()
+			n.Abort() // a failed join is a failure, not an orderly departure
+			return nil, fmt.Errorf("netcluster: worker %d did not confirm codec %q (negotiation byte %d, want %d) — mixed-version cluster refused; rebuild the worker or run the master with -wirecodec gob",
+				k, cfg.Codec, ack.Codec, codecByte(cfg.Codec))
 		}
 		if _, err := n.registerLink(k, conn, true, sess); err != nil {
 			conn.Close()
@@ -204,6 +212,7 @@ func ServeOn(ln net.Listener, cfg Config) (*Node, error) {
 			ln.Close()
 			return nil, fmt.Errorf("netcluster: waiting for master on %s: %w", ln.Addr(), err)
 		}
+		conn = cfg.wrapConn(conn)
 		conn.SetReadDeadline(joinDeadline)
 		f, err := readFrame(conn, cfg.MaxFrameBytes)
 		conn.SetReadDeadline(time.Time{})
@@ -228,12 +237,22 @@ func ServeOn(ln net.Listener, cfg Config) (*Node, error) {
 			ln.Close()
 			return nil, fmt.Errorf("netcluster: master fingerprint %x does not match ours %x", f.Fingerprint, cfg.Fingerprint)
 		}
+		codec, ok := codecFromByte(f.Codec)
+		if !ok {
+			reject := &frame{Ctrl: ctrlWelcomeAck, Err: fmt.Sprintf(
+				"codec negotiation byte %d not understood (master speaks a codec this build does not)", f.Codec)}
+			writeFrame(conn, reject)
+			conn.Close()
+			ln.Close()
+			return nil, fmt.Errorf("netcluster: master offered codec byte %d this build does not speak — mixed-version cluster refused", f.Codec)
+		}
 		n.id = int(f.NodeID)
 		n.size = int(f.Nodes)
 		n.peers = f.Peers
 		n.cfg.Model = f.Model.WithDefaults()
+		n.cfg.Codec = codec // the master's codec rules cluster-wide, like Model
 		n.tr = cluster.NewTraffic(n.size)
-		if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint}); err != nil {
+		if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint, Codec: codecByte(codec)}); err != nil {
 			conn.Close()
 			ln.Close()
 			return nil, fmt.Errorf("netcluster: join ack: %w", err)
@@ -280,6 +299,7 @@ func (n *Node) acceptLoop() {
 			conn.Close()
 			return
 		}
+		conn = n.cfg.wrapConn(conn)
 		n.pending[conn] = struct{}{}
 		n.mu.Unlock()
 		n.wg.Add(1)
@@ -344,6 +364,15 @@ func (n *Node) acceptPeer(conn net.Conn, f *frame) {
 		conn.Close()
 		n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d fingerprint %x does not match ours %x",
 			n.id, f.From, f.Fingerprint, n.cfg.Fingerprint))
+		return
+	}
+	if f.Codec != codecByte(n.cfg.Codec) {
+		// Every member adopted the master's codec at join, so a mismatched
+		// hello is a build that negotiated nothing (byte 0) or a different
+		// cluster — either way its payloads would be undecodable.
+		conn.Close()
+		n.inbox.fail(fmt.Errorf("netcluster: node %d: peer %d codec byte %d does not match negotiated %q (byte %d) — mixed-version cluster refused",
+			n.id, f.From, f.Codec, n.cfg.Codec, codecByte(n.cfg.Codec)))
 		return
 	}
 	// Receive-only: data to this peer goes out on a link we dial ourselves.
@@ -419,6 +448,7 @@ func (n *Node) acceptJoin(conn net.Conn, f *frame) {
 		Peers:       peers,
 		Fingerprint: n.cfg.Fingerprint,
 		Model:       n.cfg.Model,
+		Codec:       codecByte(n.cfg.Codec),
 	}
 	if err := writeFrame(conn, welcome); err != nil {
 		conn.Close()
@@ -427,7 +457,7 @@ func (n *Node) acceptJoin(conn net.Conn, f *frame) {
 	conn.SetReadDeadline(time.Now().Add(n.cfg.JoinTimeout))
 	ack, err := readFrame(conn, n.cfg.MaxFrameBytes)
 	conn.SetReadDeadline(time.Time{})
-	if err != nil || ack.Ctrl != ctrlWelcomeAck || ack.Err != "" || ack.Fingerprint != n.cfg.Fingerprint {
+	if err != nil || ack.Ctrl != ctrlWelcomeAck || ack.Err != "" || ack.Fingerprint != n.cfg.Fingerprint || ack.Codec != codecByte(n.cfg.Codec) {
 		conn.Close()
 		return
 	}
@@ -502,6 +532,7 @@ func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
 	if err != nil {
 		return fail(fmt.Errorf("netcluster: join master at %s: %w", masterAddr, err))
 	}
+	conn = cfg.wrapConn(conn)
 	sess := linkSession{}
 	if cfg.LinkGrace > 0 {
 		sess = linkSession{sid: newSessionID(), dialer: true, addr: masterAddr}
@@ -531,6 +562,11 @@ func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
 		return fail(fmt.Errorf("netcluster: master fingerprint %x does not match ours %x (different dataset or settings loaded)",
 			f.Fingerprint, cfg.Fingerprint))
 	}
+	codec, ok := codecFromByte(f.Codec)
+	if !ok {
+		conn.Close()
+		return fail(fmt.Errorf("netcluster: master offered codec byte %d this build does not speak — mixed-version cluster refused", f.Codec))
+	}
 	n := &Node{
 		id:      int(f.NodeID),
 		size:    int(f.Nodes),
@@ -544,7 +580,8 @@ func JoinOn(ln net.Listener, masterAddr string, cfg Config) (*Node, error) {
 		done:    make(chan struct{}),
 	}
 	n.cfg.Model = f.Model.WithDefaults()
-	if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint}); err != nil {
+	n.cfg.Codec = codec // adopt the running cluster's codec
+	if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: f.NodeID, Fingerprint: cfg.Fingerprint, Codec: codecByte(codec)}); err != nil {
 		conn.Close()
 		return fail(fmt.Errorf("netcluster: join ack: %w", err))
 	}

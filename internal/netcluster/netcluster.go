@@ -1,7 +1,7 @@
 // Package netcluster implements the cluster.Transport abstraction over
 // real TCP connections, turning the simulated p²-mdie cluster into a
 // multi-process deployment: one master process and p worker processes,
-// exchanging the same gob-encoded protocol messages the simulation
+// exchanging the same encoded protocol messages the simulation
 // exchanges in memory (the paper's LAM/MPI Beowulf run, §5).
 //
 // Topology and handshake: every worker listens (`p2mdie -serve`); the
@@ -10,11 +10,16 @@
 // Worker-to-worker pipeline links (the kindStage ring) are dialed lazily on
 // first send using the address book. Both ends of the join exchange
 // dataset fingerprints, so a worker loaded with different data — which
-// would silently desynchronise the interned symbol tables the gob payloads
+// would silently desynchronise the interned symbol tables the payloads
 // reference — is rejected at join time instead of corrupting the run.
+// The welcome also negotiates the payload codec (compact wire encoding
+// by default, gob behind -wirecodec gob): the master offers its codec,
+// the worker adopts and echoes it, and a build that does not speak the
+// offered codec is refused at join time rather than desynchronising
+// mid-run.
 //
 // Accounting matches the simulation exactly: payloads are encoded with the
-// same cluster.Encode, per-link byte/message counters cover payload bytes
+// same cluster.EncodePayload, per-link byte/message counters cover payload bytes
 // only (framing and heartbeats excluded), and each node carries the same
 // cost-model virtual clock — Compute advances it by measured work, a
 // received message advances it to the sender's clock plus latency plus
@@ -72,6 +77,23 @@ type Config struct {
 	// longer than the window the ring covers — escalates like a link
 	// failure. Default 4096.
 	MaxRetainedFrames int
+	// Codec is the payload encoding (default cluster.CodecWire). Like
+	// Model, the master's choice rules: it is offered in the welcome
+	// handshake, workers adopt it, and a build that does not speak it is
+	// refused at join time rather than desynchronising mid-run.
+	Codec cluster.Codec
+	// ShapeConn, when non-nil, wraps every TCP connection this node
+	// creates or accepts — the hook the shaped-link harness
+	// (internal/shape) uses to impose latency/bandwidth without root.
+	ShapeConn func(net.Conn) net.Conn
+}
+
+// wrapConn applies the ShapeConn hook, if any.
+func (c Config) wrapConn(conn net.Conn) net.Conn {
+	if c.ShapeConn != nil {
+		return c.ShapeConn(conn)
+	}
+	return conn
 }
 
 func (c Config) withDefaults() Config {
@@ -357,10 +379,11 @@ func (n *Node) applyPeerUpdate(f *frame) {
 	n.trMu.Unlock()
 }
 
-// Send gob-encodes v and ships it to node to. Sends to self loop through
-// the inbox without touching the network, as in the simulation.
+// Send encodes v under the negotiated codec and ships it to node to.
+// Sends to self loop through the inbox without touching the network, as
+// in the simulation.
 func (n *Node) Send(to int, kind int, v any) error {
-	payload, err := cluster.Encode(v)
+	payload, err := cluster.EncodePayload(n.cfg.Codec, v)
 	if err != nil {
 		return fmt.Errorf("netcluster: send from %d to %d kind %d: %w", n.id, to, kind, err)
 	}
@@ -369,7 +392,7 @@ func (n *Node) Send(to int, kind int, v any) error {
 
 // Broadcast sends v to every node in targets, encoding once.
 func (n *Node) Broadcast(targets []int, kind int, v any) error {
-	payload, err := cluster.Encode(v)
+	payload, err := cluster.EncodePayload(n.cfg.Codec, v)
 	if err != nil {
 		return fmt.Errorf("netcluster: broadcast from %d kind %d: %w", n.id, kind, err)
 	}
@@ -395,7 +418,7 @@ func (n *Node) sendPayload(to, kind int, payload []byte) error {
 	n.account(to, len(payload))
 	if to == n.id {
 		n.inbox.put(cluster.Message{
-			From: n.id, To: to, Kind: kind, Payload: payload,
+			From: n.id, To: to, Kind: kind, Payload: payload, Codec: n.cfg.Codec,
 			SendTime: sendTime, Arrive: sendTime + n.cfg.Model.TransferTime(len(payload)),
 		})
 		return nil
@@ -561,8 +584,9 @@ func (n *Node) linkTo(peer int) (*link, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcluster: dial node %d at %s: %w", peer, addr, err)
 	}
+	conn = n.cfg.wrapConn(conn)
 	sess := n.newSession(addr)
-	hello := &frame{Ctrl: ctrlHello, From: int32(n.id), Fingerprint: n.cfg.Fingerprint, Session: sess.sid}
+	hello := &frame{Ctrl: ctrlHello, From: int32(n.id), Fingerprint: n.cfg.Fingerprint, Session: sess.sid, Codec: codecByte(n.cfg.Codec)}
 	if err := writeFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netcluster: hello to node %d: %w", peer, err)
@@ -597,7 +621,7 @@ func (n *Node) readLoop(l *link, conn net.Conn) {
 			}
 			sendTime := cluster.VTime(f.SendTime)
 			n.inbox.put(cluster.Message{
-				From: int(f.From), To: int(f.To), Kind: int(f.Kind), Payload: f.Payload,
+				From: int(f.From), To: int(f.To), Kind: int(f.Kind), Payload: f.Payload, Codec: n.cfg.Codec,
 				SendTime: sendTime, Arrive: sendTime + n.cfg.Model.TransferTime(len(f.Payload)),
 			})
 		case ctrlHeartbeat:

@@ -106,6 +106,7 @@ func (n *Node) acceptRejoin(conn net.Conn, f *frame) {
 		Peers:       append([]string(nil), n.peers...),
 		Fingerprint: n.cfg.Fingerprint,
 		Model:       n.cfg.Model,
+		Codec:       codecByte(n.cfg.Codec),
 	}
 	n.mu.Unlock()
 	if err := writeFrame(conn, welcome); err != nil {
@@ -115,7 +116,7 @@ func (n *Node) acceptRejoin(conn net.Conn, f *frame) {
 	conn.SetReadDeadline(time.Now().Add(n.cfg.JoinTimeout))
 	ack, err := readFrame(conn, n.cfg.MaxFrameBytes)
 	conn.SetReadDeadline(time.Time{})
-	if err != nil || ack.Ctrl != ctrlWelcomeAck || ack.Err != "" || ack.Fingerprint != n.cfg.Fingerprint {
+	if err != nil || ack.Ctrl != ctrlWelcomeAck || ack.Err != "" || ack.Fingerprint != n.cfg.Fingerprint || ack.Codec != codecByte(n.cfg.Codec) {
 		conn.Close()
 		return
 	}
@@ -188,6 +189,7 @@ func (n *Node) tryRejoin(addr string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	conn = n.cfg.wrapConn(conn)
 	sess := n.newSession(addr)
 	req := &frame{Ctrl: ctrlRejoinReq, From: int32(n.id), Addr: n.Addr(), Fingerprint: n.cfg.Fingerprint, Session: sess.sid}
 	if err := writeFrame(conn, req); err != nil {
@@ -213,7 +215,13 @@ func (n *Node) tryRejoin(addr string) (bool, error) {
 		conn.Close()
 		return true, fmt.Errorf("master fingerprint %x does not match ours %x", f.Fingerprint, n.cfg.Fingerprint)
 	}
-	if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: int32(n.id), Fingerprint: n.cfg.Fingerprint}); err != nil {
+	codec, ok := codecFromByte(f.Codec)
+	if !ok {
+		conn.Close()
+		return true, fmt.Errorf("restarted master offered codec byte %d this build does not speak — mixed-version cluster refused", f.Codec)
+	}
+	n.cfg.Codec = codec // re-adopt: the (possibly re-flagged) master rules
+	if err := writeFrame(conn, &frame{Ctrl: ctrlWelcomeAck, From: int32(n.id), Fingerprint: n.cfg.Fingerprint, Codec: codecByte(codec)}); err != nil {
 		conn.Close()
 		return false, err
 	}

@@ -232,6 +232,7 @@ func (n *Node) reconnectLoop(l *link, flap int, cause error) {
 			lastErr = err
 			continue
 		}
+		conn = n.cfg.wrapConn(conn)
 		perm, err := n.tryLinkResume(l, flap, conn)
 		if err == nil {
 			return

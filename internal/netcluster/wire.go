@@ -98,6 +98,30 @@ type frame struct {
 	Fingerprint uint64
 	Model       cluster.CostModel
 	Err         string
+
+	// Codec negotiates the payload encoding: cluster.Codec value + 1, so
+	// zero — the gob default for a frame from a binary that predates
+	// negotiation — is distinguishable from an explicit choice and the
+	// handshake can refuse mixed-version clusters outright. Carried on
+	// ctrlWelcome (offer), ctrlWelcomeAck (echo) and ctrlHello (peer
+	// dials assert the cluster-wide codec).
+	Codec uint8
+}
+
+// codecByte maps a codec onto its negotiation byte (value + 1; 0 is
+// reserved for "absent").
+func codecByte(c cluster.Codec) uint8 { return uint8(c) + 1 }
+
+// codecFromByte inverts codecByte, reporting whether the byte names a
+// codec this build speaks.
+func codecFromByte(b uint8) (cluster.Codec, bool) {
+	switch b {
+	case codecByte(cluster.CodecWire):
+		return cluster.CodecWire, true
+	case codecByte(cluster.CodecGob):
+		return cluster.CodecGob, true
+	}
+	return 0, false
 }
 
 const lenPrefixSize = 4

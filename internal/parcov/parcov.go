@@ -39,6 +39,9 @@ type Config struct {
 	Budget solve.Budget
 	// Cost is the simulated cluster cost model.
 	Cost cluster.CostModel
+	// WireCodec selects the payload encoding (zero = compact wire codec,
+	// cluster.CodecGob = legacy gob), as in core.Config.
+	WireCodec cluster.Codec
 	// MaxRules bounds the covering loop. ≤0 means 1000.
 	MaxRules int
 }
@@ -499,6 +502,7 @@ func Learn(kb *solve.KB, pos, neg []logic.Term, ms *mode.Set, cfg Config) (*Metr
 	}
 	p := cfg.Workers
 	nw := cluster.NewNetwork(p+1, cfg.Cost)
+	nw.SetCodec(cfg.WireCodec)
 
 	// Partition examples (same seeded scheme as p²-mdie).
 	posParts := dealOut(len(pos), p, cfg.Seed)

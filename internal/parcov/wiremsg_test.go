@@ -1,0 +1,85 @@
+package parcov
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/logic"
+	"repro/internal/solve"
+)
+
+// parcovPayloads is the coverage protocol's counterpart of core's
+// testPayloads: one representative payload per message kind, so the
+// round-trip tests fail on any kind added without a wire encoding.
+func parcovPayloads() map[int]any {
+	mustTerm := logic.MustParseTerm
+	rule := logic.Clause{
+		Head: mustTerm("active(X)"),
+		Body: []logic.Literal{logic.Lit(mustTerm("atm(X, Y, oxygen)"))},
+	}
+	return map[int]any{
+		kindEval:        evalMsg{Seq: 3, Rule: rule, PosCand: []uint64{0xff, 0}, NegCand: []uint64{1}, HasCand: true},
+		kindEvalResult:  evalResultMsg{Seq: 3, Worker: 2, Pos: []uint64{0x0f}, Neg: []uint64{0}},
+		kindRetractRule: retractRuleMsg{Rule: rule},
+		kindRetractOne:  retractOneMsg{Example: mustTerm("active(m7)")},
+		kindStop:        stopMsg{},
+		kindLoad: loadMsg{
+			Pos:    []logic.Term{mustTerm("active(m1)"), mustTerm("active(m2)")},
+			Neg:    []logic.Term{mustTerm("active(m3)")},
+			Budget: solve.Budget{MaxDepth: 32, MaxInferences: 1 << 16},
+			NoVM:   true,
+		},
+		kindFinal: finalMsg{
+			Worker:     1,
+			Inferences: 4242,
+			Clock:      987654321,
+			Traffic:    cluster.Traffic{N: 2, Bytes: []int64{0, 1, 2, 3}, Msgs: []int64{0, 1, 1, 0}},
+		},
+		kindEvalBatch: evalBatchMsg{
+			Seq:      9,
+			Rules:    []logic.Clause{rule, {Head: mustTerm("active(Y)")}},
+			PosCands: [][]uint64{{0xff}, nil},
+			NegCands: [][]uint64{{1, 2}, nil},
+			HasCand:  []bool{true, false},
+		},
+		kindEvalBatchResult: evalBatchResultMsg{
+			Seq:    9,
+			Worker: 2,
+			Pos:    [][]uint64{{0x07}, {0}},
+			Neg:    [][]uint64{{0}, {0x70}},
+		},
+	}
+}
+
+// TestParcovWireRoundTrip pins every parcov message kind under both
+// codecs: the wire decode must reproduce exactly the value gob produces.
+func TestParcovWireRoundTrip(t *testing.T) {
+	payloads := parcovPayloads()
+	if got, want := len(payloads), kindEvalBatchResult+1; got != want {
+		t.Fatalf("payload table covers %d kinds, protocol has %d — extend the table", got, want)
+	}
+	kinds := make([]int, 0, len(payloads))
+	for k := range payloads {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	for _, kind := range kinds {
+		v := payloads[kind]
+		for _, codec := range []cluster.Codec{cluster.CodecWire, cluster.CodecGob} {
+			enc, err := cluster.EncodePayload(codec, v)
+			if err != nil {
+				t.Fatalf("kind %d %v: encode: %v", kind, codec, err)
+			}
+			out := reflect.New(reflect.TypeOf(v))
+			msg := cluster.Message{Kind: kind, Payload: enc, Codec: codec}
+			if err := msg.Decode(out.Interface()); err != nil {
+				t.Fatalf("kind %d %v: decode: %v", kind, codec, err)
+			}
+			if !reflect.DeepEqual(out.Elem().Interface(), v) {
+				t.Errorf("kind %d %v round trip mismatch:\n got: %#v\nwant: %#v", kind, codec, out.Elem().Interface(), v)
+			}
+		}
+	}
+}

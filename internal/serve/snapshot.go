@@ -20,6 +20,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/logic"
 	"repro/internal/solve"
+	"repro/internal/wire"
 )
 
 // snapshotFormat versions the gob payload inside the ckpt-framed file.
@@ -100,8 +101,14 @@ func WriteSnapshot(dir string, seq uint64, s *Snapshot) (string, error) {
 	if err := enc.Encode(s); err != nil {
 		return "", fmt.Errorf("serve: encode snapshot: %w", err)
 	}
+	// Wrap the gob stream in the wire compression envelope (flag byte +
+	// optional flate): a snapshot ships the full example set and symbol
+	// table, which deflates well, and the publish directory may hold many
+	// of them. Same threshold and framing as bulk protocol frames.
+	body := make([]byte, 1, buf.Len()+1) // leading 0x00 = raw-envelope flag
+	body = append(body, buf.Bytes()...)
 	path := SnapshotPath(dir, seq)
-	if err := ckpt.WriteFile(path, buf.Bytes()); err != nil {
+	if err := ckpt.WriteFile(path, wire.Compress(body)); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -115,6 +122,13 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	if body, derr := wire.Decompress(payload); derr == nil {
+		payload = body
+	}
+	// On envelope error keep the payload as-is: snapshots written before
+	// the compression envelope start directly with the gob stream, whose
+	// leading length byte can never equal an envelope flag. A genuinely
+	// corrupt file still fails below, in the gob decode.
 	dec := gob.NewDecoder(bytes.NewReader(payload))
 	var format int
 	if err := dec.Decode(&format); err != nil {

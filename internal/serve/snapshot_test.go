@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/logic"
 	"repro/internal/solve"
+	"repro/internal/wire"
 )
 
 func trainsSnapshot(t *testing.T, epoch int, nRules int) *Snapshot {
@@ -208,5 +212,60 @@ func TestPublisherWithLearn(t *testing.T) {
 	}
 	if last.Fingerprint != fp {
 		t.Fatalf("fingerprint = %x, want %x", last.Fingerprint, fp)
+	}
+}
+
+// TestSnapshotCompressed pins the on-disk format introduced with the wire
+// envelope: a trains snapshot is well past CompressMin, so the ckpt
+// payload must carry the flate flag and undercut the raw gob encoding.
+func TestSnapshotCompressed(t *testing.T) {
+	dir := t.TempDir()
+	snap := trainsSnapshot(t, 1, 99)
+	path, err := WriteSnapshot(dir, 1, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) == 0 || payload[0] != 0x01 {
+		t.Fatalf("snapshot envelope flag %#x, want flate (0x01)", payload[0])
+	}
+	raw, err := wire.Decompress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) >= len(raw)+1 {
+		t.Fatalf("compression did not shrink: %d envelope vs %d raw", len(payload), len(raw))
+	}
+}
+
+// TestReadSnapshotLegacyUncompressed pins backward compatibility: a
+// snapshot written before the compression envelope — the bare gob stream
+// inside the ckpt frame — must still load.
+func TestReadSnapshotLegacyUncompressed(t *testing.T) {
+	dir := t.TempDir()
+	snap := trainsSnapshot(t, 2, 99)
+
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(snapshotFormat); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	path := SnapshotPath(dir, 2)
+	if err := ckpt.WriteFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if got.Name != snap.Name || got.Epoch != 2 || len(got.Theory) != len(snap.Theory) {
+		t.Fatalf("legacy snapshot decoded wrong: %+v", got)
 	}
 }
